@@ -1,0 +1,127 @@
+"""EXP-A1 — ablations of the reproduction's interpretation decisions.
+
+The source text's formulas are typographically damaged in four places;
+DESIGN.md records the readings chosen.  Each ablation quantifies the
+alternative:
+
+* ``w_s`` direction — divide the distance by ``w_s`` (chosen) vs multiply
+  (the literal composition the prose contradicts),
+* prediction anchor — last vertex (chosen) vs first vertex (literal),
+* inner sum — plain weighted sum (chosen) vs normalised per-segment mean,
+* stability — absolute (chosen) vs relative deviations,
+
+plus the paper's future-work feature: signature-index retrieval vs the
+linear scan (identical results, large speed gap).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.experiments import evaluate_cohort
+from repro.analysis.replay import ReplayConfig
+from repro.analysis.reporting import format_table
+from repro.core.matching import SubsequenceMatcher
+from repro.core.query import QueryConfig, generate_query
+from repro.core.similarity import SimilarityParams
+from repro.core.stability import StabilityConfig
+from repro.database.ingest import StreamIngestor
+from repro.signals.respiratory import RespiratorySimulator, SessionConfig
+
+from conftest import report, run_once
+
+SUBSET = 6
+
+
+def _run(cohort):
+    ids = cohort.patient_ids[:SUBSET]
+    rows = []
+
+    def add(label, config):
+        result = evaluate_cohort(cohort, config, patient_ids=ids)
+        rows.append([label, result.summary().mean, result.coverage])
+
+    add("paper defaults (ws divides, last anchor, sum)", ReplayConfig())
+    add(
+        "ws multiplies (literal reading)",
+        ReplayConfig(
+            similarity=SimilarityParams(source_weight_multiplies=True)
+        ),
+    )
+    add("first-vertex anchor (literal reading)", ReplayConfig(anchor="first"))
+    add(
+        "normalised inner sum (delta rescaled)",
+        ReplayConfig(
+            similarity=SimilarityParams(
+                normalize_inner_sum=True, distance_threshold=1.0
+            )
+        ),
+    )
+    add(
+        "relative stability (sigma rescaled)",
+        ReplayConfig(
+            query=QueryConfig(
+                stability=StabilityConfig(relative=True, threshold=1.0)
+            )
+        ),
+    )
+    return rows
+
+
+def test_interpretation_ablations(benchmark, cohort):
+    rows = run_once(benchmark, lambda: _run(cohort))
+    report(
+        "ablations",
+        format_table(
+            ["variant", "mean error (mm)", "coverage"],
+            rows,
+            title="Ablations — interpretation decisions",
+        ),
+    )
+    by_label = {r[0]: r[1] for r in rows}
+    default = by_label["paper defaults (ws divides, last anchor, sum)"]
+    # The chosen readings must not lose to the rejected literal ones.
+    assert default <= by_label["ws multiplies (literal reading)"] * 1.02
+    assert default < by_label["first-vertex anchor (literal reading)"]
+
+
+def test_index_vs_linear_scan(benchmark, cohort):
+    """The signature index returns the scan's results, much faster."""
+    profile = cohort.profiles[0]
+    raw = RespiratorySimulator(
+        profile, SessionConfig(duration=45.0)
+    ).generate_session(3, seed=31)
+    ingestor = StreamIngestor(cohort.db, profile.patient_id, "ABL")
+    ingestor.extend(raw.times, raw.values)
+    ingestor.finish()
+    query = generate_query(ingestor.series)
+    assert query is not None
+
+    indexed = SubsequenceMatcher(cohort.db, use_index=True)
+    scanning = SubsequenceMatcher(cohort.db, use_index=False)
+
+    m_index = indexed.find_matches(query, ingestor.stream_id)
+    m_scan = scanning.find_matches(query, ingestor.stream_id)
+    assert [(m.stream_id, m.start) for m in m_index] == [
+        (m.stream_id, m.start) for m in m_scan
+    ]
+
+    def clock(matcher, repeats):
+        t0 = time.perf_counter()
+        for _ in range(repeats):
+            matcher.find_matches(query, ingestor.stream_id)
+        return (time.perf_counter() - t0) / repeats
+
+    t_index = run_once(benchmark, lambda: clock(indexed, 100))
+    t_scan = clock(scanning, 5)
+    report(
+        "ablation_index",
+        format_table(
+            ["retrieval", "time per query (ms)"],
+            [["signature index", t_index * 1e3], ["linear scan", t_scan * 1e3]],
+            floatfmt=".3f",
+            title="Ablation — index vs linear scan (identical results)",
+        ),
+    )
+    cohort.db.remove_stream(ingestor.stream_id)
+    assert t_index < t_scan

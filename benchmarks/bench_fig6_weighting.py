@@ -1,0 +1,108 @@
+"""EXP-F6 — Figure 6: prediction quality of the weighting factors.
+
+Reproduces all three panels:
+
+* 6a — mean prediction error per look-ahead ``dt`` (33..300 ms) for the
+  five weighting configurations,
+* 6b — error reduction of each configuration relative to "no weighting",
+* 6c — error averaged over all look-aheads (with coverage, since the
+  configurations accept different candidate sets at the fixed ``delta``).
+
+Expected shape (paper): error grows with ``dt``; "all weighting" is best.
+Reproduced shape: holds, except the bare (w_a, w_f) rung without source /
+vertex weights lands slightly *above* "no weighting" in our substrate —
+see EXPERIMENTS.md for the analysis.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import evaluate_cohort
+from repro.analysis.replay import ReplayConfig
+from repro.analysis.reporting import format_table
+from repro.core.similarity import SimilarityParams
+
+from conftest import report, run_once
+
+HORIZONS = (0.033, 0.1, 0.2, 0.3)
+
+CONFIGS = {
+    "no weighting": SimilarityParams(
+        amplitude_weight=1.0,
+        frequency_weight=1.0,
+        use_vertex_weights=False,
+        use_source_weights=False,
+    ),
+    "wa+wf": SimilarityParams(
+        use_vertex_weights=False, use_source_weights=False
+    ),
+    "wa+wf+ws": SimilarityParams(
+        use_vertex_weights=False, use_source_weights=True
+    ),
+    "wa+wf+wi": SimilarityParams(
+        use_vertex_weights=True, use_source_weights=False
+    ),
+    "all weighting": SimilarityParams(),
+}
+
+
+def _run(cohort):
+    results = {}
+    for name, params in CONFIGS.items():
+        results[name] = evaluate_cohort(
+            cohort, ReplayConfig(horizons=HORIZONS, similarity=params)
+        )
+    return results
+
+
+def test_fig6_weighting_factors(benchmark, cohort):
+    results = run_once(benchmark, lambda: _run(cohort))
+
+    # 6a: error per horizon.
+    rows_a = []
+    for name, result in results.items():
+        rows_a.append(
+            [name]
+            + [result.summary(h).mean for h in HORIZONS]
+        )
+    table_a = format_table(
+        ["config"] + [f"dt={int(h * 1000)}ms" for h in HORIZONS],
+        rows_a,
+        title="Figure 6a — mean prediction error (mm) vs look-ahead",
+    )
+
+    # 6b: error reduction vs no weighting (averaged over horizons).
+    base = results["no weighting"].summary().mean
+    rows_b = [
+        [name, result.summary().mean, 100.0 * (base - result.summary().mean) / base]
+        for name, result in results.items()
+    ]
+    table_b = format_table(
+        ["config", "mean error (mm)", "reduction vs none (%)"],
+        rows_b,
+        title="Figure 6b — error reduction by weighting factor",
+    )
+
+    # 6c: averages with coverage.
+    rows_c = [
+        [name, result.summary().mean, result.coverage, result.summary().n]
+        for name, result in results.items()
+    ]
+    table_c = format_table(
+        ["config", "mean error (mm)", "coverage", "n predictions"],
+        rows_c,
+        title="Figure 6c — averaged prediction results",
+    )
+    report("fig6_weighting", "\n\n".join([table_a, table_b, table_c]))
+
+    # Shape assertions.
+    all_w = results["all weighting"]
+    none_w = results["no weighting"]
+    # Error grows with the look-ahead for the full configuration.
+    assert all_w.summary(HORIZONS[0]).mean < all_w.summary(HORIZONS[-1]).mean
+    # All-weighting beats no weighting overall.
+    assert all_w.summary().mean < none_w.summary().mean
+    # Source weighting improves on bare (wa, wf).
+    assert (
+        results["wa+wf+ws"].summary().mean
+        < results["wa+wf"].summary().mean
+    )

@@ -1,0 +1,58 @@
+"""EXP-F9 — Figure 9: effect of the distance threshold ``delta``.
+
+Sweeps ``delta`` and reports mean prediction error together with
+prediction coverage (the paper: "with a smaller threshold, the prediction
+results are better... the drawback is that there will be fewer similar
+subsequences... fewer predictions. There is a tradeoff.").
+
+Expected shape: error increases with ``delta`` once candidates are
+plentiful; coverage increases monotonically with ``delta``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import evaluate_cohort
+from repro.analysis.replay import ReplayConfig
+from repro.analysis.reporting import format_table
+
+from conftest import report, run_once
+
+DELTAS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+
+
+def _run(cohort):
+    return {
+        delta: evaluate_cohort(cohort, ReplayConfig(threshold=delta))
+        for delta in DELTAS
+    }
+
+
+def test_fig9_distance_threshold(benchmark, cohort):
+    results = run_once(benchmark, lambda: _run(cohort))
+
+    rows = [
+        [
+            delta,
+            results[delta].summary().mean,
+            results[delta].coverage,
+            results[delta].summary().n,
+        ]
+        for delta in DELTAS
+    ]
+    report(
+        "fig9_threshold",
+        format_table(
+            ["delta", "mean error (mm)", "coverage", "n predictions"],
+            rows,
+            title="Figure 9 — distance threshold vs accuracy and coverage",
+        ),
+    )
+
+    coverages = [results[d].coverage for d in DELTAS]
+    # Coverage grows monotonically with delta.
+    assert all(a <= b + 1e-9 for a, b in zip(coverages, coverages[1:]))
+    # Accuracy: the loosest threshold is worse than the Table 1 setting.
+    assert results[8.0].summary().mean < results[32.0].summary().mean
+    # The tightest threshold with usable coverage beats the loosest.
+    usable = [d for d in DELTAS if results[d].coverage > 0.2]
+    assert results[usable[0]].summary().mean < results[DELTAS[-1]].summary().mean

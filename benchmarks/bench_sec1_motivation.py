@@ -1,0 +1,180 @@
+"""EXP-S1 — Section 1's motivating claims, quantified.
+
+* **Imaging rate** (Figure 2: "prediction based on limited data... the
+  sampling rate is low"): the pipeline replayed at decreasing imaging
+  rates.  Prediction should degrade gracefully rather than collapse.
+* **Latency** (Figure 1): treating at the last observed position vs the
+  predicted position, as gating precision over a latency sweep.
+* **Session progression** (Section 5.3 application 2): the
+  physiological-change detector flags a planted mid-course pattern
+  change.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.progression import detect_change, session_progression
+from repro.analysis.replay import ReplayConfig, replay_session
+from repro.analysis.reporting import format_table
+from repro.core.online import OnlineAnalysisSession
+from repro.core.segmentation import segment_signal
+from repro.database.store import MotionDatabase
+from repro.gating import GatingWindow, delayed_positions, simulate_gating
+from repro.signals.patients import generate_population
+from repro.signals.respiratory import RawStream, RespiratorySimulator, SessionConfig
+
+from conftest import report, run_once
+
+RATES = (30.0, 10.0, 5.0)
+LATENCIES = (0.1, 0.2, 0.4)
+
+
+def _subsample(raw: RawStream, factor: int) -> RawStream:
+    return RawStream(
+        patient_id=raw.patient_id,
+        session_id=f"{raw.session_id}@/{factor}",
+        times=raw.times[::factor],
+        values=raw.values[::factor],
+        truth=raw.truth,
+        sample_rate=raw.sample_rate / factor,
+    )
+
+
+def _imaging_rate_experiment(cohort):
+    rows = []
+    for rate in RATES:
+        factor = int(round(30.0 / rate))
+        errors = []
+        coverages = []
+        for pid in cohort.patient_ids[:5]:
+            raw = _subsample(cohort.live_streams[pid], factor)
+            result = replay_session(cohort.db, raw, ReplayConfig())
+            errors.extend(result.errors())
+            coverages.append(result.coverage)
+        rows.append(
+            [rate, float(np.mean(errors)), float(np.mean(coverages)),
+             len(errors)]
+        )
+    return rows
+
+
+def _latency_experiment(cohort):
+    rows = []
+    for latency in LATENCIES:
+        delayed_precisions = []
+        predicted_precisions = []
+        for pid in cohort.patient_ids[:3]:
+            raw = cohort.live_streams[pid]
+            true_pos = raw.primary
+            window = GatingWindow.around_exhale(true_pos)
+            delayed = delayed_positions(raw.times, true_pos, latency)
+            delayed_precisions.append(
+                simulate_gating(true_pos, delayed, window).precision
+            )
+            session = OnlineAnalysisSession(
+                cohort.db, pid, f"GATE-{pid}-{latency}"
+            )
+            controlled = np.empty(len(raw.times))
+            for i, (t, position) in enumerate(raw.iter_points()):
+                session.observe(t, position)
+                predicted = session.predict_ahead(latency)
+                controlled[i] = (
+                    predicted[0] if predicted is not None else position[0]
+                )
+            session.finish(keep_stream=False)
+            predicted_precisions.append(
+                simulate_gating(true_pos, controlled, window).precision
+            )
+        rows.append(
+            [
+                latency,
+                float(np.mean(delayed_precisions)),
+                float(np.mean(predicted_precisions)),
+            ]
+        )
+    return rows
+
+
+def _progression_experiment():
+    profile = generate_population(1, seed=23)[0]
+    db = MotionDatabase()
+    db.add_patient(profile.patient_id, profile.attributes)
+    change_at = 4
+    for k in range(7):
+        p = profile
+        if k >= change_at:
+            p = profile.with_traits(
+                mean_amplitude=profile.traits.mean_amplitude * 0.4,
+                mean_period=profile.traits.mean_period * 1.5,
+            )
+        raw = RespiratorySimulator(
+            p, SessionConfig(duration=75.0)
+        ).generate_session(k, seed=400 + k)
+        db.add_stream(
+            profile.patient_id,
+            f"S{k:02d}",
+            series=segment_signal(raw.times, raw.values),
+        )
+    progression = session_progression(db, profile.patient_id)
+    return progression, detect_change(progression, factor=1.4), change_at
+
+
+def test_imaging_rate(benchmark, cohort):
+    rows = run_once(benchmark, lambda: _imaging_rate_experiment(cohort))
+    report(
+        "sec1_imaging_rate",
+        format_table(
+            ["imaging rate (Hz)", "mean error (mm)", "coverage", "n"],
+            rows,
+            title="Section 1 motivation — prediction vs imaging rate",
+        ),
+    )
+    errors = [r[1] for r in rows]
+    # Graceful degradation: 5 Hz errs more than 30 Hz but stays bounded.
+    assert errors[0] <= errors[-1]
+    assert errors[-1] < 4.0 * errors[0] + 0.2
+
+
+def test_latency_compensation(benchmark, cohort):
+    rows = run_once(benchmark, lambda: _latency_experiment(cohort))
+    report(
+        "sec1_latency",
+        format_table(
+            ["latency (s)", "delayed precision", "predicted precision"],
+            rows,
+            title="Figure 1 — gating precision: delayed vs predicted control",
+        ),
+    )
+    # The delayed controller degrades steadily with latency...
+    delayed = [r[1] for r in rows]
+    assert all(a >= b for a, b in zip(delayed, delayed[1:]))
+    # ...while the predicted controller is much flatter, so prediction
+    # pays off where it matters: at realistic system latencies the
+    # crossover falls at/below ~200-400 ms and the gap is material at
+    # the longest latency.
+    predicted = [r[2] for r in rows]
+    assert (max(predicted) - min(predicted)) < (delayed[0] - delayed[-1])
+    assert predicted[-1] > delayed[-1]
+
+
+def test_session_change_detection(benchmark):
+    progression, flagged, planted = run_once(
+        benchmark, _progression_experiment
+    )
+    rows = [
+        [sid,
+         progression.consecutive[i - 1] if i > 0 else float("nan"),
+         progression.from_baseline[i]]
+        for i, sid in enumerate(progression.session_ids)
+    ]
+    report(
+        "sec53_progression",
+        format_table(
+            ["session", "dist to previous", "dist to baseline"],
+            rows,
+            title="Section 5.3 — within-patient pattern-change detection "
+            f"(planted at session {planted}, flagged at {flagged})",
+        ),
+    )
+    assert flagged == planted

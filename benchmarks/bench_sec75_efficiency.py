@@ -1,0 +1,142 @@
+"""EXP-E1 — Section 7.5: efficiency of the online pipeline.
+
+The paper reports: segmentation runs in constant time per raw point,
+subsequence matching in time linear in the number of segments, and one
+full prediction (segmentation + matching) in under 30 ms on 2003-era
+hardware.  These are genuine pytest-benchmark timings:
+
+* per-point segmentation cost (and its independence of history length),
+* one full prediction (query generation + matching + combination),
+* matching cost scaling with database size (linear, via the index).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.matching import SubsequenceMatcher
+from repro.core.prediction import OnlinePredictor
+from repro.core.query import generate_query
+from repro.core.segmentation import OnlineSegmenter
+from repro.database.ingest import StreamIngestor
+from repro.analysis.reporting import format_table
+from repro.signals.patients import generate_population
+from repro.signals.respiratory import RespiratorySimulator, SessionConfig
+
+from conftest import report
+
+REALTIME_BUDGET_S = 0.030  # the paper's 30 ms bound
+
+
+@pytest.fixture(scope="module")
+def live_setup(cohort):
+    """A mid-session live stream plus matcher/predictor over the cohort DB."""
+    profile = cohort.profiles[0]
+    raw = RespiratorySimulator(
+        profile, SessionConfig(duration=60.0)
+    ).generate_session(7, seed=99)
+    ingestor = StreamIngestor(cohort.db, profile.patient_id, "EFF")
+    ingestor.extend(raw.times, raw.values)
+    matcher = SubsequenceMatcher(cohort.db)
+    predictor = OnlinePredictor(cohort.db, matcher, min_matches=1)
+    query = generate_query(ingestor.series)
+    assert query is not None
+    # Warm the index.
+    matcher.find_matches(query, ingestor.stream_id)
+    yield ingestor, matcher, predictor, query
+    cohort.db.remove_stream(ingestor.stream_id)
+
+
+def test_segmentation_per_point(benchmark):
+    """Constant-time per raw sample, independent of history length."""
+    profile = generate_population(1, seed=1)[0]
+    raw = RespiratorySimulator(
+        profile, SessionConfig(duration=240.0)
+    ).generate_session(0, seed=0)
+    segmenter = OnlineSegmenter()
+    segmenter.extend(raw.times[:3600], raw.values[:3600])  # 2 min history
+
+    points = iter(range(3600, len(raw.times)))
+
+    def feed():
+        i = next(points)
+        segmenter.add_point(float(raw.times[i]), raw.values[i])
+
+    benchmark.pedantic(feed, rounds=1500, iterations=1, warmup_rounds=50)
+    assert benchmark.stats["mean"] < 0.002  # far below the 33 ms frame
+
+
+def test_full_prediction_under_budget(benchmark, live_setup):
+    """One full prediction (query + match + combine) within 30 ms."""
+    ingestor, matcher, predictor, _ = live_setup
+
+    def predict_once():
+        query = generate_query(ingestor.series)
+        return predictor.predict(query, ingestor.stream_id, horizon=0.2)
+
+    result = benchmark(predict_once)
+    assert result is not None
+    assert benchmark.stats["mean"] < REALTIME_BUDGET_S
+
+
+def test_matching_only(benchmark, live_setup):
+    """Candidate retrieval + ranking alone."""
+    ingestor, matcher, _, query = live_setup
+    benchmark(lambda: matcher.find_matches(query, ingestor.stream_id))
+    assert benchmark.stats["mean"] < REALTIME_BUDGET_S
+
+
+def test_matching_scales_linearly(benchmark, cohort):
+    """Matching cost grows at most linearly with database size."""
+    import time
+
+    from conftest import run_once
+    from repro.database.store import MotionDatabase
+
+    profile = cohort.profiles[0]
+    raw = RespiratorySimulator(
+        profile, SessionConfig(duration=60.0)
+    ).generate_session(7, seed=99)
+
+    sizes = (4, 8, 16)
+
+    def measure():
+        timings = []
+        for n_streams in sizes:
+            db = MotionDatabase()
+            db.add_patient(profile.patient_id, profile.attributes)
+            simulator = RespiratorySimulator(
+                profile, SessionConfig(duration=120.0)
+            )
+            for k in range(n_streams):
+                hist = simulator.generate_session(k, seed=k)
+                ing = StreamIngestor(db, profile.patient_id, f"S{k:02d}")
+                ing.extend(hist.times, hist.values)
+                ing.finish()
+            live = StreamIngestor(db, profile.patient_id, "LIVE")
+            live.extend(raw.times, raw.values)
+            matcher = SubsequenceMatcher(db)
+            query = generate_query(live.series)
+            matcher.find_matches(query, live.stream_id)  # build index
+            t0 = time.perf_counter()
+            for _ in range(200):
+                matcher.find_matches(query, live.stream_id)
+            timings.append((time.perf_counter() - t0) / 200)
+        return timings
+
+    timings = run_once(benchmark, measure)
+
+    rows = [
+        [n, t * 1e3] for n, t in zip(sizes, timings)
+    ]
+    report(
+        "sec75_efficiency_scaling",
+        format_table(
+            ["historical streams", "matching time (ms)"],
+            rows,
+            floatfmt=".3f",
+            title="Section 7.5 — matching cost vs database size",
+        ),
+    )
+    # 4x the data must cost at most ~6x the time (linear with slack).
+    assert timings[-1] <= timings[0] * 6.0 + 1e-4

@@ -1,0 +1,64 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Every benchmark regenerates one of the paper's Section 7 artifacts
+(Table 1 and Figures 6-9, plus the Section 6 / 7.5 studies).  The
+reproduced rows are written to ``benchmarks/results/<name>.txt`` and
+printed (visible with ``pytest -s``); timing goes through
+pytest-benchmark as usual.
+
+The standard evaluation cohort is built once per session and shared: it
+plays the role of the paper's 42-patient / ~1200-session dataset at a
+laptop-friendly scale (the shapes reproduced are insensitive to scale;
+absolute match counts are not).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.experiments import CohortConfig, build_cohort
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The standard benchmark cohort (shared across files for wall-clock sanity).
+STANDARD_COHORT = CohortConfig(
+    n_patients=12,
+    sessions_per_patient=4,
+    session_duration=120.0,
+    live_duration=60.0,
+    seed=1,
+)
+
+
+@pytest.fixture(scope="session")
+def cohort():
+    """The standard cohort: 12 patients x 4 historical sessions (120 s)."""
+    return build_cohort(STANDARD_COHORT)
+
+
+@pytest.fixture(scope="session")
+def small_cohort():
+    """A lighter cohort for the heavier offline (Definition 3/4) sweeps."""
+    return build_cohort(
+        CohortConfig(
+            n_patients=9,
+            sessions_per_patient=2,
+            session_duration=90.0,
+            live_duration=45.0,
+            seed=1,
+        )
+    )
+
+
+def report(name: str, text: str) -> None:
+    """Persist and print one reproduced table/figure."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}")
+
+
+def run_once(benchmark, func):
+    """Run a heavy experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,104 @@
+"""Gated radiotherapy under system latency (the paper's Figure 1 scenario).
+
+Compares three controllers for respiration-gated treatment of one
+simulated session:
+
+* **ideal** — beam driven by the true tumor position (no latency),
+* **delayed** — beam driven by the last observed position, 200 ms stale
+  (the "real treatment" of Figure 1),
+* **predicted** — beam driven by the subsequence-matching predictor's
+  200 ms look-ahead.
+
+Also reports beam-tracking aim error for the same three controllers.
+
+Run:  python examples/online_gated_treatment.py
+"""
+
+import numpy as np
+
+from repro import (
+    MotionDatabase,
+    RespiratorySimulator,
+    SessionConfig,
+    generate_population,
+    segment_signal,
+)
+from repro.core.online import OnlineAnalysisSession
+from repro.gating import (
+    GatingWindow,
+    delayed_positions,
+    simulate_gating,
+    simulate_tracking,
+)
+
+LATENCY = 0.2  # seconds
+
+
+def build_history(profile, db: MotionDatabase) -> None:
+    db.add_patient(profile.patient_id, profile.attributes)
+    simulator = RespiratorySimulator(profile, SessionConfig(duration=120.0))
+    for k, raw in enumerate(simulator.generate_sessions(3, seed=21)):
+        db.add_stream(
+            profile.patient_id,
+            f"S{k:02d}",
+            series=segment_signal(raw.times, raw.values),
+        )
+
+
+def predicted_positions(db, profile, raw) -> np.ndarray:
+    """Replay the live session, predicting at every imaging sample.
+
+    :class:`~repro.core.online.OnlineAnalysisSession` retrieves matches
+    once per committed vertex (the query only changes there); between
+    vertices each 30 Hz frame re-combines the cached matches with the
+    effective horizon — the paper's real-time pattern, where per-sample
+    work is a weighted average over a handful of matches.
+    """
+    session = OnlineAnalysisSession(db, profile.patient_id, "LIVE")
+    out = np.full(len(raw.times), np.nan)
+    for i, (t, position) in enumerate(raw.iter_points()):
+        session.observe(t, position)
+        predicted = session.predict_ahead(LATENCY)
+        if predicted is not None:
+            out[i] = predicted[0]
+        else:
+            out[i] = position[0]  # warm-up: fall back to observation
+    session.finish()
+    return out
+
+
+def main() -> None:
+    profile = generate_population(3, seed=42)[1]
+    db = MotionDatabase()
+    build_history(profile, db)
+
+    raw = RespiratorySimulator(
+        profile, SessionConfig(duration=60.0)
+    ).generate_session(99, seed=5)
+    true_pos = raw.primary
+    window = GatingWindow.around_exhale(true_pos, width_fraction=0.3)
+    print(f"gating window: [{window.low:.1f}, {window.high:.1f}] mm, "
+          f"latency {LATENCY * 1000:.0f} ms\n")
+
+    delayed = delayed_positions(raw.times, true_pos, LATENCY)
+    predicted = predicted_positions(db, profile, raw)
+
+    print(f"{'controller':<10} {'duty':>6} {'precision':>10} "
+          f"{'recall':>7} {'track err (mm)':>15}")
+    for name, control in (
+        ("ideal", true_pos),
+        ("delayed", delayed),
+        ("predicted", predicted),
+    ):
+        gating = simulate_gating(true_pos, control, window)
+        tracking = simulate_tracking(true_pos, control)
+        print(
+            f"{name:<10} {gating.duty_cycle:6.2f} {gating.precision:10.3f} "
+            f"{gating.recall:7.3f} {tracking.mean_error:15.3f}"
+        )
+    print("\nThe predicted controller should recover most of the precision "
+          "the delayed one loses to latency.")
+
+
+if __name__ == "__main__":
+    main()

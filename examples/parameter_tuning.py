@@ -1,0 +1,81 @@
+"""Automatic parameter tuning and cardiac-notch filtering.
+
+Two of the paper's future-work items in action:
+
+1. **Automatic dynamic parameter tuning** (Section 8, "ongoing project"):
+   the coordinate-descent tuner learns similarity parameters from a
+   training cohort, reproducing the paper's Section 7.1 procedure.
+2. **Better cardiac motion modelling** (Section 8): a cardiac notch
+   filter in front of the segmenter, compared against the plain pipeline
+   on a heavily cardiac-contaminated patient.
+
+Run:  python examples/parameter_tuning.py
+"""
+
+import numpy as np
+
+from repro import SessionConfig
+from repro.analysis.experiments import CohortConfig, build_cohort
+from repro.core.filters import FilterChain, MedianDespike, NotchFilter
+from repro.core.segmentation import segment_signal
+from repro.core.tuning import tune_similarity_params
+from repro.signals.patients import generate_population
+from repro.signals.respiratory import RespiratorySimulator
+
+
+def tune() -> None:
+    print("== coordinate-descent parameter tuning (Section 7.1 procedure) ==")
+    cohort = build_cohort(
+        CohortConfig(
+            n_patients=4,
+            sessions_per_patient=2,
+            session_duration=75.0,
+            live_duration=40.0,
+            seed=13,
+        )
+    )
+    result = tune_similarity_params(
+        cohort,
+        grid={
+            "frequency_weight": (0.1, 0.25, 0.5, 1.0),
+            "weight_other_patient": (0.1, 0.3, 0.6, 1.0),
+        },
+        patient_ids=cohort.patient_ids[:2],
+    )
+    print(f"trials evaluated : {len(result.trials)}")
+    for trial in result.trials:
+        print(f"  {trial.parameter:>22} = {trial.value:<5} "
+              f"-> {trial.score:.4f} mm")
+    print(f"tuned frequency_weight     = {result.params.frequency_weight}")
+    print(f"tuned weight_other_patient = {result.params.weight_other_patient}")
+    print(f"best mean error            = {result.score:.4f} mm\n")
+
+
+def filter_ablation() -> None:
+    print("== cardiac notch filter in front of the segmenter ==")
+    profile = generate_population(1, seed=3)[0].with_traits(
+        cardiac_amplitude=1.2, cardiac_frequency=1.25
+    )
+    raw = RespiratorySimulator(
+        profile, SessionConfig(duration=90.0)
+    ).generate_session(0, seed=4)
+
+    plain = segment_signal(raw.times, raw.values)
+    notch = FilterChain(
+        [MedianDespike(3), NotchFilter(1.25, raw.sample_rate)]
+    )
+    filtered = segment_signal(raw.times, raw.values, prefilter=notch)
+
+    for name, series in (("plain pipeline", plain), ("with notch", filtered)):
+        irr = int(np.count_nonzero(series.states == 3))
+        print(
+            f"  {name:<15}: {len(series):3d} vertices, "
+            f"{irr:2d} irregular segments"
+        )
+    print("(strong cardiac oscillation fragments the plain PLR; the notch "
+          "restores clean cycles)")
+
+
+if __name__ == "__main__":
+    tune()
+    filter_ablation()

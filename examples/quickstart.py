@@ -1,0 +1,69 @@
+"""Quickstart: online subsequence matching and prediction in ~60 lines.
+
+Builds a small historical database of segmented respiratory-motion
+streams, replays a new "live" session through the online pipeline, and
+prints a prediction (200 ms look-ahead) at every committed PLR vertex.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    MotionDatabase,
+    OnlinePredictor,
+    RespiratorySimulator,
+    SessionConfig,
+    StreamIngestor,
+    SubsequenceMatcher,
+    generate_population,
+    generate_query,
+    segment_signal,
+)
+
+
+def main() -> None:
+    # 1. A synthetic patient population (stand-in for the clinical data).
+    profiles = generate_population(n_patients=3, seed=42)
+
+    # 2. Segment two historical sessions per patient into the database.
+    db = MotionDatabase()
+    for profile in profiles:
+        db.add_patient(profile.patient_id, profile.attributes)
+        simulator = RespiratorySimulator(profile, SessionConfig(duration=90.0))
+        for k, raw in enumerate(simulator.generate_sessions(2, seed=7)):
+            series = segment_signal(raw.times, raw.values)
+            db.add_stream(profile.patient_id, f"S{k:02d}", series=series)
+    print(db)
+
+    # 3. Online: ingest a live session point by point and predict.
+    matcher = SubsequenceMatcher(db)
+    predictor = OnlinePredictor(db, matcher)
+    live_patient = profiles[0]
+    live_raw = RespiratorySimulator(
+        live_patient, SessionConfig(duration=45.0)
+    ).generate_session(99, seed=123)
+
+    ingestor = StreamIngestor(db, live_patient.patient_id, "LIVE")
+    print(f"\nreplaying live session for {live_patient.patient_id} ...")
+    print(f"{'time':>7}  {'state':<4} {'query':>5}  {'pred@200ms':>10}  matches")
+    for t, position in live_raw.iter_points():
+        committed = ingestor.add_point(t, position)
+        if not committed or len(ingestor.series) < 10:
+            continue
+        query = generate_query(ingestor.series)
+        if query is None:
+            continue
+        prediction = predictor.predict(query, ingestor.stream_id, horizon=0.2)
+        vertex = committed[-1]
+        shown = "-" if prediction is None else f"{prediction.primary:10.2f}"
+        n = 0 if prediction is None else prediction.n_matches
+        print(
+            f"{vertex.time:7.2f}  {vertex.state.name:<4} "
+            f"{query.n_vertices:5d}  {shown:>10}  {n}"
+        )
+    ingestor.finish()
+    print(f"\nlive stream stored as {ingestor.stream_id!r}: "
+          f"{len(ingestor.series)} vertices")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+"""A live treatment-console simulation: prediction + continuous monitors.
+
+Combines the online analysis session (per-frame latency-compensated
+prediction) with the continuous clinical monitors: breathing rate, mean
+amplitude, irregularity share, and a rate alarm with hysteresis.  The
+patient breathes regularly, then drifts into rapid shallow breathing
+mid-session — the console should flag it.
+
+Run:  python examples/treatment_console.py
+"""
+
+import numpy as np
+
+from repro import (
+    MotionDatabase,
+    RespiratorySimulator,
+    SessionConfig,
+    generate_population,
+    segment_signal,
+)
+from repro.analysis.monitors import (
+    AmplitudeMonitor,
+    BreathingRateMonitor,
+    IrregularityMonitor,
+    ThresholdAlarm,
+)
+from repro.core.online import OnlineAnalysisSession
+
+LATENCY = 0.2
+
+
+def build_live_stream(profile):
+    """First half normal, second half rapid shallow breathing."""
+    normal = RespiratorySimulator(
+        profile, SessionConfig(duration=40.0)
+    ).generate_session(0, seed=3)
+    distressed_profile = profile.with_traits(
+        mean_period=profile.traits.mean_period * 0.55,
+        mean_amplitude=profile.traits.mean_amplitude * 0.5,
+        irregular_rate=0.10,
+    )
+    distressed = RespiratorySimulator(
+        distressed_profile, SessionConfig(duration=40.0)
+    ).generate_session(1, seed=4)
+    times = np.concatenate([normal.times, distressed.times + 40.0])
+    values = np.concatenate([normal.values, distressed.values])
+    return times, values
+
+
+def main() -> None:
+    profile = generate_population(1, seed=8)[0]
+    db = MotionDatabase()
+    db.add_patient(profile.patient_id, profile.attributes)
+    for k, raw in enumerate(
+        RespiratorySimulator(
+            profile, SessionConfig(duration=90.0)
+        ).generate_sessions(2, seed=17)
+    ):
+        db.add_stream(
+            profile.patient_id,
+            f"S{k:02d}",
+            series=segment_signal(raw.times, raw.values),
+        )
+
+    session = OnlineAnalysisSession(db, profile.patient_id, "CONSOLE")
+    rate_monitor = BreathingRateMonitor(window_seconds=25.0)
+    amp_monitor = AmplitudeMonitor(window_seconds=25.0)
+    irr_monitor = IrregularityMonitor(window_seconds=40.0)
+    baseline_rate = 60.0 / profile.traits.mean_period
+    rate_alarm = ThresholdAlarm(
+        BreathingRateMonitor(window_seconds=25.0),
+        low=0.6 * baseline_rate,
+        high=1.6 * baseline_rate,
+        hysteresis=1.0,
+    )
+
+    print(f"patient {profile.patient_id}: baseline rate "
+          f"{baseline_rate:.1f}/min, alarm band "
+          f"[{0.6 * baseline_rate:.1f}, {1.6 * baseline_rate:.1f}]\n")
+    print(f"{'t (s)':>6}  {'rate/min':>8}  {'amp mm':>7}  {'irr %':>6}  "
+          f"{'pred+200ms':>10}  alarm")
+
+    times, values = build_live_stream(profile)
+    last_print = -5.0
+    for t, position in zip(times, values):
+        committed = session.observe(float(t), position)
+        for vertex in committed:
+            rate_monitor.update(vertex)
+            amp_monitor.update(vertex)
+            irr_monitor.update(vertex)
+            event = rate_alarm.update(vertex)
+            if event is not None:
+                label = "RAISED" if event.active else "cleared"
+                print(f"{'':>6}  ** breathing-rate alarm {label} at "
+                      f"t={event.time:.1f}s (value {event.value:.1f}/min)")
+        if t - last_print >= 8.0:
+            last_print = t
+
+            def cell(value, width, spec=".1f"):
+                if value is None:
+                    return "-".rjust(width)
+                return format(value, spec).rjust(width)
+
+            predicted = session.predict_ahead(LATENCY)
+            irr = irr_monitor.value
+            print(
+                f"{t:6.1f}  "
+                f"{cell(rate_monitor.value, 8)}  "
+                f"{cell(amp_monitor.value, 7, '.2f')}  "
+                f"{cell(100 * irr if irr is not None else None, 6)}  "
+                f"{cell(predicted[0] if predicted is not None else None, 10, '.2f')}  "
+                f"{'ACTIVE' if rate_alarm.active else '-'}"
+            )
+    session.finish()
+    n_events = len(rate_alarm.events)
+    print(f"\nalarm transitions: {n_events} "
+          f"({'detected the mid-session change' if n_events else 'none'})")
+
+
+if __name__ == "__main__":
+    main()

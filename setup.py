@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` needs ``wheel`` for PEP 660 editable installs with the
+pinned setuptools; on offline machines without it, ``python setup.py
+develop`` (or ``pip install . --no-build-isolation``) installs via this
+shim instead.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,127 @@
+"""repro — Subsequence matching on structured time series data.
+
+A full reproduction of Wu et al., *Subsequence Matching on Structured
+Time Series Data* (SIGMOD 2005): a finite-state motion model with online
+piecewise-linear segmentation, a stability-driven dynamic query generator,
+a model-based multi-layer weighted subsequence distance, online tumor
+motion prediction, and offline stream/patient clustering — plus the
+substrates the paper relies on (a hierarchical stream database, a
+respiratory-motion simulator standing in for the clinical dataset,
+classic baselines, and the Section 6 generalisation framework).
+
+Quick start::
+
+    from repro import (
+        MotionDatabase, OnlinePredictor, StreamIngestor,
+        SubsequenceMatcher, generate_query, segment_signal,
+    )
+
+See ``examples/quickstart.py`` for a complete online-prediction session.
+"""
+
+from .analysis import (
+    Cohort,
+    CohortConfig,
+    ReplayConfig,
+    ReplayResult,
+    build_cohort,
+    evaluate_cohort,
+    replay_session,
+)
+from .core import (
+    BreathingState,
+    FiniteStateAutomaton,
+    OnlineSegmenter,
+    PLRSeries,
+    QueryConfig,
+    SegmenterConfig,
+    SimilarityParams,
+    SourceRelation,
+    StabilityConfig,
+    Subsequence,
+    Vertex,
+    fixed_query,
+    generate_query,
+    is_stable,
+    respiratory_fsa,
+    segment_signal,
+    subsequence_distance,
+    subsequence_stability,
+)
+from .core.clustering import agglomerative, kmedoids, silhouette_score
+from .core.framework import DomainSpec, StructuredMotionAnalyzer
+from .core.matching import Match, SubsequenceMatcher
+from .core.patient_distance import (
+    patient_distance,
+    patient_distance_matrix,
+    stream_distance_matrix,
+)
+from .core.prediction import OnlinePredictor, Prediction
+from .core.stream_distance import StreamDistanceConfig, stream_distance
+from .database import MotionDatabase, StateSignatureIndex, StreamIngestor
+from .signals import (
+    PatientProfile,
+    RawStream,
+    RespiratorySimulator,
+    SessionConfig,
+    generate_population,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core model & pipeline
+    "BreathingState",
+    "Vertex",
+    "PLRSeries",
+    "Subsequence",
+    "FiniteStateAutomaton",
+    "respiratory_fsa",
+    "OnlineSegmenter",
+    "SegmenterConfig",
+    "segment_signal",
+    "StabilityConfig",
+    "subsequence_stability",
+    "is_stable",
+    "QueryConfig",
+    "generate_query",
+    "fixed_query",
+    "SimilarityParams",
+    "SourceRelation",
+    "subsequence_distance",
+    "Match",
+    "SubsequenceMatcher",
+    "OnlinePredictor",
+    "Prediction",
+    # offline analysis
+    "StreamDistanceConfig",
+    "stream_distance",
+    "patient_distance",
+    "stream_distance_matrix",
+    "patient_distance_matrix",
+    "kmedoids",
+    "agglomerative",
+    "silhouette_score",
+    # database
+    "MotionDatabase",
+    "StreamIngestor",
+    "StateSignatureIndex",
+    # signals
+    "PatientProfile",
+    "generate_population",
+    "RespiratorySimulator",
+    "SessionConfig",
+    "RawStream",
+    # generalisation
+    "DomainSpec",
+    "StructuredMotionAnalyzer",
+    # experiments
+    "ReplayConfig",
+    "ReplayResult",
+    "replay_session",
+    "CohortConfig",
+    "Cohort",
+    "build_cohort",
+    "evaluate_cohort",
+]

@@ -1,0 +1,46 @@
+"""Experiment support: replay evaluation, metrics, correlation, reporting."""
+
+from .correlation import AttributeAssociation, discover_correlations
+from .experiments import Cohort, CohortConfig, build_cohort, evaluate_cohort
+from .metrics import ErrorSummary, mean_absolute_error, rmse, summarize_errors
+from .monitors import (
+    AlarmEvent,
+    AmplitudeMonitor,
+    BreathingRateMonitor,
+    IrregularityMonitor,
+    ThresholdAlarm,
+)
+from .progression import (
+    ProgressionReport,
+    detect_change,
+    session_progression,
+)
+from .replay import ReplayConfig, ReplayResult, replay_session
+from .reporting import banner, format_series, format_table
+
+__all__ = [
+    "ReplayConfig",
+    "ReplayResult",
+    "replay_session",
+    "CohortConfig",
+    "Cohort",
+    "build_cohort",
+    "evaluate_cohort",
+    "ErrorSummary",
+    "summarize_errors",
+    "mean_absolute_error",
+    "rmse",
+    "AttributeAssociation",
+    "discover_correlations",
+    "format_table",
+    "format_series",
+    "banner",
+    "BreathingRateMonitor",
+    "AmplitudeMonitor",
+    "IrregularityMonitor",
+    "ThresholdAlarm",
+    "AlarmEvent",
+    "ProgressionReport",
+    "session_progression",
+    "detect_change",
+]

@@ -1,0 +1,152 @@
+"""Correlation discovery between clusters and patient information.
+
+Section 5.3 proposes using patient clustering to discover correlations
+between motion patterns and physiological information (tumor location,
+pathology, age, ...).  This module supplies the statistical machinery:
+categorical attributes are tested against cluster labels with a chi-square
+contingency test (effect size: Cramer's V); numeric attributes with a
+one-way ANOVA F-test across clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from ..signals.patients import PatientProfile
+
+__all__ = [
+    "AttributeAssociation",
+    "contingency_table",
+    "cramers_v",
+    "categorical_association",
+    "numeric_association",
+    "discover_correlations",
+]
+
+
+@dataclass(frozen=True)
+class AttributeAssociation:
+    """Association between one patient attribute and the cluster labels."""
+
+    attribute: str
+    kind: str  # "categorical" or "numeric"
+    statistic: float
+    p_value: float
+    effect_size: float
+
+    @property
+    def significant(self) -> bool:
+        """Whether the association clears the conventional 0.05 level."""
+        return self.p_value < 0.05
+
+
+def contingency_table(
+    labels: np.ndarray, values: list
+) -> tuple[np.ndarray, list, list]:
+    """Cross-tabulate cluster labels against a categorical attribute.
+
+    Returns the count matrix plus the row (cluster) and column (category)
+    orderings.
+    """
+    labels = np.asarray(labels)
+    clusters = sorted(set(int(x) for x in labels))
+    categories = sorted(set(values))
+    table = np.zeros((len(clusters), len(categories)), dtype=int)
+    for label, value in zip(labels, values):
+        table[clusters.index(int(label)), categories.index(value)] += 1
+    return table, clusters, categories
+
+
+def cramers_v(table: np.ndarray) -> float:
+    """Cramer's V effect size of a contingency table (0 = none, 1 = perfect)."""
+    table = np.asarray(table, dtype=float)
+    n = table.sum()
+    if n == 0:
+        return float("nan")
+    chi2 = stats.chi2_contingency(table, correction=False)[0]
+    r, c = table.shape
+    denom = n * (min(r, c) - 1)
+    if denom <= 0:
+        return 0.0
+    return float(np.sqrt(chi2 / denom))
+
+
+def categorical_association(
+    labels: np.ndarray, values: list, attribute: str
+) -> AttributeAssociation:
+    """Chi-square test of independence between labels and categories."""
+    table, _, _ = contingency_table(labels, values)
+    # Drop all-zero rows/columns to keep the test well-defined.
+    table = table[table.sum(axis=1) > 0][:, table.sum(axis=0) > 0]
+    if table.shape[0] < 2 or table.shape[1] < 2:
+        return AttributeAssociation(attribute, "categorical", 0.0, 1.0, 0.0)
+    chi2, p_value, _, _ = stats.chi2_contingency(table, correction=False)
+    return AttributeAssociation(
+        attribute, "categorical", float(chi2), float(p_value), cramers_v(table)
+    )
+
+
+def numeric_association(
+    labels: np.ndarray, values: list, attribute: str
+) -> AttributeAssociation:
+    """One-way ANOVA of a numeric attribute across clusters.
+
+    Effect size is eta-squared (between-group share of total variance).
+    """
+    labels = np.asarray(labels)
+    values = np.asarray(values, dtype=float)
+    groups = [
+        values[labels == cluster]
+        for cluster in sorted(set(int(x) for x in labels))
+    ]
+    groups = [g for g in groups if len(g) > 0]
+    if len(groups) < 2 or any(len(g) < 2 for g in groups):
+        return AttributeAssociation(attribute, "numeric", 0.0, 1.0, 0.0)
+    f_stat, p_value = stats.f_oneway(*groups)
+    grand = values.mean()
+    ss_between = sum(len(g) * (g.mean() - grand) ** 2 for g in groups)
+    ss_total = float(((values - grand) ** 2).sum())
+    eta_sq = ss_between / ss_total if ss_total > 0 else 0.0
+    return AttributeAssociation(
+        attribute, "numeric", float(f_stat), float(p_value), float(eta_sq)
+    )
+
+
+def discover_correlations(
+    profiles: list[PatientProfile], labels: np.ndarray
+) -> list[AttributeAssociation]:
+    """Test every patient attribute against the cluster labels.
+
+    Returns associations sorted by p-value (most significant first) —
+    the Section 5.3 correlation-discovery report.
+
+    Parameters
+    ----------
+    profiles:
+        Patient profiles aligned with ``labels``.
+    labels:
+        Cluster label per patient.
+    """
+    if len(profiles) != len(labels):
+        raise ValueError("profiles and labels must align")
+    associations = [
+        categorical_association(
+            labels, [p.attributes.tumor_site for p in profiles], "tumor_site"
+        ),
+        categorical_association(
+            labels, [p.attributes.pathology for p in profiles], "pathology"
+        ),
+        categorical_association(
+            labels, [p.attributes.sex for p in profiles], "sex"
+        ),
+        categorical_association(
+            labels, [p.attributes.tumor_type for p in profiles], "tumor_type"
+        ),
+        numeric_association(
+            labels, [p.attributes.age for p in profiles], "age"
+        ),
+    ]
+    return sorted(associations, key=lambda a: a.p_value)

@@ -1,0 +1,223 @@
+"""Cohort builders shared by the Section 7 experiment benchmarks.
+
+Builds the synthetic stand-in for the paper's dataset: a population of
+patients, several historical sessions per patient segmented into the
+database, and a held-out "live" session per patient for online replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..core.matching import SubsequenceMatcher
+from ..core.segmentation import SegmenterConfig, segment_signal
+from ..database.store import MotionDatabase
+from ..signals.patients import PatientProfile, generate_population
+from ..signals.respiratory import RawStream, RespiratorySimulator, SessionConfig
+from .replay import ReplayConfig, ReplayResult, replay_session
+
+__all__ = [
+    "CohortConfig",
+    "Cohort",
+    "build_cohort",
+    "evaluate_cohort",
+    "pooled_match_distances",
+    "calibrate_threshold",
+]
+
+
+@dataclass(frozen=True)
+class CohortConfig:
+    """Parameters of a synthetic evaluation cohort.
+
+    Attributes
+    ----------
+    n_patients:
+        Cohort size (the paper has 42; benchmarks use smaller cohorts for
+        wall-clock reasons — the shapes are insensitive to this).
+    sessions_per_patient:
+        Historical sessions segmented into the database per patient.
+    session_duration / live_duration:
+        Length (s) of historical and live sessions.
+    seed:
+        Master seed; everything derived is deterministic in it.
+    ndim:
+        Spatial dimensionality of motion.
+    segmenter:
+        Segmenter tuning used for the historical sessions.
+    """
+
+    n_patients: int = 9
+    sessions_per_patient: int = 2
+    session_duration: float = 90.0
+    live_duration: float = 60.0
+    seed: int = 0
+    ndim: int = 1
+    segmenter: SegmenterConfig = field(default_factory=SegmenterConfig)
+
+
+@dataclass
+class Cohort:
+    """A built cohort: database of history plus live sessions to replay."""
+
+    config: CohortConfig
+    db: MotionDatabase
+    profiles: list[PatientProfile]
+    live_streams: dict[str, RawStream]
+
+    @property
+    def patient_ids(self) -> tuple[str, ...]:
+        """Identifiers of the cohort's patients."""
+        return tuple(p.patient_id for p in self.profiles)
+
+    def profile(self, patient_id: str) -> PatientProfile:
+        """The profile for one patient id."""
+        for profile in self.profiles:
+            if profile.patient_id == patient_id:
+                return profile
+        raise KeyError(f"unknown patient {patient_id!r}")
+
+
+def build_cohort(config: CohortConfig | None = None) -> Cohort:
+    """Generate the population, segment history into a database, and
+    prepare one live session per patient.
+
+    Parameters
+    ----------
+    config:
+        Cohort parameters (reasonable benchmark defaults).
+    """
+    config = config or CohortConfig()
+    profiles = generate_population(config.n_patients, seed=config.seed)
+    db = MotionDatabase()
+    live_streams: dict[str, RawStream] = {}
+
+    for p_index, profile in enumerate(profiles):
+        db.add_patient(profile.patient_id, profile.attributes)
+        simulator = RespiratorySimulator(
+            profile,
+            SessionConfig(duration=config.session_duration, ndim=config.ndim),
+        )
+        for k in range(config.sessions_per_patient):
+            raw = simulator.generate_session(
+                k, seed=config.seed * 7919 + p_index * 101 + k
+            )
+            series = segment_signal(raw.times, raw.values, config.segmenter)
+            db.add_stream(
+                profile.patient_id,
+                f"S{k:02d}",
+                series=series,
+                metadata={"synthetic_seed": raw.session_id},
+            )
+        live_simulator = RespiratorySimulator(
+            profile,
+            SessionConfig(duration=config.live_duration, ndim=config.ndim),
+        )
+        live_streams[profile.patient_id] = live_simulator.generate_session(
+            99, seed=config.seed * 104729 + p_index
+        )
+
+    return Cohort(config, db, profiles, live_streams)
+
+
+def pooled_match_distances(
+    cohort: Cohort,
+    params,
+    n_queries: int = 120,
+    seed: int = 0,
+):
+    """Distances of all same-signature candidates for random sample queries.
+
+    Used to calibrate per-configuration thresholds: different weighting
+    configurations scale the distance differently, so comparing them at one
+    fixed ``delta`` confounds accuracy with coverage.  Sampling the pooled
+    candidate-distance distribution lets each configuration use the
+    threshold that accepts the same fraction of candidates.
+
+    Parameters
+    ----------
+    cohort:
+        A built cohort (historical streams only).
+    params:
+        The :class:`~repro.core.similarity.SimilarityParams` to measure.
+    n_queries:
+        Number of random historical windows used as probe queries.
+    seed:
+        Sampling seed.
+    """
+    rng = np.random.default_rng(seed)
+    db = cohort.db
+    matcher = SubsequenceMatcher(db, params)
+    stream_ids = list(db.stream_ids)
+    distances: list[float] = []
+    for _ in range(n_queries):
+        sid = stream_ids[int(rng.integers(len(stream_ids)))]
+        series = db.stream(sid).series
+        length = int(rng.integers(7, 11))
+        if len(series) < length + 1:
+            continue
+        start = int(rng.integers(0, len(series) - length))
+        query = series.subsequence(start, start + length)
+        matches = matcher.find_matches(
+            query, sid, threshold=float("inf")
+        )
+        distances.extend(m.distance for m in matches)
+    return np.asarray(distances)
+
+
+def calibrate_threshold(
+    cohort: Cohort,
+    params,
+    target_acceptance: float,
+    n_queries: int = 120,
+    seed: int = 0,
+) -> float:
+    """The threshold accepting ``target_acceptance`` of pooled candidates.
+
+    See :func:`pooled_match_distances` for rationale.
+    """
+    if not 0.0 < target_acceptance <= 1.0:
+        raise ValueError("target_acceptance must be in (0, 1]")
+    distances = pooled_match_distances(cohort, params, n_queries, seed)
+    if len(distances) == 0:
+        raise ValueError("no candidate distances sampled")
+    return float(np.quantile(distances, target_acceptance))
+
+
+def evaluate_cohort(
+    cohort: Cohort,
+    replay_config: ReplayConfig | None = None,
+    patient_ids: tuple[str, ...] | None = None,
+    restrict_map: dict[str, tuple[str, ...]] | None = None,
+) -> ReplayResult:
+    """Replay the live sessions of (a subset of) the cohort and pool results.
+
+    Parameters
+    ----------
+    cohort:
+        A built cohort.
+    replay_config:
+        Shared replay parameters.
+    patient_ids:
+        Replay only these patients' live sessions (defaults to all).
+    restrict_map:
+        Per-patient retrieval restriction (patient id -> allowed patient
+        ids), the Figure 8a clustering mode; overrides the replay config's
+        ``restrict_patients`` per patient.
+    """
+    replay_config = replay_config or ReplayConfig()
+    ids = patient_ids if patient_ids is not None else cohort.patient_ids
+    results = []
+    for patient_id in ids:
+        config = replay_config
+        if restrict_map is not None:
+            config = replace(
+                replay_config,
+                restrict_patients=restrict_map.get(patient_id),
+            )
+        results.append(
+            replay_session(cohort.db, cohort.live_streams[patient_id], config)
+        )
+    return ReplayResult.merge(results)

@@ -1,0 +1,70 @@
+"""Prediction-quality metrics and summary statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["ErrorSummary", "summarize_errors", "mean_absolute_error", "rmse"]
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Summary statistics of a sample of absolute errors (mm)."""
+
+    n: int
+    mean: float
+    std: float
+    median: float
+    p95: float
+
+    @classmethod
+    def empty(cls) -> "ErrorSummary":
+        """The summary of an empty sample (all statistics are NaN)."""
+        return cls(0, float("nan"), float("nan"), float("nan"), float("nan"))
+
+
+def summarize_errors(errors: Sequence[float]) -> ErrorSummary:
+    """Summary statistics of a sample of errors.
+
+    Parameters
+    ----------
+    errors:
+        Absolute prediction errors; an empty sample yields NaN statistics.
+    """
+    if len(errors) == 0:
+        return ErrorSummary.empty()
+    arr = np.asarray(errors, dtype=float)
+    return ErrorSummary(
+        n=len(arr),
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+        median=float(np.median(arr)),
+        p95=float(np.percentile(arr, 95)),
+    )
+
+
+def mean_absolute_error(
+    predicted: Sequence[float], actual: Sequence[float]
+) -> float:
+    """Mean absolute difference between predictions and references."""
+    predicted = np.asarray(predicted, dtype=float)
+    actual = np.asarray(actual, dtype=float)
+    if predicted.shape != actual.shape:
+        raise ValueError("predicted and actual must align")
+    if predicted.size == 0:
+        return float("nan")
+    return float(np.mean(np.abs(predicted - actual)))
+
+
+def rmse(predicted: Sequence[float], actual: Sequence[float]) -> float:
+    """Root-mean-square difference between predictions and references."""
+    predicted = np.asarray(predicted, dtype=float)
+    actual = np.asarray(actual, dtype=float)
+    if predicted.shape != actual.shape:
+        raise ValueError("predicted and actual must align")
+    if predicted.size == 0:
+        return float("nan")
+    return float(np.sqrt(np.mean((predicted - actual) ** 2)))

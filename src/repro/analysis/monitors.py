@@ -1,0 +1,217 @@
+"""Continuous queries over a live PLR stream (clinical monitoring).
+
+The paper's related work notes that most stream research "focuses on
+basic statistics and on how to define and evaluate continuous queries".
+This module supplies exactly that layer on top of the motion model — the
+quantities a treatment console watches during a session:
+
+* :class:`BreathingRateMonitor` — breaths per minute over a sliding
+  window of cycles,
+* :class:`AmplitudeMonitor` — mean cycle amplitude over the window,
+* :class:`IrregularityMonitor` — fraction of irregular segments,
+* :class:`ThresholdAlarm` — wraps any monitor and fires when its value
+  leaves a configured band (with hysteresis, so it does not chatter).
+
+Monitors consume committed vertices (push them via ``update``) and are
+O(1) amortised per vertex.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..core.model import BreathingState, Vertex
+
+__all__ = [
+    "BreathingRateMonitor",
+    "AmplitudeMonitor",
+    "IrregularityMonitor",
+    "ThresholdAlarm",
+    "AlarmEvent",
+]
+
+
+class _VertexWindow:
+    """Keeps the vertices of the trailing ``window_seconds``."""
+
+    def __init__(self, window_seconds: float) -> None:
+        if window_seconds <= 0:
+            raise ValueError("window must be positive")
+        self.window_seconds = window_seconds
+        self.vertices: deque[Vertex] = deque()
+
+    def push(self, vertex: Vertex) -> None:
+        self.vertices.append(vertex)
+        horizon = vertex.time - self.window_seconds
+        while self.vertices and self.vertices[0].time < horizon:
+            self.vertices.popleft()
+
+    @property
+    def span(self) -> float:
+        if len(self.vertices) < 2:
+            return 0.0
+        return self.vertices[-1].time - self.vertices[0].time
+
+
+class BreathingRateMonitor:
+    """Breaths per minute over the trailing window.
+
+    A breath is counted per inhale-segment start (an ``IN`` vertex).
+    Returns ``None`` until the window holds at least two breaths.
+    """
+
+    def __init__(
+        self,
+        window_seconds: float = 30.0,
+        anchor: BreathingState = BreathingState.IN,
+    ) -> None:
+        self._window = _VertexWindow(window_seconds)
+        self.anchor = anchor
+
+    def update(self, vertex: Vertex) -> float | None:
+        """Push a committed vertex; return the current rate (or ``None``)."""
+        self._window.push(vertex)
+        anchors = [
+            v.time for v in self._window.vertices if v.state is self.anchor
+        ]
+        if len(anchors) < 2:
+            return None
+        period = (anchors[-1] - anchors[0]) / (len(anchors) - 1)
+        return 60.0 / period
+
+    @property
+    def value(self) -> float | None:
+        """The current rate without pushing a new vertex."""
+        anchors = [
+            v.time for v in self._window.vertices if v.state is self.anchor
+        ]
+        if len(anchors) < 2:
+            return None
+        return 60.0 * (len(anchors) - 1) / (anchors[-1] - anchors[0])
+
+
+class AmplitudeMonitor:
+    """Mean segment amplitude of the moving states over the window."""
+
+    def __init__(self, window_seconds: float = 30.0) -> None:
+        self._window = _VertexWindow(window_seconds)
+
+    def update(self, vertex: Vertex) -> float | None:
+        """Push a committed vertex; return the mean moving amplitude."""
+        self._window.push(vertex)
+        return self.value
+
+    @property
+    def value(self) -> float | None:
+        """Mean amplitude of IN/EX segments in the window (``None`` if
+        fewer than two)."""
+        vertices = list(self._window.vertices)
+        amplitudes = []
+        for a, b in zip(vertices, vertices[1:]):
+            if a.state in (BreathingState.IN, BreathingState.EX):
+                pa, pb = a.position_array(), b.position_array()
+                amplitudes.append(float(((pb - pa) ** 2).sum() ** 0.5))
+        if len(amplitudes) < 2:
+            return None
+        return sum(amplitudes) / len(amplitudes)
+
+
+class IrregularityMonitor:
+    """Fraction of window segments in the irregular state."""
+
+    def __init__(self, window_seconds: float = 60.0) -> None:
+        self._window = _VertexWindow(window_seconds)
+
+    def update(self, vertex: Vertex) -> float | None:
+        """Push a committed vertex; return the irregular fraction."""
+        self._window.push(vertex)
+        return self.value
+
+    @property
+    def value(self) -> float | None:
+        """Irregular-segment share (``None`` until two segments exist)."""
+        vertices = list(self._window.vertices)
+        if len(vertices) < 3:
+            return None
+        states = [v.state for v in vertices[:-1]]
+        return states.count(BreathingState.IRR) / len(states)
+
+
+@dataclass(frozen=True)
+class AlarmEvent:
+    """One alarm transition."""
+
+    time: float
+    active: bool
+    value: float
+
+
+class ThresholdAlarm:
+    """Band alarm over any monitor value, with hysteresis.
+
+    Fires (``active=True``) when the monitored value leaves
+    ``[low, high]``; clears only once the value returns inside the band
+    by at least ``hysteresis`` — so a value hovering at the boundary does
+    not chatter.
+
+    Parameters
+    ----------
+    monitor:
+        Any object with an ``update(vertex) -> float | None`` method.
+    low / high:
+        The acceptable band (either may be ``None`` for one-sided).
+    hysteresis:
+        Re-entry margin.
+    """
+
+    def __init__(
+        self,
+        monitor,
+        low: float | None = None,
+        high: float | None = None,
+        hysteresis: float = 0.0,
+    ) -> None:
+        if low is None and high is None:
+            raise ValueError("at least one bound is required")
+        if low is not None and high is not None and low >= high:
+            raise ValueError("low must be below high")
+        if hysteresis < 0:
+            raise ValueError("hysteresis must be non-negative")
+        self.monitor = monitor
+        self.low = low
+        self.high = high
+        self.hysteresis = hysteresis
+        self.active = False
+        self.events: list[AlarmEvent] = []
+
+    def _outside(self, value: float) -> bool:
+        if self.low is not None and value < self.low:
+            return True
+        if self.high is not None and value > self.high:
+            return True
+        return False
+
+    def _well_inside(self, value: float) -> bool:
+        if self.low is not None and value < self.low + self.hysteresis:
+            return False
+        if self.high is not None and value > self.high - self.hysteresis:
+            return False
+        return True
+
+    def update(self, vertex: Vertex) -> AlarmEvent | None:
+        """Push a vertex; return an event when the alarm state flips."""
+        value = self.monitor.update(vertex)
+        if value is None:
+            return None
+        if not self.active and self._outside(value):
+            self.active = True
+            event = AlarmEvent(vertex.time, True, value)
+            self.events.append(event)
+            return event
+        if self.active and self._well_inside(value):
+            self.active = False
+            event = AlarmEvent(vertex.time, False, value)
+            self.events.append(event)
+            return event
+        return None

@@ -1,0 +1,146 @@
+"""Within-patient progression analysis (Section 5.3, application 2).
+
+"Stream similarity among different treatment sessions of the same patient
+can be used to correlate a patient's physiological changes with moving
+pattern changes."  Given a patient's chronologically ordered session
+streams, this module computes the Definition 3 distance between
+consecutive sessions (and against a baseline window of early sessions)
+and flags the session where the breathing pattern shifts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.similarity import SourceRelation
+from ..core.stream_distance import StreamDistanceConfig, stream_distance
+from ..database.store import MotionDatabase
+
+__all__ = ["ProgressionReport", "session_progression", "detect_change"]
+
+
+@dataclass(frozen=True)
+class ProgressionReport:
+    """Pattern-change profile of one patient's session history.
+
+    Attributes
+    ----------
+    patient_id:
+        The analysed patient.
+    session_ids:
+        Sessions in the order analysed.
+    consecutive:
+        Definition 3 distance between each session and its predecessor
+        (length ``n_sessions - 1``).
+    from_baseline:
+        Distance of every session to the pooled early-baseline sessions
+        (length ``n_sessions``); NaN for the baseline sessions themselves.
+    """
+
+    patient_id: str
+    session_ids: tuple[str, ...]
+    consecutive: tuple[float, ...]
+    from_baseline: tuple[float, ...]
+
+    @property
+    def n_sessions(self) -> int:
+        """Number of analysed sessions."""
+        return len(self.session_ids)
+
+
+def session_progression(
+    db: MotionDatabase,
+    patient_id: str,
+    baseline_sessions: int = 2,
+    config: StreamDistanceConfig | None = None,
+) -> ProgressionReport:
+    """Distance profile of a patient's sessions over time.
+
+    Parameters
+    ----------
+    db:
+        The store holding the patient's streams (insertion order is
+        treated as chronological order).
+    patient_id:
+        The patient to analyse.
+    baseline_sessions:
+        How many early sessions form the reference window.
+    config:
+        Definition 3 parameters; source weighting defaults to off so the
+        profile reflects pure pattern change.
+    """
+    config = config or StreamDistanceConfig(use_source_weight=False)
+    stream_ids = db.patient(patient_id).stream_ids
+    if len(stream_ids) < 2:
+        raise ValueError("progression needs at least two sessions")
+    if not 1 <= baseline_sessions < len(stream_ids):
+        raise ValueError("baseline_sessions out of range")
+
+    series = [db.stream(sid).series for sid in stream_ids]
+    consecutive = tuple(
+        stream_distance(
+            series[i],
+            series[i + 1],
+            relation=SourceRelation.SAME_PATIENT,
+            config=config,
+        )
+        for i in range(len(series) - 1)
+    )
+
+    baseline = series[:baseline_sessions]
+    from_baseline = []
+    for i, current in enumerate(series):
+        if i < baseline_sessions:
+            from_baseline.append(float("nan"))
+            continue
+        distances = [
+            stream_distance(
+                current,
+                reference,
+                relation=SourceRelation.SAME_PATIENT,
+                config=config,
+            )
+            for reference in baseline
+        ]
+        finite = [d for d in distances if math.isfinite(d)]
+        from_baseline.append(
+            float(np.mean(finite)) if finite else float("inf")
+        )
+    return ProgressionReport(
+        patient_id=patient_id,
+        session_ids=stream_ids,
+        consecutive=consecutive,
+        from_baseline=tuple(from_baseline),
+    )
+
+
+def detect_change(
+    report: ProgressionReport, factor: float = 2.0
+) -> int | None:
+    """Index of the first session whose baseline distance jumps.
+
+    A session is flagged when its distance from the baseline window
+    exceeds ``factor`` times the median of the finite distances before it
+    (needs at least one earlier finite value).  An *infinite* distance —
+    the session no longer shares state patterns with the baseline at all —
+    is always a change.  Returns ``None`` when no session qualifies.
+    """
+    if factor <= 1.0:
+        raise ValueError("factor must exceed 1")
+    history: list[float] = []
+    for i, distance in enumerate(report.from_baseline):
+        if math.isnan(distance):
+            continue
+        if math.isinf(distance):
+            if history:
+                return i
+            continue
+        if history:
+            reference = float(np.median(history))
+            if reference > 0 and distance > factor * reference:
+                return i
+        history.append(distance)
+    return None

@@ -1,0 +1,123 @@
+"""Plain-text rendering of experiment tables and series.
+
+The benchmark harness prints every reproduced table/figure as fixed-width
+text, mirroring the rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_series", "banner", "sparkline"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def _format_cell(value, floatfmt: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    floatfmt: str = ".3f",
+    title: str | None = None,
+) -> str:
+    """Render rows as a fixed-width text table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Row tuples; floats are formatted with ``floatfmt``.
+    floatfmt:
+        Format spec applied to float cells.
+    title:
+        Optional heading printed above the table.
+    """
+    cells = [[_format_cell(v, floatfmt) for v in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in cells))
+        if cells
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        str(h).ljust(widths[i]) for i, h in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(
+            "  ".join(row[i].ljust(widths[i]) for i in range(len(headers)))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    xs: Sequence,
+    ys: Sequence,
+    x_label: str = "x",
+    y_label: str = "y",
+    floatfmt: str = ".3f",
+) -> str:
+    """Render an (x, y) series as a two-column table (one figure curve)."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must align")
+    return format_table(
+        [x_label, y_label],
+        list(zip(xs, ys)),
+        floatfmt=floatfmt,
+        title=name,
+    )
+
+
+def banner(text: str) -> str:
+    """A section banner for experiment output."""
+    rule = "=" * max(len(text), 8)
+    return f"\n{rule}\n{text}\n{rule}"
+
+
+def sparkline(values: Sequence[float], width: int | None = None) -> str:
+    """A unicode sparkline of a numeric series (for terminal reports).
+
+    Parameters
+    ----------
+    values:
+        The series; non-finite entries render as spaces.
+    width:
+        Optional down-sampling width (default: one glyph per value).
+    """
+    data = [float(v) for v in values]
+    if not data:
+        return ""
+    if width is not None and width > 0 and len(data) > width:
+        # Average into `width` buckets.
+        edges = [round(i * len(data) / width) for i in range(width + 1)]
+        buckets = []
+        for lo, hi in zip(edges, edges[1:]):
+            chunk = [v for v in data[lo:max(hi, lo + 1)] if v == v]
+            buckets.append(sum(chunk) / len(chunk) if chunk else float("nan"))
+        data = buckets
+    finite = [v for v in data if v == v and abs(v) != float("inf")]
+    if not finite:
+        return " " * len(data)
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    glyphs = []
+    for v in data:
+        if v != v or abs(v) == float("inf"):
+            glyphs.append(" ")
+            continue
+        level = 0 if span == 0 else int((v - lo) / span * (len(_SPARK_LEVELS) - 1))
+        glyphs.append(_SPARK_LEVELS[level])
+    return "".join(glyphs)

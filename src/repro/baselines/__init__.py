@@ -1,0 +1,36 @@
+"""Comparison baselines: classic distances and no-model predictors."""
+
+from .dtw import dtw_distance, dtw_path
+from .euclidean import (
+    EuclideanConfig,
+    euclidean_distance,
+    euclidean_subsequence_distance,
+    resample,
+)
+from .lcss import lcss_distance, lcss_length, lcss_similarity
+from .predictors import (
+    BaselinePredictor,
+    LastValuePredictor,
+    LinearExtrapolationPredictor,
+    SinusoidalPredictor,
+)
+from .spectral import SpectralConfig, SpectralMatcher, SpectralWindow
+
+__all__ = [
+    "dtw_distance",
+    "dtw_path",
+    "EuclideanConfig",
+    "euclidean_distance",
+    "euclidean_subsequence_distance",
+    "resample",
+    "lcss_distance",
+    "lcss_length",
+    "lcss_similarity",
+    "BaselinePredictor",
+    "LastValuePredictor",
+    "LinearExtrapolationPredictor",
+    "SinusoidalPredictor",
+    "SpectralConfig",
+    "SpectralMatcher",
+    "SpectralWindow",
+]

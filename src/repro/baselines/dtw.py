@@ -1,0 +1,76 @@
+"""Dynamic time warping distance (related-work baseline).
+
+The paper cites DTW [22, 27] as the classic elastic distance but rejects
+it for online prediction: no weighting, computationally expensive, no
+meaningful description of the data (Section 7.2).  The efficiency
+benchmark quantifies the cost gap, so a from-scratch implementation with
+the standard Sakoe-Chiba band lives here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["dtw_distance", "dtw_path"]
+
+
+def _cost_matrix(
+    a: np.ndarray, b: np.ndarray, window: int | None
+) -> np.ndarray:
+    a = np.atleast_2d(np.asarray(a, dtype=float).T).T
+    b = np.atleast_2d(np.asarray(b, dtype=float).T).T
+    n, m = len(a), len(b)
+    if n == 0 or m == 0:
+        raise ValueError("sequences must be non-empty")
+    if window is None:
+        window = max(n, m)
+    window = max(window, abs(n - m))
+
+    acc = np.full((n + 1, m + 1), np.inf)
+    acc[0, 0] = 0.0
+    for i in range(1, n + 1):
+        lo = max(1, i - window)
+        hi = min(m, i + window)
+        for j in range(lo, hi + 1):
+            cost = np.linalg.norm(a[i - 1] - b[j - 1])
+            acc[i, j] = cost + min(
+                acc[i - 1, j], acc[i, j - 1], acc[i - 1, j - 1]
+            )
+    return acc
+
+
+def dtw_distance(
+    a: np.ndarray, b: np.ndarray, window: int | None = None
+) -> float:
+    """DTW distance between two sequences.
+
+    Parameters
+    ----------
+    a, b:
+        Sequences of scalars or of ``ndim`` vectors.
+    window:
+        Sakoe-Chiba band half-width in samples (``None`` = unconstrained).
+    """
+    acc = _cost_matrix(a, b, window)
+    return float(acc[-1, -1])
+
+
+def dtw_path(
+    a: np.ndarray, b: np.ndarray, window: int | None = None
+) -> list[tuple[int, int]]:
+    """The optimal warping path as ``(i, j)`` index pairs."""
+    acc = _cost_matrix(a, b, window)
+    i, j = acc.shape[0] - 1, acc.shape[1] - 1
+    path = [(i - 1, j - 1)]
+    while i > 1 or j > 1:
+        candidates = []
+        if i > 1 and j > 1:
+            candidates.append((acc[i - 1, j - 1], i - 1, j - 1))
+        if i > 1:
+            candidates.append((acc[i - 1, j], i - 1, j))
+        if j > 1:
+            candidates.append((acc[i, j - 1], i, j - 1))
+        _, i, j = min(candidates, key=lambda c: c[0])
+        path.append((i - 1, j - 1))
+    path.reverse()
+    return path

@@ -1,0 +1,116 @@
+"""Euclidean subsequence distance baselines.
+
+Section 7.2 compares the paper's weighted distance against "the
+corresponding weighted Euclidean distance".  These baselines operate on
+the PLR polyline resampled at a fixed number of equally spaced points —
+the classic representation-agnostic distance the time-series literature
+uses — with an optional recency-weight ramp mirroring the paper's ``w_i``.
+
+As the paper notes, Euclidean distances are sensitive to offset
+translation and amplitude scaling; ``offset_invariant=True`` subtracts
+each window's mean first, isolating that effect for the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.model import Subsequence
+
+__all__ = [
+    "resample",
+    "euclidean_distance",
+    "EuclideanConfig",
+    "euclidean_subsequence_distance",
+]
+
+
+def resample(subsequence: Subsequence, n_points: int) -> np.ndarray:
+    """Sample the window's polyline at ``n_points`` equally spaced times.
+
+    Returns an ``(n_points, ndim)`` array.
+    """
+    if n_points < 2:
+        raise ValueError("n_points must be at least 2")
+    times = subsequence.times
+    grid = np.linspace(times[0], times[-1], n_points)
+    values = np.empty((n_points, subsequence.positions.shape[1]))
+    for i, t in enumerate(grid):
+        values[i] = subsequence.series.position_at(float(t))
+    return values
+
+
+def euclidean_distance(
+    a: np.ndarray, b: np.ndarray, weights: np.ndarray | None = None
+) -> float:
+    """(Weighted) Euclidean distance between two equally sampled windows.
+
+    Parameters
+    ----------
+    a, b:
+        Arrays of shape ``(n_points, ndim)``.
+    weights:
+        Optional per-point weights (e.g. a recency ramp).
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape:
+        raise ValueError("windows must have equal shape")
+    sq = np.sum((a - b) ** 2, axis=-1)
+    if weights is not None:
+        weights = np.asarray(weights, dtype=float)
+        if len(weights) != len(sq):
+            raise ValueError("weights must align with points")
+        sq = sq * weights
+    return float(np.sqrt(sq.sum()))
+
+
+@dataclass(frozen=True)
+class EuclideanConfig:
+    """Parameters of the Euclidean subsequence baseline.
+
+    Attributes
+    ----------
+    n_points:
+        Resampling resolution.
+    recency_base:
+        When set, points are weighted by a linear ramp from this value
+        (oldest) to 1.0 (newest) — the Euclidean analogue of ``w_i``.
+    offset_invariant:
+        Subtract each window's mean before comparing (removes the offset
+        sensitivity the paper criticises).
+    """
+
+    n_points: int = 32
+    recency_base: float | None = None
+    offset_invariant: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_points < 2:
+            raise ValueError("n_points must be at least 2")
+        if self.recency_base is not None and not 0 < self.recency_base <= 1:
+            raise ValueError("recency_base must be in (0, 1]")
+
+
+def euclidean_subsequence_distance(
+    query: Subsequence,
+    candidate: Subsequence,
+    config: EuclideanConfig | None = None,
+) -> float:
+    """Euclidean distance between two subsequences via resampling.
+
+    Unlike Definition 2 this does not require equal state signatures — the
+    baseline has no notion of the motion model.
+    """
+    config = config or EuclideanConfig()
+    a = resample(query, config.n_points)
+    b = resample(candidate, config.n_points)
+    if config.offset_invariant:
+        a = a - a.mean(axis=0, keepdims=True)
+        b = b - b.mean(axis=0, keepdims=True)
+    weights = None
+    if config.recency_base is not None:
+        weights = np.linspace(config.recency_base, 1.0, config.n_points)
+    return euclidean_distance(a, b, weights)

@@ -1,0 +1,72 @@
+"""Longest common subsequence similarity (related-work baseline).
+
+The paper cites LCSS [5] as an elastic alternative to Euclidean distance
+but notes it "is proposed for string matching... not applicable for tumor
+motion analysis because tumor position is continuous" (Section 7.2).  The
+continuous variant here matches points within an ``epsilon`` amplitude
+band and an optional ``delta`` time-index band — the standard
+Vlachos-style extension — so the claim can be examined quantitatively.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["lcss_length", "lcss_similarity", "lcss_distance"]
+
+
+def lcss_length(
+    a: np.ndarray,
+    b: np.ndarray,
+    epsilon: float,
+    delta: int | None = None,
+) -> int:
+    """Length of the longest common subsequence under ε/δ matching.
+
+    Parameters
+    ----------
+    a, b:
+        Scalar sequences.
+    epsilon:
+        Amplitude tolerance: points match when ``|a_i - b_j| <= epsilon``.
+    delta:
+        Optional index-offset tolerance (``|i - j| <= delta``).
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if epsilon < 0:
+        raise ValueError("epsilon must be non-negative")
+    n, m = len(a), len(b)
+    table = np.zeros((n + 1, m + 1), dtype=int)
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            if delta is not None and abs(i - j) > delta:
+                table[i, j] = max(table[i - 1, j], table[i, j - 1])
+            elif abs(a[i - 1] - b[j - 1]) <= epsilon:
+                table[i, j] = table[i - 1, j - 1] + 1
+            else:
+                table[i, j] = max(table[i - 1, j], table[i, j - 1])
+    return int(table[n, m])
+
+
+def lcss_similarity(
+    a: np.ndarray,
+    b: np.ndarray,
+    epsilon: float,
+    delta: int | None = None,
+) -> float:
+    """LCSS length normalised by the shorter sequence (in [0, 1])."""
+    n = min(len(a), len(b))
+    if n == 0:
+        raise ValueError("sequences must be non-empty")
+    return lcss_length(a, b, epsilon, delta) / n
+
+
+def lcss_distance(
+    a: np.ndarray,
+    b: np.ndarray,
+    epsilon: float,
+    delta: int | None = None,
+) -> float:
+    """``1 - similarity`` (0 = identical under ε-matching)."""
+    return 1.0 - lcss_similarity(a, b, epsilon, delta)

@@ -1,0 +1,136 @@
+"""Baseline online predictors (the methods evaluated in the paper's ref [24]).
+
+Each predictor consumes the live PLR series (the same information the
+subsequence-matching predictor sees) and produces a position ``horizon``
+seconds ahead.  They anchor the no-model end of the comparison:
+
+* :class:`LastValuePredictor` — "treat at the last observed position",
+  exactly the latency problem Figure 1 illustrates.
+* :class:`LinearExtrapolationPredictor` — continue the current segment's
+  velocity.
+* :class:`SinusoidalPredictor` — fit a sinusoid at the recent breathing
+  frequency and extrapolate (the classical parametric model of
+  respiratory motion).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from ..core.model import BreathingState, PLRSeries
+
+__all__ = [
+    "BaselinePredictor",
+    "LastValuePredictor",
+    "LinearExtrapolationPredictor",
+    "SinusoidalPredictor",
+]
+
+
+class BaselinePredictor(Protocol):
+    """Anything that maps (live PLR, horizon) to a predicted position."""
+
+    def predict(
+        self, series: PLRSeries, horizon: float
+    ) -> np.ndarray | None:  # pragma: no cover - protocol
+        """Position ``horizon`` seconds after the series' last vertex, or
+        ``None`` when the predictor cannot produce one yet."""
+        ...
+
+
+class LastValuePredictor:
+    """Predicts the last observed position (zero-order hold)."""
+
+    def predict(self, series: PLRSeries, horizon: float) -> np.ndarray | None:
+        """The most recent vertex position, regardless of ``horizon``."""
+        if len(series) == 0:
+            return None
+        return series.positions[-1].copy()
+
+
+class LinearExtrapolationPredictor:
+    """Continues the most recent segment's velocity.
+
+    Parameters
+    ----------
+    max_step:
+        Extrapolation cap in mm, guarding against spikes in the last
+        segment's slope.
+    """
+
+    def __init__(self, max_step: float = 10.0) -> None:
+        self.max_step = max_step
+
+    def predict(self, series: PLRSeries, horizon: float) -> np.ndarray | None:
+        """Last position plus the final segment's velocity times ``horizon``."""
+        if series.n_segments < 1:
+            return None
+        segment = series.segment(series.n_segments - 1)
+        if segment.duration <= 0:
+            return None
+        step = segment.slope * horizon
+        norm = float(np.linalg.norm(step))
+        if norm > self.max_step:
+            step = step * (self.max_step / norm)
+        return series.positions[-1] + step
+
+
+class SinusoidalPredictor:
+    """Least-squares sinusoid fit over a recent window, extrapolated.
+
+    The breathing period is estimated from the spacing of recent
+    same-state vertices; the fit solves ``x(t) ~ a sin(wt) + b cos(wt) + c``
+    on the PLR vertex positions of the window.
+
+    Parameters
+    ----------
+    window_seconds:
+        Length of the fitting window.
+    anchor_state:
+        Vertex state whose recurrence estimates the period.
+    """
+
+    def __init__(
+        self,
+        window_seconds: float = 15.0,
+        anchor_state: BreathingState = BreathingState.IN,
+    ) -> None:
+        self.window_seconds = window_seconds
+        self.anchor_state = anchor_state
+
+    def _estimate_period(self, series: PLRSeries) -> float | None:
+        states = series.states
+        times = series.times
+        recent = times[-1] - self.window_seconds
+        anchors = times[
+            (states == int(self.anchor_state)) & (times >= recent)
+        ]
+        if len(anchors) < 2:
+            return None
+        period = float(np.median(np.diff(anchors)))
+        return period if period > 0.5 else None
+
+    def predict(self, series: PLRSeries, horizon: float) -> np.ndarray | None:
+        """Extrapolate the fitted sinusoid ``horizon`` past the last vertex."""
+        if len(series) < 6:
+            return None
+        period = self._estimate_period(series)
+        if period is None:
+            return None
+        times = series.times
+        mask = times >= times[-1] - self.window_seconds
+        t = times[mask] - times[-1]
+        x = series.positions[mask]
+        if len(t) < 4:
+            return None
+        omega = 2.0 * np.pi / period
+        design = np.column_stack(
+            [np.sin(omega * t), np.cos(omega * t), np.ones_like(t)]
+        )
+        coef, *_ = np.linalg.lstsq(design, x, rcond=None)
+        future = np.array([
+            np.sin(omega * horizon), np.cos(omega * horizon), 1.0
+        ])
+        return future @ coef

@@ -1,0 +1,176 @@
+"""Command-line interface.
+
+Small operational commands over the library::
+
+    python -m repro simulate --patients 3 --sessions 2 --out cohort.json
+    python -m repro inspect cohort.json
+    python -m repro replay cohort.json --patient P000 --horizon 0.2
+    python -m repro cluster cohort.json -k 3
+
+``simulate`` builds a synthetic cohort database snapshot; ``inspect``
+summarises one; ``replay`` runs the online prediction pipeline for one
+patient's fresh session against it; ``cluster`` runs the offline
+Definition 3/4 + k-medoids analysis.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Subsequence matching on structured time series data "
+        "(SIGMOD 2005 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sim = sub.add_parser(
+        "simulate", help="generate a synthetic cohort database snapshot"
+    )
+    p_sim.add_argument("--patients", type=int, default=3)
+    p_sim.add_argument("--sessions", type=int, default=2)
+    p_sim.add_argument("--duration", type=float, default=90.0,
+                       help="session length in seconds")
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument("--out", required=True, help="snapshot path (.json)")
+
+    p_ins = sub.add_parser("inspect", help="summarise a database snapshot")
+    p_ins.add_argument("snapshot")
+
+    p_rep = sub.add_parser(
+        "replay", help="replay a fresh live session against a snapshot"
+    )
+    p_rep.add_argument("snapshot")
+    p_rep.add_argument("--patient", required=True)
+    p_rep.add_argument("--duration", type=float, default=45.0)
+    p_rep.add_argument("--horizon", type=float, default=0.2)
+    p_rep.add_argument("--seed", type=int, default=99)
+
+    p_clu = sub.add_parser(
+        "cluster", help="offline stream/patient clustering of a snapshot"
+    )
+    p_clu.add_argument("snapshot")
+    p_clu.add_argument("-k", type=int, default=3)
+    return parser
+
+
+def _cmd_simulate(args) -> int:
+    from .core.segmentation import segment_signal
+    from .database.store import MotionDatabase
+    from .signals.patients import generate_population
+    from .signals.respiratory import RespiratorySimulator, SessionConfig
+
+    profiles = generate_population(args.patients, seed=args.seed)
+    db = MotionDatabase()
+    for p_index, profile in enumerate(profiles):
+        db.add_patient(profile.patient_id, profile.attributes)
+        simulator = RespiratorySimulator(
+            profile, SessionConfig(duration=args.duration)
+        )
+        for k in range(args.sessions):
+            raw = simulator.generate_session(
+                k, seed=args.seed * 7919 + p_index * 101 + k
+            )
+            db.add_stream(
+                profile.patient_id,
+                f"S{k:02d}",
+                series=segment_signal(raw.times, raw.values),
+            )
+    db.save(args.out)
+    print(f"wrote {db.n_patients} patients / {db.n_streams} streams / "
+          f"{db.n_vertices} vertices to {args.out}")
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    from .database.store import MotionDatabase
+
+    db = MotionDatabase.load(args.snapshot)
+    print(db)
+    for patient in db.iter_patients():
+        attrs = patient.attributes
+        extra = (
+            f"  [{attrs.tumor_site}/{attrs.pathology}, age {attrs.age}]"
+            if attrs
+            else ""
+        )
+        print(f"  {patient.patient_id}: {patient.n_streams} streams{extra}")
+        for stream in patient.streams.values():
+            series = stream.series
+            print(
+                f"    {stream.stream_id}: {len(series)} vertices, "
+                f"{series.duration:.0f}s"
+            )
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    from .analysis.replay import ReplayConfig, replay_session
+    from .database.store import MotionDatabase
+    from .signals.patients import generate_population
+    from .signals.respiratory import RespiratorySimulator, SessionConfig
+
+    db = MotionDatabase.load(args.snapshot)
+    if args.patient not in db.patient_ids:
+        print(f"error: unknown patient {args.patient!r}", file=sys.stderr)
+        return 2
+    record = db.patient(args.patient)
+    if record.attributes is None:
+        print("error: snapshot has no attributes for this patient",
+              file=sys.stderr)
+        return 2
+    from .signals.patients import PatientProfile, traits_from_attributes
+
+    rng = np.random.default_rng(args.seed)
+    profile = PatientProfile(
+        record.attributes, traits_from_attributes(record.attributes, rng)
+    )
+    raw = RespiratorySimulator(
+        profile, SessionConfig(duration=args.duration)
+    ).generate_session(0, seed=args.seed)
+    result = replay_session(
+        db, raw, ReplayConfig(horizons=(args.horizon,))
+    )
+    summary = result.summary(args.horizon)
+    print(
+        f"patient {args.patient}: {summary.n} predictions at "
+        f"{args.horizon * 1000:.0f} ms, mean error {summary.mean:.3f} mm "
+        f"(p95 {summary.p95:.3f}), coverage {result.coverage:.2f}"
+    )
+    return 0
+
+
+def _cmd_cluster(args) -> int:
+    from .core.clustering import cluster_members, kmedoids
+    from .core.patient_distance import impute_infinite, patient_distance_matrix
+    from .database.store import MotionDatabase
+
+    db = MotionDatabase.load(args.snapshot)
+    ids, matrix = patient_distance_matrix(db)
+    matrix = impute_infinite(matrix)
+    result = kmedoids(matrix, k=min(args.k, len(ids)), seed=0)
+    for label, members in cluster_members(result.labels, ids).items():
+        print(f"cluster {label}: {', '.join(members)}")
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "inspect": _cmd_inspect,
+    "replay": _cmd_replay,
+    "cluster": _cmd_cluster,
+}
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)

@@ -1,0 +1,87 @@
+"""The paper's primary contribution: structured subsequence matching.
+
+Modules
+-------
+model
+    PLR value types: states, vertices, segments, series, subsequences.
+fsm
+    The finite state automaton of the motion model.
+segmentation
+    Online raw-signal -> PLR segmentation with state classification.
+stability
+    Definition 1: subsequence stability.
+query
+    Dynamic query subsequence generation (stability checking strip).
+similarity
+    Definition 2: the weighted, parametric subsequence distance.
+matching
+    Candidate retrieval and ranking against the stream database.
+prediction
+    Online position / next-segment prediction from matches.
+stream_distance, patient_distance
+    Definitions 3 and 4: offline whole-stream and patient distances.
+clustering
+    K-medoids and agglomerative clustering on distance matrices.
+framework
+    The Section 6 generalised 4-step framework.
+filters
+    Composable online pre-filters (cardiac notch, median despike).
+online
+    Continuous per-frame prediction for one live session.
+tuning
+    Coordinate-descent parameter tuning (the Section 7.1 procedure).
+"""
+
+from .filters import (
+    FilterChain,
+    MedianDespike,
+    MovingAverage,
+    NotchFilter,
+)
+from .fsm import FiniteStateAutomaton, respiratory_fsa
+from .online import OnlineAnalysisSession, OnlineSessionConfig
+from .model import (
+    BreathingState,
+    PLRSeries,
+    Segment,
+    Subsequence,
+    Vertex,
+)
+from .query import QueryConfig, fixed_query, generate_query
+from .segmentation import OnlineSegmenter, SegmenterConfig, segment_signal
+from .similarity import (
+    SimilarityParams,
+    SourceRelation,
+    subsequence_distance,
+    vertex_weights,
+)
+from .stability import StabilityConfig, is_stable, subsequence_stability
+
+__all__ = [
+    "BreathingState",
+    "Vertex",
+    "Segment",
+    "PLRSeries",
+    "Subsequence",
+    "FiniteStateAutomaton",
+    "respiratory_fsa",
+    "OnlineSegmenter",
+    "SegmenterConfig",
+    "segment_signal",
+    "StabilityConfig",
+    "subsequence_stability",
+    "is_stable",
+    "QueryConfig",
+    "generate_query",
+    "fixed_query",
+    "SimilarityParams",
+    "SourceRelation",
+    "subsequence_distance",
+    "vertex_weights",
+    "MedianDespike",
+    "NotchFilter",
+    "MovingAverage",
+    "FilterChain",
+    "OnlineAnalysisSession",
+    "OnlineSessionConfig",
+]

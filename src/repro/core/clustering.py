@@ -1,0 +1,202 @@
+"""Clustering on precomputed distance matrices (Section 5.3).
+
+Patient similarity "provides a convenient way to cluster patients"; the
+paper uses the clusters to restrict online retrieval (Figure 8a) and to
+discover correlations with physiological attributes.  Both classic
+distance-matrix algorithms are implemented from scratch:
+
+* **k-medoids** (PAM-style alternating assignment / medoid update with a
+  k-medoids++ seeding), the natural choice since only distances — not
+  coordinates — exist, and
+* **agglomerative** hierarchical clustering with average / complete /
+  single linkage.
+
+A silhouette score is provided for picking ``k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ClusteringResult",
+    "kmedoids",
+    "agglomerative",
+    "silhouette_score",
+    "cluster_members",
+]
+
+
+@dataclass(frozen=True)
+class ClusteringResult:
+    """Cluster labels (and medoids, when the algorithm has them)."""
+
+    labels: np.ndarray
+    medoids: tuple[int, ...] | None = None
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of distinct clusters."""
+        return len(np.unique(self.labels))
+
+
+def _validate_matrix(distance: np.ndarray) -> np.ndarray:
+    distance = np.asarray(distance, dtype=float)
+    if distance.ndim != 2 or distance.shape[0] != distance.shape[1]:
+        raise ValueError("distance matrix must be square")
+    if not np.all(np.isfinite(distance)):
+        raise ValueError("distance matrix must be finite")
+    return distance
+
+
+def kmedoids(
+    distance: np.ndarray,
+    k: int,
+    seed: int = 0,
+    max_iter: int = 100,
+) -> ClusteringResult:
+    """PAM-style k-medoids on a precomputed distance matrix.
+
+    Parameters
+    ----------
+    distance:
+        Symmetric ``(n, n)`` distance matrix.
+    k:
+        Number of clusters, ``1 <= k <= n``.
+    seed:
+        Seed for the k-medoids++ initialisation.
+    max_iter:
+        Iteration cap for the alternating refinement.
+    """
+    distance = _validate_matrix(distance)
+    n = len(distance)
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}]")
+
+    rng = np.random.default_rng(seed)
+    medoids = [int(rng.integers(n))]
+    while len(medoids) < k:
+        # k-medoids++: sample the next medoid proportionally to the squared
+        # distance to the closest chosen medoid.
+        closest = np.min(distance[:, medoids], axis=1)
+        weights = closest**2
+        total = weights.sum()
+        if total <= 0:
+            remaining = [i for i in range(n) if i not in medoids]
+            medoids.append(int(rng.choice(remaining)))
+            continue
+        medoids.append(int(rng.choice(n, p=weights / total)))
+
+    medoids_arr = np.asarray(sorted(set(medoids)))
+    while len(medoids_arr) < k:  # de-duplicate pathological draws
+        extras = [i for i in range(n) if i not in medoids_arr]
+        medoids_arr = np.append(medoids_arr, extras[: k - len(medoids_arr)])
+
+    for _ in range(max_iter):
+        labels = np.argmin(distance[:, medoids_arr], axis=1)
+        new_medoids = medoids_arr.copy()
+        for c in range(k):
+            members = np.flatnonzero(labels == c)
+            if len(members) == 0:
+                continue
+            within = distance[np.ix_(members, members)].sum(axis=1)
+            new_medoids[c] = members[int(np.argmin(within))]
+        if np.array_equal(new_medoids, medoids_arr):
+            break
+        medoids_arr = new_medoids
+
+    labels = np.argmin(distance[:, medoids_arr], axis=1)
+    return ClusteringResult(
+        labels=labels, medoids=tuple(int(m) for m in medoids_arr)
+    )
+
+
+def agglomerative(
+    distance: np.ndarray,
+    n_clusters: int,
+    linkage: str = "average",
+) -> ClusteringResult:
+    """Bottom-up hierarchical clustering on a distance matrix.
+
+    Parameters
+    ----------
+    distance:
+        Symmetric ``(n, n)`` distance matrix.
+    n_clusters:
+        Number of clusters to stop at.
+    linkage:
+        ``"average"``, ``"complete"`` or ``"single"``.
+    """
+    distance = _validate_matrix(distance)
+    n = len(distance)
+    if not 1 <= n_clusters <= n:
+        raise ValueError(f"n_clusters must be in [1, {n}]")
+    if linkage not in ("average", "complete", "single"):
+        raise ValueError(f"unknown linkage {linkage!r}")
+
+    clusters: dict[int, list[int]] = {i: [i] for i in range(n)}
+    while len(clusters) > n_clusters:
+        best: tuple[float, int, int] | None = None
+        ids = sorted(clusters)
+        for ai in range(len(ids)):
+            for bi in range(ai + 1, len(ids)):
+                a, b = ids[ai], ids[bi]
+                block = distance[np.ix_(clusters[a], clusters[b])]
+                if linkage == "average":
+                    d = float(block.mean())
+                elif linkage == "complete":
+                    d = float(block.max())
+                else:
+                    d = float(block.min())
+                if best is None or d < best[0]:
+                    best = (d, a, b)
+        assert best is not None
+        _, a, b = best
+        clusters[a].extend(clusters[b])
+        del clusters[b]
+
+    labels = np.empty(n, dtype=int)
+    for new_label, members in enumerate(clusters.values()):
+        labels[members] = new_label
+    return ClusteringResult(labels=labels)
+
+
+def silhouette_score(distance: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient over all points (higher is better).
+
+    Points in singleton clusters contribute 0, following the usual
+    convention.
+    """
+    distance = _validate_matrix(distance)
+    labels = np.asarray(labels)
+    unique = np.unique(labels)
+    if len(unique) < 2:
+        raise ValueError("silhouette needs at least two clusters")
+
+    scores = np.zeros(len(labels))
+    for i in range(len(labels)):
+        same = np.flatnonzero(labels == labels[i])
+        if len(same) <= 1:
+            continue
+        a = distance[i, same[same != i]].mean()
+        b = min(
+            distance[i, labels == other].mean()
+            for other in unique
+            if other != labels[i]
+        )
+        scores[i] = (b - a) / max(a, b) if max(a, b) > 0 else 0.0
+    return float(scores.mean())
+
+
+def cluster_members(
+    labels: np.ndarray, ids: tuple[str, ...]
+) -> dict[int, tuple[str, ...]]:
+    """Map cluster label -> the ids assigned to it."""
+    if len(labels) != len(ids):
+        raise ValueError("labels and ids must align")
+    members: dict[int, list[str]] = {}
+    for label, identifier in zip(labels, ids):
+        members.setdefault(int(label), []).append(identifier)
+    return {label: tuple(group) for label, group in members.items()}

@@ -1,0 +1,147 @@
+"""The generalised structured-motion framework (paper Section 6).
+
+The paper distils its method into four independent steps applicable to
+*any* motion describable by a finite set of linear states:
+
+1. **Motion modeling** — a finite state model of the motion,
+2. **Segmentation** — an online algorithm producing the PLR with states,
+3. **Subsequence similarity** — a (possibly application-specific)
+   weighted distance,
+4. **Result analysis** — prediction / clustering over retrieved matches.
+
+:class:`DomainSpec` bundles a domain's choices for steps 1-3, and
+:class:`StructuredMotionAnalyzer` wires them into the shared machinery
+(database, matcher, predictor).  The state alphabet reuses the
+:class:`~repro.core.model.BreathingState` slots as abstract labels — each
+domain binds its own meaning (for tides: IN = rising, EX = falling,
+EOE = slack water); this keeps the whole stack (series, index, distance)
+domain-agnostic.  Built-in specs for the paper's example domains live in
+:mod:`repro.signals.domains`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..database.ingest import StreamIngestor
+from ..database.store import MotionDatabase
+from .fsm import FiniteStateAutomaton, respiratory_fsa
+from .matching import Match, SubsequenceMatcher
+from .model import PLRSeries, Subsequence
+from .prediction import OnlinePredictor, Prediction
+from .query import QueryConfig, generate_query
+from .segmentation import OnlineSegmenter, SegmenterConfig
+from .similarity import SimilarityParams
+
+__all__ = ["DomainSpec", "StructuredMotionAnalyzer"]
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    """One application domain's instantiation of the four-step framework.
+
+    Attributes
+    ----------
+    name:
+        Domain label (used in stream metadata).
+    fsa:
+        Step 1 — the finite state model of the motion.
+    segmenter:
+        Step 2 — tuning of the online PLR segmentation (sampling rate,
+        smoothing, dwell gates) appropriate for the domain's time scale.
+    similarity:
+        Step 3 — the distance parameters; domains adjust the amplitude /
+        frequency trade-off and source weights to their semantics.
+    query:
+        Query generation settings (cycle lengths, stability threshold).
+    state_names:
+        Human-readable meaning of each abstract state slot in this domain,
+        e.g. ``{BreathingState.IN: "flood"}`` for tides.
+    """
+
+    name: str
+    fsa: FiniteStateAutomaton = field(default_factory=respiratory_fsa)
+    segmenter: SegmenterConfig = field(default_factory=SegmenterConfig)
+    similarity: SimilarityParams = field(default_factory=SimilarityParams)
+    query: QueryConfig = field(default_factory=QueryConfig)
+    state_names: dict = field(default_factory=dict)
+
+    def describe_state(self, state) -> str:
+        """The domain-specific name of an abstract state slot."""
+        return self.state_names.get(state, getattr(state, "name", str(state)))
+
+
+class StructuredMotionAnalyzer:
+    """The four-step pipeline bound to one domain.
+
+    Parameters
+    ----------
+    spec:
+        The domain's modelling choices.
+    database:
+        Optional existing store (a fresh one is created otherwise).
+    """
+
+    def __init__(
+        self, spec: DomainSpec, database: MotionDatabase | None = None
+    ) -> None:
+        self.spec = spec
+        self.database = database if database is not None else MotionDatabase()
+        self.matcher = SubsequenceMatcher(self.database, spec.similarity)
+        self.predictor = OnlinePredictor(self.database, self.matcher)
+
+    # -- step 2: segmentation -----------------------------------------------
+
+    def segment(self, times, values) -> PLRSeries:
+        """Segment a complete raw signal offline under the domain's model."""
+        segmenter = OnlineSegmenter(self.spec.segmenter, self.spec.fsa.copy())
+        segmenter.extend(np.asarray(times, dtype=float), np.asarray(values))
+        segmenter.finish()
+        return segmenter.series
+
+    def ingest(
+        self, source_id: str, session_id: str, times, values
+    ) -> str:
+        """Segment a raw signal and store it; returns the stream id.
+
+        ``source_id`` plays the role the patient id plays in the medical
+        domain (the machine, the tide station, ...).
+        """
+        if source_id not in self.database.patient_ids:
+            self.database.add_patient(source_id)
+        ingestor = StreamIngestor(
+            self.database,
+            source_id,
+            session_id,
+            self.spec.segmenter,
+            metadata={"domain": self.spec.name},
+            fsa=self.spec.fsa.copy(),
+        )
+        ingestor.extend(np.asarray(times, dtype=float), np.asarray(values))
+        ingestor.finish()
+        return ingestor.stream_id
+
+    # -- steps 3-4: similarity and analysis ------------------------------------
+
+    def query_for(self, stream_id: str) -> Subsequence | None:
+        """The dynamic query over a stored stream's most recent motion."""
+        series = self.database.stream(stream_id).series
+        return generate_query(series, self.spec.query)
+
+    def find_matches(
+        self, query: Subsequence, stream_id: str | None = None, **kwargs
+    ) -> list[Match]:
+        """Step 3: retrieve similar subsequences under the domain distance."""
+        return self.matcher.find_matches(query, stream_id, **kwargs)
+
+    def predict(
+        self, stream_id: str, horizon: float, **kwargs
+    ) -> Prediction | None:
+        """Step 4: predict the stream's position ``horizon`` ahead of its
+        most recent vertex."""
+        query = self.query_for(stream_id)
+        if query is None:
+            return None
+        return self.predictor.predict(query, stream_id, horizon, **kwargs)

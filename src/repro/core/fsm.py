@@ -1,0 +1,173 @@
+"""Finite state automaton governing segment-state transitions.
+
+The paper (Section 3.1, Figure 4b) models regular breathing as a fixed
+cyclic order of states ``EX -> EOE -> IN -> EX``.  Any transition that
+violates the cycle enters the irregular state ``IRR``; the automaton leaves
+``IRR`` as soon as regular breathing resumes.
+
+The automaton here is generic over the state alphabet so that the Section 6
+generalisation (heartbeat, robot arm, tides, ...) can reuse it with a
+different transition table; :func:`respiratory_fsa` builds the instance the
+paper uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Sequence
+
+from .model import BreathingState
+
+__all__ = [
+    "FiniteStateAutomaton",
+    "respiratory_fsa",
+    "RESPIRATORY_TRANSITIONS",
+]
+
+#: Allowed transitions of the regular breathing cycle.
+RESPIRATORY_TRANSITIONS: frozenset[tuple[BreathingState, BreathingState]] = (
+    frozenset(
+        {
+            (BreathingState.EX, BreathingState.EOE),
+            (BreathingState.EOE, BreathingState.IN),
+            (BreathingState.IN, BreathingState.EX),
+        }
+    )
+)
+
+
+@dataclass
+class FiniteStateAutomaton:
+    """A finite state automaton with one designated irregular state.
+
+    Parameters
+    ----------
+    states:
+        The full state alphabet (including ``irregular``).
+    transitions:
+        The set of allowed regular transitions ``(from, to)``.
+        Self-transitions are implicitly disallowed: the segmenter merges
+        consecutive same-state segments instead of emitting a transition.
+    irregular:
+        The catch-all state entered whenever a proposed transition is not in
+        ``transitions``.  Leaving ``irregular`` to any regular state is
+        always allowed ("IRR is left when regular breathing resumes").
+    """
+
+    states: tuple[Hashable, ...]
+    transitions: frozenset[tuple[Hashable, Hashable]]
+    irregular: Hashable
+    _current: Hashable | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.states = tuple(self.states)
+        self.transitions = frozenset(self.transitions)
+        if self.irregular not in self.states:
+            raise ValueError("irregular state must be in the state alphabet")
+        for src, dst in self.transitions:
+            if src not in self.states or dst not in self.states:
+                raise ValueError(f"transition ({src}, {dst}) uses unknown state")
+            if src == dst:
+                raise ValueError("self-transitions are implicit; do not list them")
+
+    # -- stateless queries ---------------------------------------------------
+
+    @property
+    def regular_states(self) -> tuple[Hashable, ...]:
+        """All states except the irregular one."""
+        return tuple(s for s in self.states if s != self.irregular)
+
+    def allows(self, src: Hashable, dst: Hashable) -> bool:
+        """Whether ``src -> dst`` is a legal move of the automaton.
+
+        Legal moves are the declared regular transitions, any entry into the
+        irregular state, and any exit from it back to a regular state.
+        """
+        if dst == self.irregular:
+            return True
+        if src == self.irregular:
+            return dst in self.states
+        return (src, dst) in self.transitions
+
+    def is_regular_transition(self, src: Hashable, dst: Hashable) -> bool:
+        """Whether ``src -> dst`` is one of the declared regular transitions."""
+        return (src, dst) in self.transitions
+
+    def is_regular_sequence(self, states: Sequence[Hashable]) -> bool:
+        """Whether a state sequence never touches the irregular state and
+        follows the regular transition table throughout."""
+        if any(s == self.irregular for s in states):
+            return False
+        return all(
+            self.is_regular_transition(a, b)
+            for a, b in zip(states, states[1:])
+        )
+
+    def validate_sequence(self, states: Sequence[Hashable]) -> bool:
+        """Whether a state sequence is a legal path (irregular moves allowed)."""
+        if any(s not in self.states for s in states):
+            return False
+        return all(self.allows(a, b) for a, b in zip(states, states[1:]))
+
+    def expected_next(self, src: Hashable) -> Hashable | None:
+        """The unique regular successor of ``src``, or ``None``.
+
+        The respiratory cycle is deterministic, so each regular state has
+        exactly one successor; a generic table may have several, in which
+        case ``None`` is returned.
+        """
+        successors = [dst for s, dst in self.transitions if s == src]
+        if len(successors) == 1:
+            return successors[0]
+        return None
+
+    # -- online stepping -------------------------------------------------------
+
+    @property
+    def current(self) -> Hashable | None:
+        """The automaton's current state (``None`` before the first step)."""
+        return self._current
+
+    def reset(self) -> None:
+        """Forget the current state."""
+        self._current = None
+
+    def step(self, proposed: Hashable) -> Hashable:
+        """Advance with a proposed segment state, returning the actual state.
+
+        The segmenter classifies each new segment by slope and proposes that
+        state; the automaton accepts it when the transition is regular (or
+        when resuming from irregular / cold start) and coerces it to the
+        irregular state otherwise.
+        """
+        if proposed not in self.states:
+            raise ValueError(f"unknown state {proposed!r}")
+        current = self._current
+        if current is None or current == self.irregular:
+            accepted = proposed
+        elif proposed == current or self.is_regular_transition(current, proposed):
+            accepted = proposed
+        else:
+            accepted = self.irregular
+        self._current = accepted
+        return accepted
+
+    def run(self, proposals: Iterable[Hashable]) -> list[Hashable]:
+        """Step through a whole proposal sequence from a fresh start."""
+        self.reset()
+        return [self.step(p) for p in proposals]
+
+    def copy(self) -> "FiniteStateAutomaton":
+        """An independent automaton with the same tables and current state."""
+        clone = FiniteStateAutomaton(self.states, self.transitions, self.irregular)
+        clone._current = self._current
+        return clone
+
+
+def respiratory_fsa() -> FiniteStateAutomaton:
+    """The paper's automaton: ``EX -> EOE -> IN -> EX`` with ``IRR`` catch-all."""
+    return FiniteStateAutomaton(
+        states=tuple(BreathingState),
+        transitions=RESPIRATORY_TRANSITIONS,
+        irregular=BreathingState.IRR,
+    )

@@ -1,0 +1,230 @@
+"""Subsequence matching: candidate retrieval plus Definition 2 ranking.
+
+:class:`SubsequenceMatcher` answers "which historical windows are similar
+to this query?" against a :class:`~repro.database.store.MotionDatabase`.
+Candidates are fetched either through the state-signature index (the
+paper's future-work extension, default) or by a linear scan (the paper's
+baseline access path), then ranked by the weighted distance and filtered
+by the threshold ``delta``.
+
+Same-stream candidates that overlap the query window are always excluded:
+the query is the live suffix of its own stream, and an overlapping window
+has no usable future.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from ..database.index import CandidateSet, StateSignatureIndex
+from ..database.store import MotionDatabase
+from .model import Subsequence
+from .similarity import SimilarityParams, SourceRelation, batch_distance
+
+__all__ = ["Match", "SubsequenceMatcher"]
+
+
+@dataclass(frozen=True)
+class Match:
+    """One retrieved similar subsequence."""
+
+    stream_id: str
+    start: int
+    n_vertices: int
+    distance: float
+    relation: SourceRelation
+
+    def subsequence(self, database: MotionDatabase) -> Subsequence:
+        """Materialise the matched window from the database."""
+        series = database.stream(self.stream_id).series
+        return series.subsequence(self.start, self.start + self.n_vertices)
+
+
+class SubsequenceMatcher:
+    """Finds Definition 2 matches for query subsequences.
+
+    Parameters
+    ----------
+    database:
+        The stream store to search.
+    params:
+        Distance parameters (Table 1 defaults).
+    use_index:
+        Retrieve candidates through the state-signature index (default) or
+        by scanning every window of every stream (ablation baseline).
+    """
+
+    def __init__(
+        self,
+        database: MotionDatabase,
+        params: SimilarityParams | None = None,
+        use_index: bool = True,
+    ) -> None:
+        self.database = database
+        self.params = params or SimilarityParams()
+        self.use_index = use_index
+        self._index = StateSignatureIndex(database) if use_index else None
+
+    @property
+    def index(self) -> StateSignatureIndex | None:
+        """The live signature index (``None`` when scanning linearly)."""
+        return self._index
+
+    def find_matches(
+        self,
+        query: Subsequence,
+        query_stream_id: str | None = None,
+        threshold: float | None = None,
+        max_matches: int | None = None,
+        restrict_patients: Iterable[str] | None = None,
+        params: SimilarityParams | None = None,
+    ) -> list[Match]:
+        """Similar subsequences for ``query``, closest first.
+
+        Parameters
+        ----------
+        query:
+            The query window.
+        query_stream_id:
+            Stream the query came from; enables source weighting and
+            overlap exclusion.  ``None`` treats every candidate as coming
+            from another patient.
+        threshold:
+            Distance cut-off; defaults to the params' ``delta``.  Pass
+            ``math.inf`` to disable.
+        max_matches:
+            Keep only the closest ``max_matches``.
+        restrict_patients:
+            When given, only streams of these patients are searched (the
+            Figure 8a "prediction with clustering" mode).
+        params:
+            Per-call parameter override (ablation sweeps).
+        """
+        params = params or self.params
+        if threshold is None:
+            threshold = params.distance_threshold
+
+        candidates = self._candidates(query)
+        if candidates is None or candidates.n_candidates == 0:
+            return []
+
+        mask = self._admissible(candidates, query, query_stream_id)
+        if restrict_patients is not None:
+            allowed = set(restrict_patients)
+            patient_of = self._patient_lookup(candidates.stream_ids)
+            mask &= np.asarray(
+                [patient_of[sid] in allowed for sid in candidates.stream_ids]
+            )
+        if not mask.any():
+            return []
+        candidates = candidates.select(mask)
+
+        relations = self._relations(candidates.stream_ids, query_stream_id)
+        weights = np.asarray(
+            [params.source_weight(rel) for rel in relations]
+        )
+        distances = batch_distance(
+            query,
+            candidates.amplitudes,
+            candidates.durations,
+            weights,
+            params,
+        )
+
+        keep = distances <= threshold
+        if not keep.any():
+            return []
+        order = np.argsort(distances[keep], kind="stable")
+        indices = np.flatnonzero(keep)[order]
+        if max_matches is not None:
+            indices = indices[:max_matches]
+
+        return [
+            Match(
+                stream_id=str(candidates.stream_ids[i]),
+                start=int(candidates.starts[i]),
+                n_vertices=query.n_vertices,
+                distance=float(distances[i]),
+                relation=relations[i],
+            )
+            for i in indices
+        ]
+
+    # -- candidate generation --------------------------------------------------
+
+    def _candidates(self, query: Subsequence) -> CandidateSet | None:
+        if self._index is not None:
+            return self._index.candidates(query.state_signature)
+        return self._scan(query)
+
+    def _scan(self, query: Subsequence) -> CandidateSet | None:
+        """Linear-scan candidate generation (no index)."""
+        signature = np.asarray(query.state_signature, dtype=np.int8)
+        m = query.n_vertices
+        stream_ids: list[str] = []
+        starts: list[int] = []
+        amp_rows: list[np.ndarray] = []
+        dur_rows: list[np.ndarray] = []
+        for record in self.database.iter_streams():
+            series = record.series
+            if len(series) < m:
+                continue
+            states = series.states
+            amplitudes = series.amplitudes
+            durations = series.durations
+            for s in range(len(series) - m + 1):
+                if np.array_equal(states[s : s + m - 1], signature):
+                    stream_ids.append(record.stream_id)
+                    starts.append(s)
+                    amp_rows.append(amplitudes[s : s + m - 1])
+                    dur_rows.append(durations[s : s + m - 1])
+        if not starts:
+            return None
+        return CandidateSet(
+            stream_ids=np.asarray(stream_ids, dtype=object),
+            starts=np.asarray(starts, dtype=int),
+            amplitudes=np.vstack(amp_rows),
+            durations=np.vstack(dur_rows),
+        )
+
+    # -- filters ------------------------------------------------------------------
+
+    @staticmethod
+    def _admissible(
+        candidates: CandidateSet,
+        query: Subsequence,
+        query_stream_id: str | None,
+    ) -> np.ndarray:
+        """Exclude same-stream windows overlapping the query window."""
+        if query_stream_id is None:
+            return np.ones(candidates.n_candidates, dtype=bool)
+        m = query.n_vertices
+        same_stream = candidates.stream_ids == query_stream_id
+        overlaps = (candidates.starts < query.stop) & (
+            candidates.starts + m > query.start
+        )
+        return ~(same_stream & overlaps)
+
+    def _relations(
+        self, stream_ids: np.ndarray, query_stream_id: str | None
+    ) -> list[SourceRelation]:
+        if query_stream_id is None:
+            return [SourceRelation.OTHER_PATIENT] * len(stream_ids)
+        cache: dict[str, SourceRelation] = {}
+        relations = []
+        for sid in stream_ids:
+            relation = cache.get(sid)
+            if relation is None:
+                relation = self.database.relation(query_stream_id, str(sid))
+                cache[sid] = relation
+            relations.append(relation)
+        return relations
+
+    def _patient_lookup(self, stream_ids: np.ndarray) -> dict[str, str]:
+        return {
+            str(sid): self.database.stream(str(sid)).patient_id
+            for sid in set(str(s) for s in stream_ids)
+        }

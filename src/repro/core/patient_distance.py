@@ -1,0 +1,152 @@
+"""Patient distance (Definition 4, Section 5.2) and distance matrices.
+
+The distance between two patients is the average stream distance over all
+cross pairs of their session streams.  The same machinery produces the
+full stream- and patient-distance matrices consumed by the Figure 8
+experiments and by the clustering module.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+
+from ..database.store import MotionDatabase
+from .similarity import SourceRelation
+from .stream_distance import StreamDistanceConfig, stream_distance
+
+__all__ = [
+    "patient_distance",
+    "patient_distance_matrix",
+    "stream_distance_matrix",
+    "impute_infinite",
+]
+
+
+def impute_infinite(matrix: np.ndarray, factor: float = 1.5) -> np.ndarray:
+    """Replace non-finite entries by ``factor`` times the largest finite one.
+
+    Pairs of streams that share no state patterns have infinite Definition 3
+    distance; clustering needs a finite matrix, and "farther than anything
+    comparable" is the faithful imputation.  Returns a copy.
+    """
+    matrix = np.asarray(matrix, dtype=float).copy()
+    finite = matrix[np.isfinite(matrix)]
+    if len(finite) == 0:
+        raise ValueError("matrix has no finite entries")
+    matrix[~np.isfinite(matrix)] = finite.max() * factor
+    return matrix
+
+
+def _relation(db: MotionDatabase, sid_a: str, sid_b: str) -> SourceRelation:
+    return db.relation(sid_a, sid_b)
+
+
+def patient_distance(
+    db: MotionDatabase,
+    patient_a: str,
+    patient_b: str,
+    config: StreamDistanceConfig | None = None,
+) -> float:
+    """The Definition 4 distance between two patients.
+
+    For distinct patients this averages ``stream_distance`` over all cross
+    pairs of their streams.  For ``patient_a == patient_b`` (the Figure 8c
+    diagonal) it averages over unordered pairs of *distinct* streams of
+    that patient, falling back to the single stream's self-distance when
+    the patient has only one stream.
+
+    Parameters
+    ----------
+    db:
+        The database holding both patients' streams.
+    patient_a, patient_b:
+        Patient identifiers.
+    config:
+        Stream-distance parameters.
+    """
+    config = config or StreamDistanceConfig()
+    streams_a = db.patient(patient_a).stream_ids
+    streams_b = db.patient(patient_b).stream_ids
+    if not streams_a or not streams_b:
+        raise ValueError("both patients need at least one stream")
+
+    if patient_a == patient_b:
+        if len(streams_a) == 1:
+            pairs = [(streams_a[0], streams_a[0])]
+        else:
+            pairs = list(itertools.combinations(streams_a, 2))
+    else:
+        pairs = list(itertools.product(streams_a, streams_b))
+
+    distances = []
+    for sid_a, sid_b in pairs:
+        d = stream_distance(
+            db.stream(sid_a).series,
+            db.stream(sid_b).series,
+            relation=_relation(db, sid_a, sid_b),
+            config=config,
+        )
+        if math.isfinite(d):
+            distances.append(d)
+    if not distances:
+        return math.inf
+    return float(np.mean(distances))
+
+
+def stream_distance_matrix(
+    db: MotionDatabase,
+    config: StreamDistanceConfig | None = None,
+    stream_ids: tuple[str, ...] | None = None,
+) -> tuple[tuple[str, ...], np.ndarray]:
+    """Pairwise Definition 3 distances between streams (Figure 8b).
+
+    Returns the stream identifiers and the symmetric distance matrix;
+    the diagonal holds each stream's self-distance.
+
+    Parameters
+    ----------
+    db:
+        The database to read streams from.
+    config:
+        Stream-distance parameters.
+    stream_ids:
+        Restrict to a subset (defaults to every stream).
+    """
+    config = config or StreamDistanceConfig()
+    ids = stream_ids if stream_ids is not None else db.stream_ids
+    n = len(ids)
+    matrix = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i, n):
+            d = stream_distance(
+                db.stream(ids[i]).series,
+                db.stream(ids[j]).series,
+                relation=_relation(db, ids[i], ids[j]),
+                config=config,
+            )
+            matrix[i, j] = matrix[j, i] = d
+    return tuple(ids), matrix
+
+
+def patient_distance_matrix(
+    db: MotionDatabase,
+    config: StreamDistanceConfig | None = None,
+    patient_ids: tuple[str, ...] | None = None,
+) -> tuple[tuple[str, ...], np.ndarray]:
+    """Pairwise Definition 4 distances between patients (Figure 8c).
+
+    Returns the patient identifiers and the symmetric distance matrix;
+    the diagonal holds each patient's within-self distance.
+    """
+    config = config or StreamDistanceConfig()
+    ids = patient_ids if patient_ids is not None else db.patient_ids
+    n = len(ids)
+    matrix = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i, n):
+            d = patient_distance(db, ids[i], ids[j], config)
+            matrix[i, j] = matrix[j, i] = d
+    return tuple(ids), matrix

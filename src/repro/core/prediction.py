@@ -1,0 +1,296 @@
+"""Online motion prediction from retrieved matches (Section 4.3).
+
+The immediate future of every historical match is known; the query's
+future is predicted as the weighted average of the matches' futures,
+expressed *relative to an anchor vertex of each match* and re-anchored at
+the query's corresponding vertex:
+
+    predicted(dt) = q_anchor + sum_j w_j * (v_j(dt) - r_j,anchor) / sum_j w_j
+
+where ``v_j(dt)`` is match ``j``'s stream position ``dt`` after the
+match's last vertex and ``w_j`` is the match's subsequence (source)
+weight.  The relative form makes the prediction insensitive to baseline
+shifts between the query and its matches.
+
+**Anchor interpretation.**  The source text's formula is typographically
+damaged; it names "the first vertex position" of the query and of each
+match.  Anchoring at the *first* vertex makes the prediction inherit the
+whole-window displacement mismatch, so the error would not vanish as
+``dt -> 0`` even though the current position is known — inconsistent with
+Figure 6a, where error grows from small values with ``dt``.  The default
+here therefore anchors at the **last** vertex (the current position); the
+literal first-vertex reading is available as ``anchor="first"`` and is
+ablated in ``benchmarks/bench_ablations.py``.
+
+The same machinery predicts the next segment's amplitude and duration
+(frequency), which the paper notes is analogous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..database.store import MotionDatabase
+from .matching import Match, SubsequenceMatcher
+from .model import Subsequence
+from .similarity import SimilarityParams
+
+__all__ = ["Prediction", "SegmentForecast", "OnlinePredictor"]
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """A predicted future position."""
+
+    time: float
+    horizon: float
+    position: np.ndarray
+    n_matches: int
+
+    @property
+    def primary(self) -> float:
+        """Predicted primary-axis (superior-inferior) coordinate."""
+        return float(self.position[0])
+
+
+@dataclass(frozen=True)
+class SegmentForecast:
+    """Predicted amplitude and duration of the upcoming segment."""
+
+    amplitude: float
+    duration: float
+    n_matches: int
+
+
+class OnlinePredictor:
+    """Predicts future tumor position from subsequence matches.
+
+    Parameters
+    ----------
+    database:
+        The stream store (needed to read the matches' futures).
+    matcher:
+        The matcher used for retrieval; its parameters define similarity.
+    min_matches:
+        Predict only when at least this many matches were retrieved (the
+        paper predicts "only if there are a certain number of retrieved
+        subsequences"; fewer matches means no prediction, which the
+        Figure 9 coverage metric counts).
+    max_matches:
+        Optional cap on how many closest matches contribute.  ``None``
+        (default, paper-faithful) uses every match within the threshold,
+        weighted by its subsequence weight.
+    distance_weighted:
+        Extension: additionally down-weight matches by ``1 / (1 + d)``.
+        Off by default (the paper weights by the subsequence weight only).
+    anchor:
+        ``"last"`` (default) anchors predictions at the query's most recent
+        vertex; ``"first"`` is the literal reading of the damaged formula
+        (see module docstring).
+    """
+
+    def __init__(
+        self,
+        database: MotionDatabase,
+        matcher: SubsequenceMatcher,
+        min_matches: int = 2,
+        max_matches: int | None = None,
+        distance_weighted: bool = False,
+        anchor: str = "last",
+    ) -> None:
+        if min_matches < 1:
+            raise ValueError("min_matches must be at least 1")
+        if anchor not in ("last", "first"):
+            raise ValueError("anchor must be 'last' or 'first'")
+        self.database = database
+        self.matcher = matcher
+        self.min_matches = min_matches
+        self.max_matches = max_matches
+        self.distance_weighted = distance_weighted
+        self.anchor = anchor
+
+    # -- position ---------------------------------------------------------------
+
+    def predict(
+        self,
+        query: Subsequence,
+        query_stream_id: str | None,
+        horizon: float,
+        threshold: float | None = None,
+        restrict_patients=None,
+        params: SimilarityParams | None = None,
+    ) -> Prediction | None:
+        """Predict the position ``horizon`` seconds past the query's end.
+
+        Returns ``None`` when fewer than ``min_matches`` similar
+        subsequences exist (no prediction is made).
+
+        Parameters
+        ----------
+        query:
+            The dynamic query subsequence; its last vertex is "now".
+        query_stream_id:
+            Stream the query belongs to (source weighting / overlap
+            exclusion).
+        horizon:
+            Look-ahead in seconds (system latency, <= ~0.3 s in the paper).
+        threshold, restrict_patients, params:
+            Forwarded to the matcher.
+        """
+        matches = self.matcher.find_matches(
+            query,
+            query_stream_id,
+            threshold=threshold,
+            max_matches=self.max_matches,
+            restrict_patients=restrict_patients,
+            params=params,
+        )
+        matches = self.with_known_future(matches, horizon)
+        if len(matches) < self.min_matches:
+            return None
+        position = self.combine(query, matches, horizon, params)
+        now = query.last_vertex.time
+        return Prediction(
+            time=now + horizon,
+            horizon=horizon,
+            position=position,
+            n_matches=len(matches),
+        )
+
+    def with_known_future(
+        self, matches: list[Match], horizon: float
+    ) -> list[Match]:
+        """Drop matches whose stream ends before ``horizon`` past the match.
+
+        "The immediate future of a historical subsequence is known" — a
+        window at the very tail of its stream has no recorded future, so it
+        cannot contribute (this also removes same-session windows adjacent
+        to the live edge, whose future has not happened yet).
+        """
+        usable = []
+        for match in matches:
+            series = self.database.stream(match.stream_id).series
+            end_time = series.times[match.start + match.n_vertices - 1]
+            if end_time + horizon <= series.end_time:
+                usable.append(match)
+        return usable
+
+    def combine(
+        self,
+        query: Subsequence,
+        matches: list[Match],
+        horizon: float,
+        params: SimilarityParams | None = None,
+    ) -> np.ndarray:
+        """The weighted-average future position for given matches."""
+        if not matches:
+            raise ValueError("combine needs at least one match")
+        params = params or self.matcher.params
+        if self.anchor == "last":
+            anchor = query.last_vertex.position_array()
+        else:
+            anchor = query.first_vertex.position_array()
+        total_weight = 0.0
+        total = np.zeros_like(anchor)
+        for match in matches:
+            series = self.database.stream(match.stream_id).series
+            end_index = match.start + match.n_vertices - 1
+            end_time = series.times[end_index]
+            future = series.position_at(end_time + horizon)
+            if self.anchor == "last":
+                reference = series.positions[end_index]
+            else:
+                reference = series.positions[match.start]
+            weight = params.source_weight(match.relation)
+            if self.distance_weighted:
+                weight /= 1.0 + match.distance
+            total += weight * (future - reference)
+            total_weight += weight
+        return anchor + total / total_weight
+
+    def predict_state(
+        self,
+        query: Subsequence,
+        query_stream_id: str | None,
+        horizon: float,
+        threshold: float | None = None,
+        params: SimilarityParams | None = None,
+    ):
+        """Predict the breathing *state* ``horizon`` past the query's end.
+
+        Each match votes with the state of the segment its own stream is in
+        ``horizon`` after the match's last vertex, weighted by the match's
+        subsequence weight.  Returns ``(state, confidence)`` or ``None``
+        when too few matches have a known future.  This is the signal
+        phase-based gating needs (beam on during a predicted rest state).
+        """
+        from .model import BreathingState
+
+        matches = self.matcher.find_matches(
+            query,
+            query_stream_id,
+            threshold=threshold,
+            max_matches=self.max_matches,
+            params=params,
+        )
+        matches = self.with_known_future(matches, horizon)
+        if len(matches) < self.min_matches:
+            return None
+        params = params or self.matcher.params
+        votes: dict[BreathingState, float] = {}
+        total = 0.0
+        for match in matches:
+            series = self.database.stream(match.stream_id).series
+            end_time = series.times[match.start + match.n_vertices - 1]
+            segment = series.segment_index_at(end_time + horizon)
+            state = BreathingState(int(series.states[segment]))
+            weight = params.source_weight(match.relation)
+            votes[state] = votes.get(state, 0.0) + weight
+            total += weight
+        best = max(votes, key=votes.get)
+        return best, votes[best] / total
+
+    # -- next-segment features ---------------------------------------------------
+
+    def forecast_segment(
+        self,
+        query: Subsequence,
+        query_stream_id: str | None,
+        threshold: float | None = None,
+        params: SimilarityParams | None = None,
+    ) -> SegmentForecast | None:
+        """Predict the amplitude and duration of the segment after the query.
+
+        Analogous to position prediction (Section 4.3: "future frequency,
+        amplitude or position can be predicted"): each match contributes
+        the features of the segment that followed it in its own stream.
+        """
+        matches = self.matcher.find_matches(
+            query,
+            query_stream_id,
+            threshold=threshold,
+            max_matches=self.max_matches,
+            params=params,
+        )
+        params = params or self.matcher.params
+        amplitudes = []
+        durations = []
+        weights = []
+        for match in matches:
+            series = self.database.stream(match.stream_id).series
+            next_segment = match.start + match.n_vertices - 1
+            if next_segment >= series.n_segments:
+                continue
+            amplitudes.append(series.amplitudes[next_segment])
+            durations.append(series.durations[next_segment])
+            weights.append(params.source_weight(match.relation))
+        if len(weights) < self.min_matches:
+            return None
+        weights = np.asarray(weights)
+        return SegmentForecast(
+            amplitude=float(np.average(amplitudes, weights=weights)),
+            duration=float(np.average(durations, weights=weights)),
+            n_matches=len(weights),
+        )

@@ -1,0 +1,106 @@
+"""Dynamic query subsequence generation (Section 4.1).
+
+Online queries must describe the *current* motion.  Instead of a fixed
+length, the paper sizes the query with a **stability checking strip**: a
+fixed-size window that starts over the most recent vertices and slides one
+vertex back into history per step.  The first position where the strip is
+stable (Definition 1) fixes the query start; the query always ends at the
+most recent vertex.  Regular breathing therefore yields short queries and
+irregular breathing long ones, bounded by ``L_min`` and ``L_max``
+(measured in breathing cycles, as in Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .model import PLRSeries, Subsequence, cycles_to_vertices
+from .stability import StabilityConfig, subsequence_stability
+
+__all__ = ["QueryConfig", "generate_query", "fixed_query"]
+
+
+@dataclass(frozen=True)
+class QueryConfig:
+    """Parameters of the dynamic query generator.
+
+    Attributes
+    ----------
+    min_cycles:
+        ``L_min`` — the strip size and the minimum query length, in
+        breathing cycles (Figure 7b uses 2).
+    max_cycles:
+        ``L_max`` — the maximum query length in cycles (Figure 7b uses 9).
+    stability:
+        Definition 1 configuration, including the threshold ``sigma``.
+    """
+
+    min_cycles: int = 2
+    max_cycles: int = 9
+    stability: StabilityConfig = StabilityConfig()
+
+    def __post_init__(self) -> None:
+        if self.min_cycles < 1:
+            raise ValueError("min_cycles must be at least 1")
+        if self.max_cycles < self.min_cycles:
+            raise ValueError("max_cycles must be at least min_cycles")
+
+    @property
+    def min_vertices(self) -> int:
+        """Strip size in vertices."""
+        return cycles_to_vertices(self.min_cycles)
+
+    @property
+    def max_vertices(self) -> int:
+        """Maximum query size in vertices."""
+        return cycles_to_vertices(self.max_cycles)
+
+
+def generate_query(
+    series: PLRSeries, config: QueryConfig | None = None
+) -> Subsequence | None:
+    """Build the dynamic query over the most recent motion.
+
+    The stability checking strip of ``min_cycles`` cycles starts at the end
+    of the series and slides back one vertex at a time until it is stable
+    or the query (strip start to most recent vertex) would exceed
+    ``max_cycles``.
+
+    Returns ``None`` when the series is still shorter than the strip.
+
+    Parameters
+    ----------
+    series:
+        The PLR of the stream analysed so far.
+    config:
+        Generator parameters (Table 1 / Figure 5 defaults).
+    """
+    config = config or QueryConfig()
+    n = len(series)
+    strip_len = config.min_vertices
+    if n < strip_len:
+        return None
+
+    end = n
+    start = n - strip_len
+    while True:
+        strip = series.subsequence(start, start + strip_len)
+        if subsequence_stability(strip, config.stability) <= (
+            config.stability.threshold
+        ):
+            break
+        if start == 0 or (end - (start - 1)) > config.max_vertices:
+            break
+        start -= 1
+    return series.subsequence(start, end)
+
+
+def fixed_query(series: PLRSeries, n_cycles: int) -> Subsequence | None:
+    """A fixed-length query of ``n_cycles`` cycles (the Figure 7 baseline).
+
+    Returns ``None`` when the series is shorter than the requested window.
+    """
+    length = cycles_to_vertices(n_cycles)
+    if len(series) < length:
+        return None
+    return series.suffix(length)

@@ -1,0 +1,272 @@
+"""The subsequence similarity measure (Definition 2).
+
+Two subsequences are comparable only when their state signatures are
+identical (condition 1 — "similar subsequences must have the same
+meaning").  The distance between comparable subsequences is a model-based,
+multi-layer, weighted, parametric function of their per-segment amplitude
+and duration differences (condition 2):
+
+    D(P, Q) = ( sum_i  w_i * (w_a * |dA_i| + w_f * |dT_i|) ) / w_s
+
+where
+
+* ``w_a`` / ``w_f`` trade amplitude against frequency importance
+  (``w_a >= w_f`` always, per Section 4.2),
+* ``w_i`` ramps linearly from ``w_v`` at the oldest segment to 1.0 at the
+  most recent segment (online recency weighting; the offline variant sets
+  all ``w_i = 1``),
+* ``w_s`` is the source-stream weight: 1.0 for candidates from the query's
+  own session, 0.9 for other sessions of the same patient, 0.3 for other
+  patients.
+
+Interpretation notes (the source text's formula is typographically
+damaged; both choices are ablated in ``benchmarks/bench_ablations.py``):
+
+* The inner sum is a plain weighted sum over segments, as written.  With
+  the Table 1 threshold ``delta = 8.0`` this is genuinely selective for
+  typical query lengths (6-27 segments); a normalised per-segment-average
+  variant is available as an ablation (``normalize_inner_sum``).
+* ``w_s`` *divides* the distance.  Table 1 assigns the largest ``w_s`` to
+  the most valuable source (same session); dividing makes those candidates
+  *closer*, matching the prose, whereas multiplying would invert the
+  stated preference.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from .model import Subsequence
+
+__all__ = [
+    "SourceRelation",
+    "SimilarityParams",
+    "vertex_weights",
+    "subsequence_distance",
+    "batch_distance",
+]
+
+
+class SourceRelation(enum.Enum):
+    """Provenance of a candidate subsequence relative to the query."""
+
+    SAME_SESSION = "same_session"
+    SAME_PATIENT = "same_patient"
+    OTHER_PATIENT = "other_patient"
+
+
+@dataclass(frozen=True)
+class SimilarityParams:
+    """Parameters of the Definition 2 distance (defaults from Table 1).
+
+    Attributes
+    ----------
+    amplitude_weight:
+        ``w_a`` — weight of per-segment amplitude differences (1.0).
+    frequency_weight:
+        ``w_f`` — weight of per-segment duration differences (0.25);
+        always kept at most ``amplitude_weight``.
+    vertex_base_weight:
+        ``w_v`` — weight of the oldest segment; weights ramp linearly up to
+        1.0 at the most recent segment (0.5).
+    weight_same_session / weight_same_patient / weight_other_patient:
+        ``w_s`` per source relation (1.0 / 0.9 / 0.3).
+    distance_threshold:
+        ``delta`` — candidates farther than this are not similar (8.0).
+    use_vertex_weights / use_source_weights:
+        Ablation switches for the Figure 6 weighting-factor experiment.
+        Online distances use vertex weights; the offline distance
+        (Section 5) disables them.
+    source_weight_multiplies:
+        Ablation: apply ``w_s`` multiplicatively (the literal reading the
+        prose contradicts) instead of dividing.
+    normalize_inner_sum:
+        Ablation: divide the inner sum by the total vertex weight, making
+        the distance a per-segment average.  The paper's formula is a plain
+        weighted sum (the default); with ~6-27 segments per query that
+        makes the threshold ``delta = 8.0`` genuinely selective.
+    """
+
+    amplitude_weight: float = 1.0
+    frequency_weight: float = 0.25
+    vertex_base_weight: float = 0.5
+    weight_same_session: float = 1.0
+    weight_same_patient: float = 0.9
+    weight_other_patient: float = 0.3
+    distance_threshold: float = 8.0
+    use_vertex_weights: bool = True
+    use_source_weights: bool = True
+    source_weight_multiplies: bool = False
+    normalize_inner_sum: bool = False
+
+    def __post_init__(self) -> None:
+        if self.amplitude_weight < 0 or self.frequency_weight < 0:
+            raise ValueError("feature weights must be non-negative")
+        if not 0 < self.vertex_base_weight <= 1.0:
+            raise ValueError("vertex_base_weight must be in (0, 1]")
+        for w in (
+            self.weight_same_session,
+            self.weight_same_patient,
+            self.weight_other_patient,
+        ):
+            if not 0 < w <= 1.0:
+                raise ValueError("source weights must be in (0, 1]")
+        if self.distance_threshold <= 0:
+            raise ValueError("distance_threshold must be positive")
+
+    def source_weight(self, relation: SourceRelation) -> float:
+        """``w_s`` for a candidate with the given provenance."""
+        if not self.use_source_weights:
+            return 1.0
+        if relation is SourceRelation.SAME_SESSION:
+            return self.weight_same_session
+        if relation is SourceRelation.SAME_PATIENT:
+            return self.weight_same_patient
+        return self.weight_other_patient
+
+    def offline(self) -> "SimilarityParams":
+        """The Section 5 offline variant: all vertex weights equal to 1."""
+        return replace(self, use_vertex_weights=False)
+
+    def unweighted(self) -> "SimilarityParams":
+        """Fully unweighted ablation (Figure 6's "no weighting" baseline).
+
+        Amplitude and frequency contribute equally and neither vertex
+        recency nor source provenance is weighted.
+        """
+        return replace(
+            self,
+            amplitude_weight=1.0,
+            frequency_weight=1.0,
+            use_vertex_weights=False,
+            use_source_weights=False,
+        )
+
+
+def vertex_weights(n_segments: int, base: float) -> np.ndarray:
+    """The recency ramp ``w_i``: ``base`` at the oldest segment, 1.0 at the
+    newest, linear in between.
+
+    Parameters
+    ----------
+    n_segments:
+        Number of segments being weighted.
+    base:
+        ``w_v``, the weight of the oldest segment.
+    """
+    if n_segments <= 0:
+        raise ValueError("n_segments must be positive")
+    if n_segments == 1:
+        return np.array([1.0])
+    return base + (1.0 - base) * np.arange(n_segments) / (n_segments - 1)
+
+
+def _segment_costs(
+    query: Subsequence, candidate: Subsequence, params: SimilarityParams
+) -> np.ndarray:
+    """Per-segment weighted amplitude/duration differences."""
+    amp_diff = np.abs(query.amplitudes - candidate.amplitudes)
+    dur_diff = np.abs(query.durations - candidate.durations)
+    return (
+        params.amplitude_weight * amp_diff
+        + params.frequency_weight * dur_diff
+    )
+
+
+def subsequence_distance(
+    query: Subsequence,
+    candidate: Subsequence,
+    params: SimilarityParams | None = None,
+    relation: SourceRelation = SourceRelation.SAME_SESSION,
+) -> float:
+    """The Definition 2 distance between two subsequences.
+
+    Returns ``math.inf`` when the state signatures differ (condition 1
+    fails and the pair is incomparable).
+
+    Parameters
+    ----------
+    query, candidate:
+        Windows with the same number of vertices.
+    params:
+        Distance parameters (Table 1 defaults).
+    relation:
+        Provenance of ``candidate`` relative to ``query`` (selects ``w_s``).
+    """
+    params = params or SimilarityParams()
+    if query.state_signature != candidate.state_signature:
+        return math.inf
+
+    costs = _segment_costs(query, candidate, params)
+    if params.use_vertex_weights:
+        weights = vertex_weights(query.n_segments, params.vertex_base_weight)
+    else:
+        weights = np.ones(query.n_segments)
+    base = float(np.dot(weights, costs))
+    if params.normalize_inner_sum:
+        base /= float(weights.sum())
+    return _apply_source_weight(base, params.source_weight(relation), params)
+
+
+def batch_distance(
+    query: Subsequence,
+    candidate_amplitudes: np.ndarray,
+    candidate_durations: np.ndarray,
+    source_weights: np.ndarray,
+    params: SimilarityParams | None = None,
+) -> np.ndarray:
+    """Vectorised Definition 2 distance against many candidates at once.
+
+    All candidates must share the query's state signature (the caller —
+    normally the state-signature index — guarantees this).
+
+    Parameters
+    ----------
+    query:
+        The query window with ``m`` segments.
+    candidate_amplitudes, candidate_durations:
+        Arrays of shape ``(n_candidates, m)``.
+    source_weights:
+        ``w_s`` per candidate, shape ``(n_candidates,)``.
+    params:
+        Distance parameters.
+
+    Returns
+    -------
+    numpy.ndarray
+        Distances, shape ``(n_candidates,)``.
+    """
+    params = params or SimilarityParams()
+    amp_diff = np.abs(candidate_amplitudes - query.amplitudes[np.newaxis, :])
+    dur_diff = np.abs(candidate_durations - query.durations[np.newaxis, :])
+    costs = (
+        params.amplitude_weight * amp_diff
+        + params.frequency_weight * dur_diff
+    )
+    if params.use_vertex_weights:
+        weights = vertex_weights(query.n_segments, params.vertex_base_weight)
+    else:
+        weights = np.ones(query.n_segments)
+    base = costs @ weights
+    if params.normalize_inner_sum:
+        base = base / weights.sum()
+    if not params.use_source_weights:
+        return base
+    if params.source_weight_multiplies:
+        return base * source_weights
+    return base / source_weights
+
+
+def _apply_source_weight(
+    base: float, w_s: float, params: SimilarityParams
+) -> float:
+    """Fold the source weight into the base distance per the chosen reading."""
+    if not params.use_source_weights:
+        return base
+    if params.source_weight_multiplies:
+        return base * w_s
+    return base / w_s

@@ -1,0 +1,106 @@
+"""Subsequence stability (Definition 1).
+
+A subsequence is *stable* when, state by state, its segments have
+consistent amplitudes and durations.  For each state ``k`` present in the
+subsequence the per-state mean amplitude and mean duration are computed;
+each segment contributes the weighted absolute deviation of its amplitude
+and duration from those means, and the stability score is the sum over all
+segments:
+
+    stability(S) = sum_k sum_{i : state_i = k}
+        w_a * |A_i - mean_A_k|  +  w_f * |T_i - mean_T_k|
+
+Smaller is more stable; ``S`` is stable when the score is at most the
+threshold ``sigma`` (Table 1 uses 6.0 with ``w_a = 1.0``, ``w_f = 0.25``
+and millimetre/second units).
+
+The source text's formula is typographically damaged; this absolute-units
+reading matches the Table 1 threshold magnitude.  A ``relative`` variant
+(deviations normalised by the per-state means, making the score unit-free)
+is provided for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .model import Subsequence
+
+__all__ = ["StabilityConfig", "subsequence_stability", "is_stable"]
+
+
+@dataclass(frozen=True)
+class StabilityConfig:
+    """Parameters of the stability score.
+
+    Attributes
+    ----------
+    amplitude_weight:
+        ``w_a`` — weight of amplitude deviations (Table 1: 1.0).
+    frequency_weight:
+        ``w_f`` — weight of duration (frequency) deviations (Table 1: 0.25).
+    threshold:
+        ``sigma`` — a subsequence is stable when its score is at most this
+        (Table 1: 6.0).
+    relative:
+        When true, deviations are divided by the per-state means (unit-free
+        ablation variant).
+    """
+
+    amplitude_weight: float = 1.0
+    frequency_weight: float = 0.25
+    threshold: float = 6.0
+    relative: bool = False
+
+    def __post_init__(self) -> None:
+        if self.amplitude_weight < 0 or self.frequency_weight < 0:
+            raise ValueError("weights must be non-negative")
+        if self.threshold < 0:
+            raise ValueError("threshold must be non-negative")
+
+
+def subsequence_stability(
+    subsequence: Subsequence, config: StabilityConfig | None = None
+) -> float:
+    """The Definition 1 stability score of a subsequence (lower = stabler).
+
+    Parameters
+    ----------
+    subsequence:
+        The window to score; needs at least one segment.
+    config:
+        Weights and variant; defaults to the Table 1 settings.
+    """
+    config = config or StabilityConfig()
+    if subsequence.n_segments == 0:
+        raise ValueError("stability needs at least one segment")
+
+    states = subsequence.segment_states
+    amplitudes = subsequence.amplitudes
+    durations = subsequence.durations
+
+    score = 0.0
+    for state in np.unique(states):
+        mask = states == state
+        amp_k = amplitudes[mask]
+        dur_k = durations[mask]
+        amp_dev = np.abs(amp_k - amp_k.mean())
+        dur_dev = np.abs(dur_k - dur_k.mean())
+        if config.relative:
+            amp_dev = amp_dev / max(amp_k.mean(), 1e-9)
+            dur_dev = dur_dev / max(dur_k.mean(), 1e-9)
+        score += float(
+            config.amplitude_weight * amp_dev.sum()
+            + config.frequency_weight * dur_dev.sum()
+        )
+    return score
+
+
+def is_stable(
+    subsequence: Subsequence, config: StabilityConfig | None = None
+) -> bool:
+    """Whether the subsequence's stability score is within the threshold."""
+    config = config or StabilityConfig()
+    return subsequence_stability(subsequence, config) <= config.threshold

@@ -1,0 +1,175 @@
+"""Whole-stream distance (Definition 3, Section 5.1).
+
+The distance between two PLR streams ``R`` and ``S`` is built from offline
+subsequence distances: every length-``n`` subsequence of ``R`` is a query
+against ``S``; a query keeps its ``p`` most similar same-signature
+candidates, and queries that cannot find at least ``p`` candidates are
+outliers and are dropped.  The stream distance is the average of all
+retained distances over *both* directions (R queries S and S queries R),
+which makes it symmetric by construction.
+
+The offline subsequence distance is Definition 2 with all vertex weights
+set to 1; the source-stream weight ``w_s`` still applies (Section 5), with
+a switch to disable it so the Figure 8 benchmarks can show the
+self / same-patient / other-patient ordering is not an artifact of ``w_s``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from .model import PLRSeries
+from .similarity import SimilarityParams, SourceRelation, batch_distance
+
+__all__ = ["StreamDistanceConfig", "stream_distance", "directed_distances"]
+
+
+@dataclass(frozen=True)
+class StreamDistanceConfig:
+    """Parameters of the Definition 3 stream distance.
+
+    Attributes
+    ----------
+    query_vertices:
+        Subsequence length ``n`` in vertices (7 = two breathing cycles).
+    top_p:
+        ``p`` — number of most-similar candidates kept per query
+        (Section 5.1 suggests e.g. 10).
+    params:
+        Definition 2 parameters; vertex weights are forced off (offline
+        variant) regardless of the flag given here.
+    use_source_weight:
+        Apply ``w_s`` inside the offline distance (the paper's reading).
+        Disable to measure the pure shape difference between streams.
+    """
+
+    query_vertices: int = 7
+    top_p: int = 10
+    params: SimilarityParams = field(default_factory=SimilarityParams)
+    use_source_weight: bool = True
+
+    def __post_init__(self) -> None:
+        if self.query_vertices < 2:
+            raise ValueError("query_vertices must be at least 2")
+        if self.top_p < 1:
+            raise ValueError("top_p must be at least 1")
+
+    def offline_params(self) -> SimilarityParams:
+        """The effective offline Definition 2 parameters."""
+        params = self.params.offline()
+        if not self.use_source_weight:
+            params = replace(params, use_source_weights=False)
+        return params
+
+
+def _signature_groups(
+    series: PLRSeries, n_vertices: int
+) -> dict[tuple[int, ...], tuple[np.ndarray, np.ndarray]]:
+    """Group all length-``n`` windows of a series by state signature.
+
+    Returns signature -> (amplitude matrix, duration matrix).
+    """
+    groups: dict[tuple[int, ...], list[int]] = {}
+    states = series.states
+    for start in range(len(series) - n_vertices + 1):
+        signature = tuple(int(s) for s in states[start : start + n_vertices - 1])
+        groups.setdefault(signature, []).append(start)
+    amplitudes = series.amplitudes
+    durations = series.durations
+    stacked = {}
+    for signature, starts in groups.items():
+        m = n_vertices - 1
+        stacked[signature] = (
+            np.vstack([amplitudes[s : s + m] for s in starts]),
+            np.vstack([durations[s : s + m] for s in starts]),
+        )
+    return stacked
+
+
+def directed_distances(
+    queries: PLRSeries,
+    target: PLRSeries,
+    relation: SourceRelation,
+    config: StreamDistanceConfig | None = None,
+) -> list[float]:
+    """Retained top-``p`` distances of every query window of ``queries``
+    against ``target`` (one direction of Definition 3).
+
+    Queries without at least ``p`` same-signature candidates in ``target``
+    are outliers and contribute nothing.
+
+    Parameters
+    ----------
+    queries:
+        The stream providing query subsequences.
+    target:
+        The stream searched for candidates.
+    relation:
+        Provenance of ``target`` relative to ``queries`` (selects ``w_s``).
+    config:
+        Distance parameters.
+    """
+    config = config or StreamDistanceConfig()
+    n = config.query_vertices
+    if len(queries) < n or len(target) < n:
+        return []
+    params = config.offline_params()
+    w_s = params.source_weight(relation)
+    groups = _signature_groups(target, n)
+
+    retained: list[float] = []
+    for query in queries.subsequences(n):
+        group = groups.get(query.state_signature)
+        if group is None:
+            continue
+        amplitudes, durations = group
+        if len(amplitudes) < config.top_p:
+            continue
+        weights = np.full(len(amplitudes), w_s)
+        distances = batch_distance(query, amplitudes, durations, weights, params)
+        top = np.partition(distances, config.top_p - 1)[: config.top_p]
+        retained.extend(float(d) for d in top)
+    return retained
+
+
+def stream_distance(
+    r: PLRSeries,
+    s: PLRSeries,
+    relation: SourceRelation = SourceRelation.OTHER_PATIENT,
+    config: StreamDistanceConfig | None = None,
+) -> float:
+    """The symmetric Definition 3 distance between two streams.
+
+    Returns ``math.inf`` when no query subsequence of either stream retains
+    candidates (the streams share no state patterns at the configured
+    length).
+
+    Parameters
+    ----------
+    r, s:
+        The two PLR streams.
+    relation:
+        Provenance of one stream relative to the other (same session /
+        same patient / other patient).
+    config:
+        Distance parameters.
+    """
+    config = config or StreamDistanceConfig()
+    forward = directed_distances(r, s, relation, config)
+    backward = directed_distances(s, r, relation, config)
+    combined = forward + backward
+    if not combined and config.top_p > 1:
+        # Highly irregular streams fragment into many rare signatures, so
+        # every query can fail the >= p outlier rule.  Fall back to the
+        # single best candidate per query rather than declaring the pair
+        # incomparable.
+        relaxed = replace(config, top_p=1)
+        forward = directed_distances(r, s, relation, relaxed)
+        backward = directed_distances(s, r, relation, relaxed)
+        combined = forward + backward
+    if not combined:
+        return math.inf
+    return float(np.mean(combined))

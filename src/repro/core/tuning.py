@@ -1,0 +1,113 @@
+"""Automatic parameter tuning (Sections 4.2 & 7.1; declared future work).
+
+The paper sets Table 1 by coordinate descent: "to determine the values for
+one parameter, we first fixed all the other parameters... then we run
+experiments with different values... finally it is fixed to the value with
+the best prediction results."  This module automates exactly that
+procedure against the replay harness, turning the paper's manual process
+(and its "ongoing project" of automatic tuning) into a reusable tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from ..analysis.experiments import Cohort, evaluate_cohort
+from ..analysis.replay import ReplayConfig
+from .similarity import SimilarityParams
+
+__all__ = ["TuningTrial", "TuningResult", "tune_similarity_params"]
+
+
+@dataclass(frozen=True)
+class TuningTrial:
+    """One evaluated parameter setting."""
+
+    parameter: str
+    value: float
+    score: float
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Outcome of a coordinate-descent tuning run.
+
+    ``score`` is the pooled mean prediction error (lower is better).
+    """
+
+    params: SimilarityParams
+    score: float
+    trials: tuple[TuningTrial, ...]
+
+    def best_value(self, parameter: str):
+        """The tuned value of one parameter."""
+        return getattr(self.params, parameter)
+
+
+def _score(
+    cohort: Cohort,
+    params: SimilarityParams,
+    replay: ReplayConfig,
+    patient_ids,
+) -> float:
+    result = evaluate_cohort(
+        cohort, replace(replay, similarity=params), patient_ids=patient_ids
+    )
+    summary = result.summary()
+    if summary.n == 0:
+        return float("inf")
+    return summary.mean
+
+
+def tune_similarity_params(
+    cohort: Cohort,
+    grid: dict[str, Sequence],
+    base: SimilarityParams | None = None,
+    replay: ReplayConfig | None = None,
+    patient_ids: tuple[str, ...] | None = None,
+    sweeps: int = 1,
+) -> TuningResult:
+    """Coordinate-descent tuning of :class:`SimilarityParams`.
+
+    Parameters are swept in the order given by ``grid``; each sweep fixes
+    the best value found before moving to the next parameter, repeated
+    ``sweeps`` times (one pass reproduces the paper's procedure).
+
+    Parameters
+    ----------
+    cohort:
+        The evaluation cohort (live sessions are replayed per trial, so
+        keep it small).
+    grid:
+        Parameter name -> candidate values, e.g.
+        ``{"frequency_weight": [0.1, 0.25, 1.0]}``.
+    base:
+        Starting parameters (Table 1 defaults).
+    replay:
+        Replay settings shared by all trials.
+    patient_ids:
+        Restrict evaluation to these patients (speeds up trials).
+    sweeps:
+        Number of full passes over the grid.
+    """
+    for name in grid:
+        if not hasattr(SimilarityParams(), name):
+            raise ValueError(f"unknown similarity parameter {name!r}")
+    params = base or SimilarityParams()
+    replay = replay or ReplayConfig()
+
+    trials: list[TuningTrial] = []
+    best_score = _score(cohort, params, replay, patient_ids)
+    for _ in range(max(1, sweeps)):
+        for name, values in grid.items():
+            best_value = getattr(params, name)
+            for value in values:
+                candidate = replace(params, **{name: value})
+                score = _score(cohort, candidate, replay, patient_ids)
+                trials.append(TuningTrial(name, value, score))
+                if score < best_score:
+                    best_score = score
+                    best_value = value
+            params = replace(params, **{name: best_value})
+    return TuningResult(params=params, score=best_score, trials=tuple(trials))

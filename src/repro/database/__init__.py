@@ -1,0 +1,23 @@
+"""Hierarchical motion-stream database substrate.
+
+Implements the paper's Section 3.2 data model: patients own session
+streams, streams are PLR vertex lists.  Includes streaming ingestion and
+the state-signature index (the paper's future-work indexing extension).
+"""
+
+from .index import CandidateSet, StateSignatureIndex
+from .ingest import StreamIngestor
+from .log import VertexLogWriter, read_vertex_log
+from .records import PatientRecord, StreamRecord
+from .store import MotionDatabase
+
+__all__ = [
+    "MotionDatabase",
+    "PatientRecord",
+    "StreamRecord",
+    "StreamIngestor",
+    "StateSignatureIndex",
+    "CandidateSet",
+    "VertexLogWriter",
+    "read_vertex_log",
+]

@@ -1,0 +1,124 @@
+"""Append-only vertex log (write-ahead persistence for live sessions).
+
+A treatment session is a safety-critical stream: if the process dies
+mid-session, the PLR committed so far must be recoverable.  The vertex
+log appends one JSON line per committed vertex (cheap: a handful of
+vertices per breathing cycle, not per raw sample) and can replay the
+stream into a fresh :class:`~repro.core.model.PLRSeries`.
+
+Format — one header line, then one line per vertex::
+
+    {"format": "repro.vertexlog/v1", "stream_id": ..., "patient_id": ...}
+    {"t": 1.23, "p": [4.5], "s": 2}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO
+
+from ..core.model import BreathingState, PLRSeries, Vertex
+
+__all__ = ["VertexLogWriter", "read_vertex_log"]
+
+_FORMAT = "repro.vertexlog/v1"
+
+
+class VertexLogWriter:
+    """Appends committed vertices to a JSONL file as they arrive.
+
+    Usable as a context manager; every vertex is flushed immediately so a
+    crash loses at most the in-flight line.
+
+    Parameters
+    ----------
+    path:
+        Log file path (created/truncated).
+    stream_id / patient_id:
+        Identity written to the header for recovery bookkeeping.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        stream_id: str = "",
+        patient_id: str = "",
+    ) -> None:
+        self.path = Path(path)
+        self._handle: IO[str] | None = self.path.open("w")
+        header = {
+            "format": _FORMAT,
+            "stream_id": stream_id,
+            "patient_id": patient_id,
+        }
+        self._handle.write(json.dumps(header) + "\n")
+        self._handle.flush()
+        self.n_written = 0
+
+    def append(self, vertex: Vertex) -> None:
+        """Write one vertex and flush."""
+        if self._handle is None:
+            raise ValueError("log is closed")
+        record = {
+            "t": vertex.time,
+            "p": list(vertex.position),
+            "s": int(vertex.state),
+        }
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()
+        self.n_written += 1
+
+    def extend(self, vertices) -> None:
+        """Write several vertices."""
+        for vertex in vertices:
+            self.append(vertex)
+
+    def close(self) -> None:
+        """Close the underlying file."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "VertexLogWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_vertex_log(path: str | Path) -> tuple[dict, PLRSeries]:
+    """Replay a vertex log into a series.
+
+    Returns the header metadata and the recovered PLR.  A truncated final
+    line (crash mid-write) is tolerated and skipped.
+    """
+    path = Path(path)
+    series = PLRSeries()
+    header: dict | None = None
+    with path.open() as handle:
+        for line_no, line in enumerate(handle):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                if line_no == 0:
+                    raise ValueError("vertex log header is unreadable")
+                break  # torn final write; everything before it is safe
+            if line_no == 0:
+                if payload.get("format") != _FORMAT:
+                    raise ValueError("not a repro vertex log")
+                header = payload
+                continue
+            series.append(
+                Vertex(
+                    payload["t"],
+                    tuple(payload["p"]),
+                    BreathingState(payload["s"]),
+                )
+            )
+    if header is None:
+        raise ValueError("vertex log is empty")
+    return header, series

@@ -1,0 +1,81 @@
+"""Record types of the hierarchical stream database (Section 3.2).
+
+The paper's data model is a three-level hierarchy: the database holds
+patient records; each patient has a set of session data streams; each
+stream is an ordered list of PLR vertices.  These records are thin,
+explicit containers — the behaviour lives in
+:class:`repro.database.store.MotionDatabase`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.model import PLRSeries
+from ..signals.patients import PatientAttributes
+
+__all__ = ["StreamRecord", "PatientRecord"]
+
+
+@dataclass
+class StreamRecord:
+    """One motion stream (one treatment session's PLR).
+
+    Attributes
+    ----------
+    stream_id:
+        Database-wide unique identifier.
+    patient_id:
+        Owning patient.
+    session_id:
+        Clinical session label (several streams may share a session in
+        principle; here one stream per session).
+    series:
+        The PLR vertices.  For live streams this is the *same object* the
+        online segmenter appends to, so the record always reflects the
+        latest committed vertex.
+    metadata:
+        Free-form annotations (simulator seed, acquisition notes, ...).
+    """
+
+    stream_id: str
+    patient_id: str
+    session_id: str
+    series: PLRSeries = field(default_factory=PLRSeries)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def n_vertices(self) -> int:
+        """Number of committed PLR vertices."""
+        return len(self.series)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StreamRecord({self.stream_id!r}, patient={self.patient_id!r}, "
+            f"vertices={self.n_vertices})"
+        )
+
+
+@dataclass
+class PatientRecord:
+    """One patient: physiological attributes plus their session streams."""
+
+    patient_id: str
+    attributes: PatientAttributes | None = None
+    streams: dict[str, StreamRecord] = field(default_factory=dict)
+
+    @property
+    def n_streams(self) -> int:
+        """Number of session streams recorded for this patient."""
+        return len(self.streams)
+
+    @property
+    def stream_ids(self) -> tuple[str, ...]:
+        """Identifiers of this patient's streams, in insertion order."""
+        return tuple(self.streams)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PatientRecord({self.patient_id!r}, streams={self.n_streams})"
+        )

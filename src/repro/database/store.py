@@ -1,0 +1,240 @@
+"""The hierarchical motion-stream database (Section 3.2).
+
+:class:`MotionDatabase` stores patient records, each holding session
+streams of PLR vertices.  It answers the provenance question Definition 2
+needs (is a candidate from the query's own session, the same patient, or
+another patient?), iterates streams for the offline analyses, and persists
+to a portable JSON snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator
+
+from ..core.model import BreathingState, PLRSeries, Vertex
+from ..core.similarity import SourceRelation
+from ..signals.patients import PatientAttributes
+from .records import PatientRecord, StreamRecord
+
+__all__ = ["MotionDatabase"]
+
+
+class MotionDatabase:
+    """In-memory hierarchical store: patients -> session streams -> PLR."""
+
+    def __init__(self) -> None:
+        self._patients: dict[str, PatientRecord] = {}
+        self._streams: dict[str, StreamRecord] = {}
+
+    # -- writes ---------------------------------------------------------------
+
+    def add_patient(
+        self,
+        patient_id: str,
+        attributes: PatientAttributes | None = None,
+    ) -> PatientRecord:
+        """Create a patient record; id must be new."""
+        if patient_id in self._patients:
+            raise KeyError(f"patient {patient_id!r} already exists")
+        record = PatientRecord(patient_id, attributes)
+        self._patients[patient_id] = record
+        return record
+
+    def add_stream(
+        self,
+        patient_id: str,
+        session_id: str,
+        series: PLRSeries | None = None,
+        stream_id: str | None = None,
+        metadata: dict | None = None,
+    ) -> StreamRecord:
+        """Attach a stream to an existing patient.
+
+        Parameters
+        ----------
+        patient_id:
+            Owning patient; must already exist.
+        session_id:
+            Session label; the default ``stream_id`` is
+            ``"{patient_id}/{session_id}"``.
+        series:
+            The PLR; pass the online segmenter's live series for streaming
+            sessions, or omit for an empty one.
+        stream_id:
+            Explicit identifier override.
+        metadata:
+            Free-form annotations stored on the record.
+        """
+        patient = self._patients.get(patient_id)
+        if patient is None:
+            raise KeyError(f"unknown patient {patient_id!r}")
+        stream_id = stream_id or f"{patient_id}/{session_id}"
+        if stream_id in self._streams:
+            raise KeyError(f"stream {stream_id!r} already exists")
+        record = StreamRecord(
+            stream_id=stream_id,
+            patient_id=patient_id,
+            session_id=session_id,
+            series=series if series is not None else PLRSeries(),
+            metadata=metadata or {},
+        )
+        patient.streams[stream_id] = record
+        self._streams[stream_id] = record
+        return record
+
+    def remove_stream(self, stream_id: str) -> None:
+        """Delete a stream record."""
+        record = self._streams.pop(stream_id, None)
+        if record is None:
+            raise KeyError(f"unknown stream {stream_id!r}")
+        del self._patients[record.patient_id].streams[stream_id]
+
+    # -- reads ----------------------------------------------------------------
+
+    def patient(self, patient_id: str) -> PatientRecord:
+        """The patient record for ``patient_id``."""
+        try:
+            return self._patients[patient_id]
+        except KeyError:
+            raise KeyError(f"unknown patient {patient_id!r}") from None
+
+    def stream(self, stream_id: str) -> StreamRecord:
+        """The stream record for ``stream_id``."""
+        try:
+            return self._streams[stream_id]
+        except KeyError:
+            raise KeyError(f"unknown stream {stream_id!r}") from None
+
+    def __contains__(self, stream_id: str) -> bool:
+        return stream_id in self._streams
+
+    @property
+    def patient_ids(self) -> tuple[str, ...]:
+        """All patient identifiers, in insertion order."""
+        return tuple(self._patients)
+
+    @property
+    def stream_ids(self) -> tuple[str, ...]:
+        """All stream identifiers, in insertion order."""
+        return tuple(self._streams)
+
+    @property
+    def n_patients(self) -> int:
+        """Number of patient records."""
+        return len(self._patients)
+
+    @property
+    def n_streams(self) -> int:
+        """Number of stream records."""
+        return len(self._streams)
+
+    @property
+    def n_vertices(self) -> int:
+        """Total committed PLR vertices across all streams."""
+        return sum(s.n_vertices for s in self._streams.values())
+
+    def iter_patients(self) -> Iterator[PatientRecord]:
+        """Iterate patient records in insertion order."""
+        return iter(self._patients.values())
+
+    def iter_streams(self) -> Iterator[StreamRecord]:
+        """Iterate stream records in insertion order."""
+        return iter(self._streams.values())
+
+    def relation(
+        self, query_stream_id: str, candidate_stream_id: str
+    ) -> SourceRelation:
+        """Provenance of a candidate stream relative to the query stream.
+
+        Selects the Definition 2 source weight ``w_s``: same session,
+        another session of the same patient, or another patient.
+        """
+        query = self.stream(query_stream_id)
+        candidate = self.stream(candidate_stream_id)
+        if query.stream_id == candidate.stream_id or (
+            query.patient_id == candidate.patient_id
+            and query.session_id == candidate.session_id
+        ):
+            return SourceRelation.SAME_SESSION
+        if query.patient_id == candidate.patient_id:
+            return SourceRelation.SAME_PATIENT
+        return SourceRelation.OTHER_PATIENT
+
+    # -- persistence ------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write a JSON snapshot of the whole database."""
+        payload = {
+            "format": "repro.motiondb/v1",
+            "patients": [
+                self._patient_payload(patient)
+                for patient in self._patients.values()
+            ],
+        }
+        Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "MotionDatabase":
+        """Rebuild a database from a :meth:`save` snapshot."""
+        payload = json.loads(Path(path).read_text())
+        if payload.get("format") != "repro.motiondb/v1":
+            raise ValueError("not a repro motion database snapshot")
+        db = cls()
+        for patient_payload in payload["patients"]:
+            attrs_payload = patient_payload.get("attributes")
+            attributes = (
+                PatientAttributes(**attrs_payload) if attrs_payload else None
+            )
+            db.add_patient(patient_payload["patient_id"], attributes)
+            for stream_payload in patient_payload["streams"]:
+                series = PLRSeries()
+                for t, pos, state in zip(
+                    stream_payload["times"],
+                    stream_payload["positions"],
+                    stream_payload["states"],
+                ):
+                    series.append(Vertex(t, tuple(pos), BreathingState(state)))
+                db.add_stream(
+                    patient_id=patient_payload["patient_id"],
+                    session_id=stream_payload["session_id"],
+                    series=series,
+                    stream_id=stream_payload["stream_id"],
+                    metadata=stream_payload.get("metadata", {}),
+                )
+        return db
+
+    @staticmethod
+    def _patient_payload(patient: PatientRecord) -> dict:
+        attributes = None
+        if patient.attributes is not None:
+            attributes = {
+                "patient_id": patient.attributes.patient_id,
+                "age": patient.attributes.age,
+                "sex": patient.attributes.sex,
+                "tumor_site": patient.attributes.tumor_site,
+                "pathology": patient.attributes.pathology,
+                "tumor_type": patient.attributes.tumor_type,
+            }
+        return {
+            "patient_id": patient.patient_id,
+            "attributes": attributes,
+            "streams": [
+                {
+                    "stream_id": stream.stream_id,
+                    "session_id": stream.session_id,
+                    "metadata": stream.metadata,
+                    "times": stream.series.times.tolist(),
+                    "positions": stream.series.positions.tolist(),
+                    "states": stream.series.states.tolist(),
+                }
+                for stream in patient.streams.values()
+            ],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MotionDatabase(patients={self.n_patients}, "
+            f"streams={self.n_streams}, vertices={self.n_vertices})"
+        )

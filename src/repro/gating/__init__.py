@@ -1,0 +1,17 @@
+"""Radiotherapy application substrate: gated treatment and beam tracking."""
+
+from .gating import GatingWindow, delayed_positions, simulate_gating
+from .metrics import GatingReport, TrackingReport
+from .phase import simulate_phase_gating, states_at
+from .tracking import simulate_tracking
+
+__all__ = [
+    "GatingWindow",
+    "delayed_positions",
+    "simulate_gating",
+    "simulate_phase_gating",
+    "states_at",
+    "simulate_tracking",
+    "GatingReport",
+    "TrackingReport",
+]

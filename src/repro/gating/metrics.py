@@ -1,0 +1,54 @@
+"""Treatment-quality metrics shared by the gating and tracking simulators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GatingReport", "TrackingReport"]
+
+
+@dataclass(frozen=True)
+class GatingReport:
+    """Quality of one gated-treatment simulation.
+
+    Attributes
+    ----------
+    duty_cycle:
+        Fraction of session time with the beam on.
+    precision:
+        Of beam-on time, the fraction during which the tumor truly was
+        inside the gating window (mistreatment is ``1 - precision``).
+    recall:
+        Of the time the tumor truly was in the window, the fraction during
+        which the beam was on (treatment efficiency).
+    n_samples:
+        Number of evaluated control instants.
+    """
+
+    duty_cycle: float
+    precision: float
+    recall: float
+    n_samples: int
+
+    @property
+    def mistreatment(self) -> float:
+        """Fraction of beam-on time with the tumor outside the window."""
+        return 1.0 - self.precision
+
+
+@dataclass(frozen=True)
+class TrackingReport:
+    """Quality of one beam-tracking simulation.
+
+    Attributes
+    ----------
+    mean_error / p95_error / max_error:
+        Distance (mm) between beam aim point and true tumor position.
+    n_samples:
+        Number of evaluated control instants.
+    """
+
+    mean_error: float
+    p95_error: float
+    max_error: float
+    n_samples: int

@@ -1,0 +1,67 @@
+"""Phase-based gating: treat during a predicted breathing state.
+
+Clinically, gating is configured either on *amplitude* (a spatial window,
+:mod:`repro.gating.gating`) or on *phase* — deliver only during a chosen
+respiratory phase, typically end of exhale, the most stable part of the
+cycle.  The paper's state model makes phase gating natural: the gate is
+simply "the predicted state is EOE".
+
+:func:`simulate_phase_gating` scores a sequence of per-frame state
+decisions against ground-truth states, reusing the precision / recall /
+duty-cycle metrics of amplitude gating.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.model import BreathingState
+from .metrics import GatingReport
+
+__all__ = ["simulate_phase_gating", "states_at"]
+
+
+def states_at(series, times: Sequence[float]) -> list[BreathingState]:
+    """The PLR's segment state at each query time (clamped at the ends)."""
+    return [
+        BreathingState(int(series.states[series.segment_index_at(float(t))]))
+        for t in times
+    ]
+
+
+def simulate_phase_gating(
+    true_states: Sequence[BreathingState],
+    gate_decisions: Sequence[bool],
+    treat_state: BreathingState = BreathingState.EOE,
+) -> GatingReport:
+    """Score a phase-gated treatment.
+
+    Parameters
+    ----------
+    true_states:
+        Ground-truth breathing state at each control instant.
+    gate_decisions:
+        Beam-on decision per instant (from predicted states).
+    treat_state:
+        The phase treatment should coincide with (default: end of exhale).
+    """
+    if len(true_states) != len(gate_decisions):
+        raise ValueError("states and decisions must align")
+    if len(true_states) == 0:
+        raise ValueError("need at least one control instant")
+    beam_on = np.asarray(gate_decisions, dtype=bool)
+    truly_in = np.asarray([s is treat_state for s in true_states], dtype=bool)
+
+    duty = float(beam_on.mean())
+    on = int(beam_on.sum())
+    inside = int(truly_in.sum())
+    precision = float((beam_on & truly_in).sum() / on) if on else 1.0
+    recall = float((beam_on & truly_in).sum() / inside) if inside else 1.0
+    return GatingReport(
+        duty_cycle=duty,
+        precision=precision,
+        recall=recall,
+        n_samples=len(beam_on),
+    )

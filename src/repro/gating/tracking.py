@@ -1,0 +1,48 @@
+"""Beam-tracking simulation (paper Section 1).
+
+In beam tracking the radiation beam follows the tumor dynamically; the
+aim point is whatever position estimate the controller has — the stale
+observation under system latency, or a prediction.  The report is the
+distance between aim point and true position over the session.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .metrics import TrackingReport
+
+__all__ = ["simulate_tracking"]
+
+
+def simulate_tracking(
+    true_positions: np.ndarray,
+    aim_positions: np.ndarray,
+) -> TrackingReport:
+    """Score a tracking session.
+
+    Parameters
+    ----------
+    true_positions:
+        Actual tumor positions at the control instants, shape ``(n,)`` or
+        ``(n, ndim)``.
+    aim_positions:
+        Beam aim points at the same instants, same shape.
+    """
+    true_positions = np.asarray(true_positions, dtype=float)
+    aim_positions = np.asarray(aim_positions, dtype=float)
+    if true_positions.shape != aim_positions.shape:
+        raise ValueError("position arrays must align")
+    if len(true_positions) == 0:
+        raise ValueError("need at least one control instant")
+    diff = true_positions - aim_positions
+    if diff.ndim == 1:
+        errors = np.abs(diff)
+    else:
+        errors = np.linalg.norm(diff, axis=1)
+    return TrackingReport(
+        mean_error=float(errors.mean()),
+        p95_error=float(np.percentile(errors, 95)),
+        max_error=float(errors.max()),
+        n_samples=len(errors),
+    )

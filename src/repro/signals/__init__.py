@@ -1,0 +1,52 @@
+"""Synthetic structured-motion signal substrate.
+
+Substitutes the paper's real patient data: a respiratory-motion simulator
+with ground-truth state annotation, a generative patient population whose
+physiological attributes shape breathing traits, and the Section 6
+generalisation domains (heartbeat, robot arm, tides).
+"""
+
+from .domains import (
+    dual_dwell_fsa,
+    heartbeat_signal,
+    heartbeat_spec,
+    robot_arm_signal,
+    robot_arm_spec,
+    tide_signal,
+    tide_spec,
+)
+from .noise import BaselineDrift, CardiacMotion, GaussianJitter, SpikeNoise
+from .patients import (
+    BreathingTraits,
+    PatientAttributes,
+    PatientProfile,
+    generate_population,
+    traits_from_attributes,
+)
+from .respiratory import RawStream, RespiratorySimulator, SessionConfig
+from .waveforms import CyclePhase, CycleSpec, render_cycle
+
+__all__ = [
+    "CyclePhase",
+    "CycleSpec",
+    "render_cycle",
+    "CardiacMotion",
+    "SpikeNoise",
+    "GaussianJitter",
+    "BaselineDrift",
+    "PatientAttributes",
+    "BreathingTraits",
+    "PatientProfile",
+    "traits_from_attributes",
+    "generate_population",
+    "RawStream",
+    "RespiratorySimulator",
+    "SessionConfig",
+    "dual_dwell_fsa",
+    "heartbeat_signal",
+    "heartbeat_spec",
+    "robot_arm_signal",
+    "robot_arm_spec",
+    "tide_signal",
+    "tide_spec",
+]

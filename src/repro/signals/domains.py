@@ -1,0 +1,255 @@
+"""Section 6 generalisation domains: heartbeat, robot arm, tides.
+
+Each domain supplies a signal generator and a
+:class:`~repro.core.framework.DomainSpec` binding the abstract state slots
+(IN / EX / EOE / IRR) to its own semantics:
+
+=============  ============  ============  =================
+slot           heartbeat     robot arm     tides
+=============  ============  ============  =================
+``IN``         upstroke      extend        flood (rising)
+``EX``         downstroke    retract       ebb (falling)
+``EOE``        diastole      dwell         slack water
+``IRR``        ectopic beat  fault         storm surge
+=============  ============  ============  =================
+
+Heartbeat keeps the respiratory cycle order (rise, fall, rest once per
+cycle); robot arms and tides dwell at *both* extremes, so their automata
+allow ``EOE`` after either moving state and their segmenters disable the
+low-position gate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.framework import DomainSpec
+from ..core.fsm import FiniteStateAutomaton, respiratory_fsa
+from ..core.model import BreathingState
+from ..core.query import QueryConfig
+from ..core.segmentation import SegmenterConfig
+from ..core.similarity import SimilarityParams
+from ..core.stability import StabilityConfig
+
+__all__ = [
+    "dual_dwell_fsa",
+    "heartbeat_signal",
+    "heartbeat_spec",
+    "robot_arm_signal",
+    "robot_arm_spec",
+    "tide_signal",
+    "tide_spec",
+]
+
+IN = BreathingState.IN
+EX = BreathingState.EX
+EOE = BreathingState.EOE
+IRR = BreathingState.IRR
+
+
+def dual_dwell_fsa() -> FiniteStateAutomaton:
+    """Automaton for motions that rest at both extremes:
+    ``IN -> EOE -> EX -> EOE -> IN`` (dwell after every move)."""
+    return FiniteStateAutomaton(
+        states=tuple(BreathingState),
+        transitions=frozenset(
+            {(IN, EOE), (EOE, EX), (EX, EOE), (EOE, IN)}
+        ),
+        irregular=IRR,
+    )
+
+
+# -- heartbeat ----------------------------------------------------------------
+
+
+def heartbeat_signal(
+    duration: float = 60.0,
+    sample_rate: float = 100.0,
+    bpm: float = 70.0,
+    bpm_cv: float = 0.05,
+    amplitude: float = 1.0,
+    ectopic_rate: float = 0.01,
+    noise_sigma: float = 0.01,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """An arterial-pulse-like waveform: sharp upstroke, slower decay, rest.
+
+    Returns ``(times, values)`` with values shaped ``(n, 1)``.
+    """
+    rng = np.random.default_rng(seed)
+    n = int(duration * sample_rate)
+    times = np.arange(n) / sample_rate
+    signal = np.zeros(n)
+    cursor = 0.0
+    base_period = 60.0 / bpm
+    while cursor < duration:
+        period = base_period * float(np.exp(rng.normal(0.0, bpm_cv)))
+        if rng.random() < ectopic_rate:
+            period *= 0.55  # premature beat
+            amp = amplitude * 0.6
+        else:
+            amp = amplitude * float(np.exp(rng.normal(0.0, 0.05)))
+        rise = 0.22 * period
+        fall = 0.38 * period
+        lo = int(np.searchsorted(times, cursor))
+        hi = int(np.searchsorted(times, cursor + period))
+        t_rel = times[lo:hi] - cursor
+        chunk = np.zeros(hi - lo)
+        up = t_rel < rise
+        chunk[up] = amp * 0.5 * (1 - np.cos(np.pi * t_rel[up] / rise))
+        down = (t_rel >= rise) & (t_rel < rise + fall)
+        chunk[down] = amp * 0.5 * (
+            1 + np.cos(np.pi * (t_rel[down] - rise) / fall)
+        )
+        signal[lo:hi] = chunk
+        cursor += period
+    signal += rng.normal(0.0, noise_sigma, n)
+    return times, signal[:, np.newaxis]
+
+
+def heartbeat_spec() -> DomainSpec:
+    """Framework spec for heartbeat analysis (~1 Hz cycles, 100 Hz data)."""
+    return DomainSpec(
+        name="heartbeat",
+        fsa=respiratory_fsa(),
+        segmenter=SegmenterConfig(
+            smoothing_seconds=0.03,
+            velocity_window=0.06,
+            min_state_duration=0.04,
+            max_eoe_duration=1.2,
+            spike_velocity=200.0,
+            range_decay_seconds=5.0,
+        ),
+        similarity=SimilarityParams(distance_threshold=2.0),
+        query=QueryConfig(stability=StabilityConfig(threshold=2.0)),
+        state_names={IN: "upstroke", EX: "downstroke", EOE: "diastole",
+                     IRR: "ectopic"},
+    )
+
+
+# -- robot arm -----------------------------------------------------------------
+
+
+def robot_arm_signal(
+    duration: float = 120.0,
+    sample_rate: float = 20.0,
+    stroke: float = 100.0,
+    move_time: float = 1.2,
+    dwell_time: float = 0.8,
+    dwell_jitter: float = 0.1,
+    fault_rate: float = 0.01,
+    noise_sigma: float = 0.3,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """A pick-and-place axis: extend, dwell, retract, dwell (trapezoidal).
+
+    Returns ``(times, values)`` with values shaped ``(n, 1)`` (mm).
+    """
+    rng = np.random.default_rng(seed)
+    n = int(duration * sample_rate)
+    times = np.arange(n) / sample_rate
+    signal = np.zeros(n)
+    cursor = 0.0
+    position = 0.0
+    target = stroke
+    while cursor < duration:
+        move = move_time * float(np.exp(rng.normal(0.0, 0.05)))
+        if rng.random() < fault_rate:
+            # Fault: stall mid-move, then resume.
+            stall = float(rng.uniform(1.0, 3.0))
+            lo = int(np.searchsorted(times, cursor))
+            hi = int(np.searchsorted(times, cursor + stall))
+            signal[lo:hi] = position + rng.normal(0, 1.0, hi - lo).cumsum() * 0.05
+            cursor += stall
+            continue
+        lo = int(np.searchsorted(times, cursor))
+        hi = int(np.searchsorted(times, cursor + move))
+        u = (times[lo:hi] - cursor) / move
+        signal[lo:hi] = position + (target - position) * u
+        position, target = target, position
+        cursor += move
+        dwell = dwell_time * float(np.exp(rng.normal(0.0, dwell_jitter)))
+        lo = int(np.searchsorted(times, cursor))
+        hi = int(np.searchsorted(times, cursor + dwell))
+        signal[lo:hi] = position
+        cursor += dwell
+    signal += rng.normal(0.0, noise_sigma, n)
+    return times, signal[:, np.newaxis]
+
+
+def robot_arm_spec() -> DomainSpec:
+    """Framework spec for assembly-line axis monitoring."""
+    return DomainSpec(
+        name="robot_arm",
+        fsa=dual_dwell_fsa(),
+        segmenter=SegmenterConfig(
+            smoothing_seconds=0.08,
+            velocity_window=0.2,
+            min_state_duration=0.15,
+            max_eoe_duration=5.0,
+            min_cycle_amplitude_fraction=0.3,
+            spike_velocity=500.0,
+            range_decay_seconds=30.0,
+            flat_low_gate=False,
+        ),
+        similarity=SimilarityParams(distance_threshold=30.0),
+        query=QueryConfig(stability=StabilityConfig(threshold=20.0)),
+        state_names={IN: "extend", EX: "retract", EOE: "dwell",
+                     IRR: "fault"},
+    )
+
+
+# -- tides ----------------------------------------------------------------------
+
+
+def tide_signal(
+    duration_hours: float = 240.0,
+    samples_per_hour: float = 12.0,
+    m2_amplitude: float = 1.2,
+    s2_amplitude: float = 0.4,
+    weather_sigma: float = 0.05,
+    surge_rate_per_day: float = 0.1,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Semidiurnal tide: M2 + S2 constituents, weather noise, rare surges.
+
+    Times are in hours, heights in metres, shaped ``(n, 1)``.
+    """
+    rng = np.random.default_rng(seed)
+    n = int(duration_hours * samples_per_hour)
+    times = np.arange(n) / samples_per_hour
+    m2 = m2_amplitude * np.sin(2 * np.pi * times / 12.42)
+    s2 = s2_amplitude * np.sin(2 * np.pi * times / 12.0 + 0.7)
+    weather = np.convolve(
+        rng.normal(0.0, weather_sigma, n), np.ones(24) / 24, mode="same"
+    )
+    signal = m2 + s2 + weather
+    # Storm surges: a few-hour positive excursion.
+    n_surges = rng.poisson(surge_rate_per_day * duration_hours / 24.0)
+    for _ in range(n_surges):
+        centre = rng.uniform(0, duration_hours)
+        width = rng.uniform(2.0, 5.0)
+        signal += 0.8 * np.exp(-0.5 * ((times - centre) / width) ** 2)
+    return times, signal[:, np.newaxis]
+
+
+def tide_spec() -> DomainSpec:
+    """Framework spec for tidal analysis (time unit: hours)."""
+    return DomainSpec(
+        name="tides",
+        fsa=dual_dwell_fsa(),
+        segmenter=SegmenterConfig(
+            smoothing_seconds=0.3,
+            velocity_window=0.8,
+            min_state_duration=0.5,
+            max_eoe_duration=4.0,
+            min_cycle_amplitude_fraction=0.2,
+            spike_velocity=5.0,
+            range_decay_seconds=72.0,
+            flat_low_gate=False,
+        ),
+        similarity=SimilarityParams(distance_threshold=3.0),
+        query=QueryConfig(stability=StabilityConfig(threshold=3.0)),
+        state_names={IN: "flood", EX: "ebb", EOE: "slack",
+                     IRR: "surge"},
+    )

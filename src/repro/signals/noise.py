@@ -1,0 +1,132 @@
+"""Noise models for synthetic motion signals.
+
+The paper identifies two dominant noise sources in the raw tracking signal
+(Section 1, Figure 3c/d):
+
+* **cardiac motion** — short-period oscillation superimposed on the
+  breathing signal by the heartbeat, and
+* **spike noise** — isolated acquisition artifacts present in both regular
+  and irregular breathing.
+
+Plus ordinary measurement jitter.  Each model is a small callable object so
+simulators can compose an arbitrary stack of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "CardiacMotion",
+    "SpikeNoise",
+    "GaussianJitter",
+    "BaselineDrift",
+    "compose_noise",
+]
+
+
+@dataclass(frozen=True)
+class CardiacMotion:
+    """Heartbeat-induced oscillation.
+
+    A sinusoid at roughly heart rate with slow random phase wander, so it
+    never stays phase-locked to the breathing cycle.
+
+    Attributes
+    ----------
+    amplitude:
+        Oscillation amplitude in mm (typically 0.3-1.0).
+    frequency:
+        Heart rate in Hz (typically 1.0-1.5).
+    phase_jitter:
+        Standard deviation of the per-sample random-walk phase increment.
+    """
+
+    amplitude: float = 0.5
+    frequency: float = 1.2
+    phase_jitter: float = 0.02
+
+    def __call__(self, times: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Sample the cardiac component at ``times``."""
+        wander = np.cumsum(rng.normal(0.0, self.phase_jitter, times.shape))
+        phase = 2.0 * np.pi * self.frequency * times + wander
+        return self.amplitude * np.sin(phase)
+
+
+@dataclass(frozen=True)
+class SpikeNoise:
+    """Sparse acquisition artifacts: isolated large-magnitude outliers.
+
+    Attributes
+    ----------
+    rate:
+        Expected spikes per second.
+    amplitude:
+        Scale (mm) of the two-sided Laplace-distributed spike magnitude.
+    """
+
+    rate: float = 0.05
+    amplitude: float = 3.0
+
+    def __call__(self, times: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Sample the spike component at ``times``."""
+        noise = np.zeros(times.shape)
+        if len(times) < 2 or self.rate <= 0.0:
+            return noise
+        dt = float(np.median(np.diff(times)))
+        p_spike = min(1.0, self.rate * dt)
+        mask = rng.random(times.shape) < p_spike
+        n_spikes = int(np.count_nonzero(mask))
+        if n_spikes:
+            noise[mask] = rng.laplace(0.0, self.amplitude, n_spikes)
+        return noise
+
+
+@dataclass(frozen=True)
+class GaussianJitter:
+    """Plain i.i.d. measurement noise with standard deviation ``sigma`` mm."""
+
+    sigma: float = 0.15
+
+    def __call__(self, times: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Sample the jitter component at ``times``."""
+        return rng.normal(0.0, self.sigma, times.shape)
+
+
+@dataclass(frozen=True)
+class BaselineDrift:
+    """Slow baseline wander (the paper's "base line shifting", Fig. 3b).
+
+    A smoothed random walk: per-second Gaussian increments of standard
+    deviation ``rate`` mm, integrated and low-passed so cycles see a slowly
+    moving end-of-exhale position.
+    """
+
+    rate: float = 0.05
+    smoothing_seconds: float = 5.0
+
+    def __call__(self, times: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Sample the drift component at ``times``."""
+        if len(times) < 2:
+            return np.zeros(times.shape)
+        dt = float(np.median(np.diff(times)))
+        steps = rng.normal(0.0, self.rate * np.sqrt(dt), times.shape)
+        walk = np.cumsum(steps)
+        window = max(1, int(round(self.smoothing_seconds / dt)))
+        kernel = np.ones(window) / window
+        smooth = np.convolve(walk, kernel, mode="same")
+        return smooth - smooth[0]
+
+
+def compose_noise(
+    times: np.ndarray,
+    models: list,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Sum the contributions of several noise models at ``times``."""
+    total = np.zeros(times.shape)
+    for model in models:
+        total += model(times, rng)
+    return total

@@ -1,0 +1,236 @@
+"""Synthetic patient population.
+
+The paper's offline experiments (Figure 8) correlate breathing patterns
+with patient physiological information (tumor site, pathology, age, ...).
+Real patient records are not available, so this module substitutes a
+generative population in which physiological attributes *causally* shape
+breathing traits — e.g. abdominal tumors move with larger amplitude and
+obstructive pathology raises cycle irregularity.  The mapping gives the
+clustering and correlation-discovery experiments a recoverable ground
+truth, exactly the structure the paper hypothesises in real data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+__all__ = [
+    "PatientAttributes",
+    "BreathingTraits",
+    "traits_from_attributes",
+    "PatientProfile",
+    "generate_population",
+    "TUMOR_SITES",
+    "PATHOLOGIES",
+]
+
+#: Tumor locations, ordered by typical respiratory-motion amplitude.
+TUMOR_SITES: tuple[str, ...] = ("lung_upper", "lung_lower", "abdomen")
+
+#: Pulmonary pathology categories used by the correlation experiments.
+PATHOLOGIES: tuple[str, ...] = ("none", "copd", "fibrosis")
+
+
+@dataclass(frozen=True)
+class PatientAttributes:
+    """Physiological record of one synthetic patient."""
+
+    patient_id: str
+    age: int
+    sex: str
+    tumor_site: str
+    pathology: str
+    tumor_type: str = "primary"
+
+    def __post_init__(self) -> None:
+        if self.tumor_site not in TUMOR_SITES:
+            raise ValueError(f"unknown tumor site {self.tumor_site!r}")
+        if self.pathology not in PATHOLOGIES:
+            raise ValueError(f"unknown pathology {self.pathology!r}")
+        if self.sex not in ("F", "M"):
+            raise ValueError("sex must be 'F' or 'M'")
+
+
+@dataclass(frozen=True)
+class BreathingTraits:
+    """Patient-level parameters of the respiratory simulator.
+
+    All per-cycle quantities are sampled around these means; ``*_cv`` values
+    are coefficients of variation (std / mean).
+
+    Three trait groups reproduce the structural properties of real
+    respiratory data that the paper's weighting scheme exploits:
+
+    * ``amplitude_rho`` (high) vs ``period_rho`` (low) — breathing *depth*
+      drifts smoothly while cycle *timing* jitters almost independently,
+      so amplitudes are the reliable matching feature (``w_a > w_f``) and
+      recent cycles predict the next one better than old ones (recency
+      weights ``w_i``).
+    * ``baseline_trend`` — a patient/session-specific intrafraction
+      baseline drift (mm per minute).  It is invisible to the
+      amplitude/duration features, so only matches from the same session
+      or patient share it: the regularity the source weight ``w_s``
+      exploits.
+    * ``shape_power``, ``timing_coupling`` and ``dwell_coupling`` —
+      idiosyncratic waveform curvature and amplitude-conditional phase
+      timing (how a deeper-than-usual breath reshapes the inhale fraction
+      and the end-of-exhale dwell).  These conditionals are invisible to
+      the amplitude/duration features of a *matched window* but govern its
+      immediate future, so only same-patient matches apply the right
+      conditional — the regularity the source weight ``w_s`` exploits.
+    """
+
+    mean_period: float = 4.0
+    period_cv: float = 0.08
+    mean_amplitude: float = 10.0
+    amplitude_cv: float = 0.10
+    eoe_fraction: float = 0.30
+    inhale_fraction: float = 0.32
+    baseline_drift_rate: float = 0.05
+    cardiac_amplitude: float = 0.5
+    cardiac_frequency: float = 1.2
+    spike_rate: float = 0.04
+    measurement_sigma: float = 0.15
+    irregular_rate: float = 0.02
+    shape_power: float = 1.0
+    amplitude_rho: float = 0.85
+    period_rho: float = 0.25
+    baseline_trend: float = 0.0
+    timing_coupling: float = 0.0
+    dwell_coupling: float = 0.0
+    motion_axis: tuple[float, ...] = (1.0,)
+
+    def __post_init__(self) -> None:
+        if self.mean_period <= 0 or self.mean_amplitude <= 0:
+            raise ValueError("period and amplitude must be positive")
+        if not 0.0 <= self.irregular_rate < 1.0:
+            raise ValueError("irregular_rate is a per-cycle probability")
+        if self.eoe_fraction + self.inhale_fraction >= 1.0:
+            raise ValueError("phase fractions must sum below 1")
+
+
+# Effect tables: attribute value -> multiplicative / additive trait shifts.
+_SITE_AMPLITUDE_MM = {"lung_upper": 5.0, "lung_lower": 11.0, "abdomen": 16.0}
+_PATHOLOGY_EFFECTS = {
+    # (period multiplier, period_cv add, irregular_rate add, amplitude mult)
+    "none": (1.00, 0.00, 0.00, 1.00),
+    "copd": (1.15, 0.05, 0.06, 0.90),
+    "fibrosis": (0.85, 0.03, 0.03, 0.70),
+}
+
+
+def traits_from_attributes(
+    attributes: PatientAttributes,
+    rng: np.random.Generator,
+    idiosyncrasy: float = 0.08,
+) -> BreathingTraits:
+    """Map physiological attributes to breathing traits.
+
+    The mapping is deterministic in the attributes up to a small lognormal
+    per-patient idiosyncrasy term, so patients who share attributes breathe
+    *similarly but not identically* — the property the Figure 8 clustering
+    experiments need.
+
+    Parameters
+    ----------
+    attributes:
+        The patient's physiological record.
+    rng:
+        Random source for the idiosyncrasy terms.
+    idiosyncrasy:
+        Log-scale spread of the per-patient multiplicative deviations.
+    """
+    period_mult, cv_add, irr_add, amp_mult = _PATHOLOGY_EFFECTS[
+        attributes.pathology
+    ]
+
+    def jitter() -> float:
+        return float(np.exp(rng.normal(0.0, idiosyncrasy)))
+
+    base_period = 3.6 + 0.01 * (attributes.age - 50)
+    if attributes.sex == "F":
+        base_period *= 0.96
+
+    mean_period = base_period * period_mult * jitter()
+    mean_amplitude = (
+        _SITE_AMPLITUDE_MM[attributes.tumor_site] * amp_mult * jitter()
+    )
+    return BreathingTraits(
+        mean_period=mean_period,
+        period_cv=0.07 + cv_add,
+        mean_amplitude=mean_amplitude,
+        amplitude_cv=0.16 + 0.5 * cv_add,
+        eoe_fraction=float(np.clip(0.30 * jitter(), 0.15, 0.45)),
+        baseline_drift_rate=0.04 * jitter(),
+        cardiac_amplitude=0.5 * jitter(),
+        cardiac_frequency=float(np.clip(1.2 * jitter(), 0.8, 1.8)),
+        spike_rate=0.04,
+        irregular_rate=min(0.25, 0.02 + irr_add),
+        shape_power=float(np.clip(np.exp(rng.normal(0.0, 0.3)), 0.6, 1.8)),
+        amplitude_rho=float(np.clip(0.85 * jitter(), 0.6, 0.95)),
+        period_rho=float(np.clip(0.15 * jitter(), 0.05, 0.3)),
+        baseline_trend=float(np.clip(rng.normal(0.0, 1.2), -2.5, 2.5)),
+        timing_coupling=float(np.clip(rng.normal(0.0, 1.5), -3.0, 3.0)),
+        dwell_coupling=float(np.clip(rng.normal(0.0, 1.5), -3.0, 3.0)),
+        motion_axis=(1.0, 0.35, 0.15),
+    )
+
+
+@dataclass(frozen=True)
+class PatientProfile:
+    """A patient: physiological attributes plus derived breathing traits."""
+
+    attributes: PatientAttributes
+    traits: BreathingTraits
+
+    @property
+    def patient_id(self) -> str:
+        """Identifier shared with the database records."""
+        return self.attributes.patient_id
+
+    def with_traits(self, **changes) -> "PatientProfile":
+        """A copy of this profile with some traits overridden."""
+        return PatientProfile(self.attributes, replace(self.traits, **changes))
+
+
+def generate_population(
+    n_patients: int,
+    seed: int = 0,
+    sites: tuple[str, ...] = TUMOR_SITES,
+    pathologies: tuple[str, ...] = PATHOLOGIES,
+) -> list[PatientProfile]:
+    """Generate a reproducible synthetic patient population.
+
+    Attributes are drawn so every ``(site, pathology)`` stratum is
+    represented roughly evenly, mirroring the paper's diverse 42-patient
+    cohort.
+
+    Parameters
+    ----------
+    n_patients:
+        Number of patients to generate.
+    seed:
+        Seed for the population-level random generator.
+    sites, pathologies:
+        Attribute vocabularies to cycle through.
+    """
+    if n_patients <= 0:
+        raise ValueError("n_patients must be positive")
+    rng = np.random.default_rng(seed)
+    profiles = []
+    for i in range(n_patients):
+        attributes = PatientAttributes(
+            patient_id=f"P{i:03d}",
+            age=int(rng.integers(35, 85)),
+            sex="F" if rng.random() < 0.5 else "M",
+            tumor_site=sites[i % len(sites)],
+            pathology=pathologies[(i // len(sites)) % len(pathologies)],
+            tumor_type=("primary", "recurrence", "metastasis")[
+                int(rng.integers(0, 3))
+            ],
+        )
+        traits = traits_from_attributes(attributes, rng)
+        profiles.append(PatientProfile(attributes, traits))
+    return profiles

@@ -1,0 +1,349 @@
+"""Respiratory-motion stream simulator.
+
+Substitute for the paper's real tumor-tracking data (2M+ points, 42
+patients, 30 Hz): a cycle-by-cycle generative model that reproduces the
+structural phenomena the paper catalogues —
+
+* per-cycle amplitude and frequency variation (Fig. 3a),
+* baseline shifting (Fig. 3b),
+* cardiac-motion oscillation and spike noise (Fig. 3c/d),
+* irregular-breathing episodes (coughs, breath holds, erratic spells).
+
+Each generated stream carries its ground-truth phase annotation, so
+segmentation and matching can be validated against a known structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..core.model import BreathingState
+from .noise import BaselineDrift, CardiacMotion, GaussianJitter, SpikeNoise
+from .patients import BreathingTraits, PatientProfile
+from .waveforms import CyclePhase, CycleSpec, render_cycle
+
+__all__ = ["SessionConfig", "RawStream", "RespiratorySimulator"]
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Parameters of one simulated treatment session.
+
+    Attributes
+    ----------
+    duration:
+        Session length in seconds.
+    sample_rate:
+        Imaging rate in Hz (the paper's data is imaged at 30 Hz).
+    ndim:
+        Spatial dimensionality of the emitted positions.  The breathing
+        signal drives the primary (superior-inferior) axis; secondary axes
+        are scaled, noisier copies per the patient's ``motion_axis``.
+    session_variation:
+        Log-scale spread of the session-level perturbation applied to the
+        patient's mean period and amplitude (sessions differ from day to
+        day).
+    """
+
+    duration: float = 120.0
+    sample_rate: float = 30.0
+    ndim: int = 1
+    session_variation: float = 0.06
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0 or self.sample_rate <= 0:
+            raise ValueError("duration and sample_rate must be positive")
+        if self.ndim < 1:
+            raise ValueError("ndim must be at least 1")
+
+
+@dataclass(frozen=True)
+class RawStream:
+    """One raw motion stream plus its ground-truth annotation."""
+
+    patient_id: str
+    session_id: str
+    times: np.ndarray
+    values: np.ndarray
+    truth: tuple[CyclePhase, ...]
+    sample_rate: float
+
+    def __post_init__(self) -> None:
+        if self.values.ndim != 2 or len(self.times) != len(self.values):
+            raise ValueError("values must be (n_samples, ndim) aligned to times")
+
+    @property
+    def n_samples(self) -> int:
+        """Number of raw samples."""
+        return len(self.times)
+
+    @property
+    def ndim(self) -> int:
+        """Spatial dimensionality."""
+        return self.values.shape[1]
+
+    @property
+    def primary(self) -> np.ndarray:
+        """The primary-axis (superior-inferior) component."""
+        return self.values[:, 0]
+
+    def truth_state_at(self, t: float) -> BreathingState | None:
+        """Ground-truth state at time ``t`` (``None`` outside the annotation)."""
+        for phase in self.truth:
+            if phase.start_time <= t < phase.end_time:
+                return phase.state
+        return None
+
+    def iter_points(self):
+        """Yield ``(time, position)`` pairs in arrival order (stream replay)."""
+        for i in range(len(self.times)):
+            yield float(self.times[i]), self.values[i]
+
+
+class RespiratorySimulator:
+    """Generates raw motion streams for a patient profile.
+
+    Parameters
+    ----------
+    profile:
+        The patient whose traits drive the generator.
+    config:
+        Session parameters (shared across sessions unless overridden).
+    """
+
+    def __init__(
+        self, profile: PatientProfile, config: SessionConfig | None = None
+    ) -> None:
+        self.profile = profile
+        self.config = config or SessionConfig()
+
+    def generate_session(
+        self, session_index: int, seed: int | None = None
+    ) -> RawStream:
+        """Generate one session stream.
+
+        Parameters
+        ----------
+        session_index:
+            Ordinal of the session; combined with the patient id into the
+            stream's ``session_id`` and, when ``seed`` is omitted, into a
+            deterministic per-session seed.
+        seed:
+            Explicit random seed for full control in tests.
+        """
+        if seed is None:
+            seed = hash((self.profile.patient_id, session_index)) & 0x7FFFFFFF
+        rng = np.random.default_rng(seed)
+        traits = self._session_traits(rng)
+        cfg = self.config
+
+        n_samples = int(round(cfg.duration * cfg.sample_rate))
+        times = np.arange(n_samples) / cfg.sample_rate
+        signal = np.zeros(n_samples)
+        truth: list[CyclePhase] = []
+
+        cursor = 0.0
+        baseline = 0.0
+        # AR(1) modulation per cycle: breathing *depth* drifts smoothly
+        # (high amplitude_rho) while cycle *timing* jitters almost
+        # independently (low period_rho) — recent history genuinely
+        # predicts the next cycle's amplitude, not its exact timing.
+        rho_a, rho_p = traits.amplitude_rho, traits.period_rho
+        innov_a = float(np.sqrt(1.0 - rho_a * rho_a))
+        innov_p = float(np.sqrt(1.0 - rho_p * rho_p))
+        amp_mod = float(rng.normal(0.0, traits.amplitude_cv))
+        per_mod = float(rng.normal(0.0, traits.period_cv))
+        # Intrafraction baseline trend: patient-specific direction and
+        # magnitude, further perturbed per session (mm / minute -> mm / s).
+        trend_per_s = (
+            traits.baseline_trend
+            * float(np.exp(rng.normal(0.0, 0.3)))
+            / 60.0
+        )
+        while cursor < cfg.duration:
+            if rng.random() < traits.irregular_rate:
+                segment_end = self._render_irregular(
+                    traits, cursor, baseline, times, signal, truth, rng
+                )
+            else:
+                amp_mod = rho_a * amp_mod + innov_a * float(
+                    rng.normal(0.0, traits.amplitude_cv)
+                )
+                per_mod = rho_p * per_mod + innov_p * float(
+                    rng.normal(0.0, traits.period_cv)
+                )
+                segment_end = self._render_regular(
+                    traits,
+                    cursor,
+                    baseline,
+                    times,
+                    signal,
+                    truth,
+                    rng,
+                    period=traits.mean_period * float(np.exp(per_mod)),
+                    amplitude=traits.mean_amplitude * float(np.exp(amp_mod)),
+                    amp_deviation=amp_mod,
+                )
+            baseline += trend_per_s * (segment_end - cursor)
+            cursor = segment_end
+
+        signal += self._noise(traits, times, rng)
+        values = self._spatialise(traits, signal, rng, cfg.ndim)
+        return RawStream(
+            patient_id=self.profile.patient_id,
+            session_id=f"{self.profile.patient_id}-S{session_index:02d}",
+            times=times,
+            values=values,
+            truth=tuple(truth),
+            sample_rate=cfg.sample_rate,
+        )
+
+    def generate_sessions(self, n_sessions: int, seed: int = 0) -> list[RawStream]:
+        """Generate ``n_sessions`` independent session streams."""
+        return [
+            self.generate_session(i, seed=seed + 1009 * i)
+            for i in range(n_sessions)
+        ]
+
+    # -- internals -----------------------------------------------------------
+
+    def _session_traits(self, rng: np.random.Generator) -> BreathingTraits:
+        """Traits perturbed by the session-level day-to-day variation."""
+        scale = self.config.session_variation
+        return replace(
+            self.profile.traits,
+            mean_period=self.profile.traits.mean_period
+            * float(np.exp(rng.normal(0.0, scale))),
+            mean_amplitude=self.profile.traits.mean_amplitude
+            * float(np.exp(rng.normal(0.0, scale))),
+        )
+
+    def _render_regular(
+        self,
+        traits: BreathingTraits,
+        start: float,
+        baseline: float,
+        times: np.ndarray,
+        signal: np.ndarray,
+        truth: list[CyclePhase],
+        rng: np.random.Generator,
+        period: float,
+        amplitude: float,
+        amp_deviation: float = 0.0,
+    ) -> float:
+        """Render one regular cycle into ``signal``; return its end time."""
+        # Patient-specific amplitude -> timing couplings: a deeper cycle
+        # inhales relatively faster or slower, and rests longer or shorter
+        # at end of exhale, with direction and strength per patient.
+        eoe = float(
+            np.clip(
+                traits.eoe_fraction
+                + traits.dwell_coupling * amp_deviation * 0.5
+                + rng.normal(0.0, 0.035),
+                0.1,
+                0.5,
+            )
+        )
+        inhale = float(
+            np.clip(
+                traits.inhale_fraction
+                + traits.timing_coupling * amp_deviation * 0.5
+                + rng.normal(0.0, 0.035),
+                0.15,
+                0.6,
+            )
+        )
+        exhale = max(0.1, 1.0 - eoe - inhale)
+        total = inhale + exhale + eoe
+        spec = CycleSpec(
+            period=period,
+            amplitude=amplitude,
+            baseline=baseline,
+            inhale_fraction=inhale / total,
+            exhale_fraction=exhale / total,
+            shape_power=traits.shape_power,
+        )
+        lo = int(np.searchsorted(times, start, side="left"))
+        hi = int(np.searchsorted(times, start + period, side="left"))
+        values, phases = render_cycle(spec, start, times[lo:hi])
+        mask = ~np.isnan(values)
+        signal[lo:hi][mask] = values[mask]
+        truth.extend(phases)
+        return start + period
+
+    def _render_irregular(
+        self,
+        traits: BreathingTraits,
+        start: float,
+        baseline: float,
+        times: np.ndarray,
+        signal: np.ndarray,
+        truth: list[CyclePhase],
+        rng: np.random.Generator,
+    ) -> float:
+        """Render one irregular episode; return its end time."""
+        kind = rng.choice(("cough", "breath_hold", "erratic"))
+        if kind == "cough":
+            duration = float(rng.uniform(0.8, 1.6))
+            lo = int(np.searchsorted(times, start))
+            hi = int(np.searchsorted(times, start + duration))
+            u = (times[lo:hi] - start) / duration
+            burst = 1.4 * traits.mean_amplitude * np.sin(np.pi * u) ** 2
+            burst *= 1.0 + 0.5 * np.sin(4.0 * np.pi * u)
+            signal[lo:hi] = baseline + burst
+        elif kind == "breath_hold":
+            duration = float(rng.uniform(3.0, 6.0))
+            lo = int(np.searchsorted(times, start))
+            hi = int(np.searchsorted(times, start + duration))
+            wander = 0.2 * np.cumsum(rng.normal(0.0, 0.05, hi - lo))
+            signal[lo:hi] = baseline + wander
+        else:  # erratic shallow breathing
+            duration = float(rng.uniform(3.0, 7.0))
+            lo = int(np.searchsorted(times, start))
+            hi = int(np.searchsorted(times, start + duration))
+            u = times[lo:hi] - start
+            freq = float(rng.uniform(0.6, 1.2))
+            amp = 0.35 * traits.mean_amplitude
+            wobble = amp * np.abs(np.sin(2.0 * np.pi * freq * u))
+            wobble *= 1.0 + 0.3 * rng.standard_normal(hi - lo).cumsum() * 0.05
+            signal[lo:hi] = baseline + wobble
+        truth.append(
+            CyclePhase(start, start + duration, BreathingState.IRR)
+        )
+        return start + duration
+
+    def _noise(
+        self,
+        traits: BreathingTraits,
+        times: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Total additive noise for the primary axis."""
+        models = [
+            CardiacMotion(traits.cardiac_amplitude, traits.cardiac_frequency),
+            SpikeNoise(traits.spike_rate),
+            GaussianJitter(traits.measurement_sigma),
+            BaselineDrift(traits.baseline_drift_rate),
+        ]
+        total = np.zeros(times.shape)
+        for model in models:
+            total += model(times, rng)
+        return total
+
+    def _spatialise(
+        self,
+        traits: BreathingTraits,
+        signal: np.ndarray,
+        rng: np.random.Generator,
+        ndim: int,
+    ) -> np.ndarray:
+        """Expand the scalar breathing signal into an n-dim trajectory."""
+        axis = np.asarray(traits.motion_axis, dtype=float)
+        if len(axis) < ndim:
+            axis = np.pad(axis, (0, ndim - len(axis)), constant_values=0.1)
+        values = signal[:, np.newaxis] * axis[np.newaxis, :ndim]
+        if ndim > 1:
+            values[:, 1:] += rng.normal(0.0, 0.1, (len(signal), ndim - 1))
+        return values

@@ -1,0 +1,167 @@
+"""Breathing-cycle waveform primitives.
+
+One breathing cycle is synthesised from three explicit phases matching the
+paper's regular states:
+
+* **IN** — a smooth raised-cosine rise from the exhale baseline to the peak
+  (lung expansion),
+* **EX** — a smooth raised-cosine fall back to the baseline (deflation),
+* **EOE** — a near-flat dwell at the baseline (rest after deflation).
+
+Building the signal from labelled phases (rather than a closed-form
+sinusoid) gives every sample a ground-truth state, which the segmentation
+tests rely on, and lets per-cycle amplitude/period/dwell jitter reproduce
+the variability catalogued in Figure 3 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.model import BreathingState
+
+__all__ = ["CyclePhase", "CycleSpec", "render_cycle", "raised_cosine"]
+
+
+@dataclass(frozen=True)
+class CyclePhase:
+    """Ground-truth annotation for one phase of the synthetic signal."""
+
+    start_time: float
+    end_time: float
+    state: BreathingState
+
+    @property
+    def duration(self) -> float:
+        """Phase length in seconds."""
+        return self.end_time - self.start_time
+
+
+@dataclass(frozen=True)
+class CycleSpec:
+    """Parameters of a single breathing cycle.
+
+    Attributes
+    ----------
+    period:
+        Total cycle duration in seconds.
+    amplitude:
+        Peak-to-baseline displacement in millimetres.
+    baseline:
+        Position at end of exhale (mm); baseline drift moves this between
+        cycles.
+    inhale_fraction / exhale_fraction:
+        Fractions of the period spent inhaling / exhaling.  The remainder is
+        the end-of-exhale dwell.  Must leave a positive dwell.
+    shape_power:
+        Curvature of the rise/fall profile (1.0 = symmetric raised cosine;
+        above 1 the motion starts slowly and finishes steeply).  Patients
+        differ in this, which makes cross-patient matches genuinely less
+        transferable — the property the source-weighted distance exploits.
+    """
+
+    period: float
+    amplitude: float
+    baseline: float = 0.0
+    inhale_fraction: float = 0.32
+    exhale_fraction: float = 0.38
+    shape_power: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if self.amplitude < 0:
+            raise ValueError("amplitude must be non-negative")
+        if min(self.inhale_fraction, self.exhale_fraction) <= 0:
+            raise ValueError("phase fractions must be positive")
+        if self.inhale_fraction + self.exhale_fraction >= 1.0:
+            raise ValueError("inhale + exhale fractions must leave an EOE dwell")
+        if self.shape_power <= 0:
+            raise ValueError("shape_power must be positive")
+
+    @property
+    def eoe_fraction(self) -> float:
+        """Fraction of the period spent in the end-of-exhale dwell."""
+        return 1.0 - self.inhale_fraction - self.exhale_fraction
+
+    @property
+    def inhale_duration(self) -> float:
+        """Inhale phase length in seconds."""
+        return self.period * self.inhale_fraction
+
+    @property
+    def exhale_duration(self) -> float:
+        """Exhale phase length in seconds."""
+        return self.period * self.exhale_fraction
+
+    @property
+    def eoe_duration(self) -> float:
+        """End-of-exhale dwell length in seconds."""
+        return self.period * self.eoe_fraction
+
+
+def raised_cosine(u: np.ndarray) -> np.ndarray:
+    """Smooth monotone ramp from 0 to 1 on ``u`` in [0, 1].
+
+    ``(1 - cos(pi * u)) / 2`` — zero slope at both ends, which makes the
+    IN/EX transitions into the EOE dwell differentiable like real breathing.
+    """
+    return 0.5 * (1.0 - np.cos(np.pi * np.clip(u, 0.0, 1.0)))
+
+
+def render_cycle(
+    spec: CycleSpec, start_time: float, times: np.ndarray
+) -> tuple[np.ndarray, list[CyclePhase]]:
+    """Evaluate one cycle at the given absolute sample ``times``.
+
+    The cycle starts (at ``start_time``) with the inhale phase, so the phase
+    sequence per cycle is ``IN, EX, EOE`` — concatenated cycles therefore
+    walk the automaton's regular loop ``... IN -> EX -> EOE -> IN ...``.
+
+    Parameters
+    ----------
+    spec:
+        Cycle parameters.
+    start_time:
+        Absolute time at which the cycle begins.
+    times:
+        Absolute sample times; only samples falling inside the cycle are
+        evaluated, the rest are returned as ``nan`` (the caller stitches
+        cycles together).
+
+    Returns
+    -------
+    values, phases:
+        Sampled positions (mm, ``nan`` outside the cycle) and the three
+        ground-truth phases with absolute times.
+    """
+    t_in_end = start_time + spec.inhale_duration
+    t_ex_end = t_in_end + spec.exhale_duration
+    t_cycle_end = start_time + spec.period
+
+    phases = [
+        CyclePhase(start_time, t_in_end, BreathingState.IN),
+        CyclePhase(t_in_end, t_ex_end, BreathingState.EX),
+        CyclePhase(t_ex_end, t_cycle_end, BreathingState.EOE),
+    ]
+
+    values = np.full(times.shape, np.nan)
+
+    in_mask = (times >= start_time) & (times < t_in_end)
+    u = (times[in_mask] - start_time) / spec.inhale_duration
+    values[in_mask] = spec.baseline + spec.amplitude * (
+        raised_cosine(u) ** spec.shape_power
+    )
+
+    ex_mask = (times >= t_in_end) & (times < t_ex_end)
+    u = (times[ex_mask] - t_in_end) / spec.exhale_duration
+    values[ex_mask] = spec.baseline + spec.amplitude * (
+        1.0 - raised_cosine(u) ** spec.shape_power
+    )
+
+    eoe_mask = (times >= t_ex_end) & (times < t_cycle_end)
+    values[eoe_mask] = spec.baseline
+
+    return values, phases

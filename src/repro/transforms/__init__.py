@@ -1,0 +1,34 @@
+"""Related-work time-series representations (paper Section 2).
+
+PAA, APCA, DFT, Haar DWT, SVD and offline bottom-up PLR — the
+dimensionality-reduction techniques the paper situates itself against.
+Each provides a reduce/reconstruct pair plus a shared RMSE helper.
+"""
+
+from .apca import APCASegment, apca, apca_reconstruct
+from .dft import dft_reconstruct, dft_reduce
+from .dwt import dwt_reconstruct, dwt_reduce, haar_inverse, haar_transform
+from .paa import paa, paa_reconstruct
+from .plr_offline import bottom_up_plr, plr_reconstruct, reconstruction_error
+from .svd import SVDBasis, svd_fit, svd_reconstruct, svd_reduce
+
+__all__ = [
+    "paa",
+    "paa_reconstruct",
+    "APCASegment",
+    "apca",
+    "apca_reconstruct",
+    "dft_reduce",
+    "dft_reconstruct",
+    "haar_transform",
+    "haar_inverse",
+    "dwt_reduce",
+    "dwt_reconstruct",
+    "SVDBasis",
+    "svd_fit",
+    "svd_reduce",
+    "svd_reconstruct",
+    "bottom_up_plr",
+    "plr_reconstruct",
+    "reconstruction_error",
+]

@@ -1,0 +1,74 @@
+"""Adaptive Piecewise Constant Approximation (APCA).
+
+Related-work representation (paper Section 2, ref [14]): like PAA but the
+segments adapt to the signal, spending resolution where the signal moves.
+Implemented with the standard bottom-up merge: start from fine segments
+and repeatedly merge the pair whose union has the smallest reconstruction
+error until ``k`` segments remain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["APCASegment", "apca", "apca_reconstruct"]
+
+
+@dataclass(frozen=True)
+class APCASegment:
+    """One constant segment: ``[start, end)`` indices and its mean value."""
+
+    start: int
+    end: int
+    value: float
+
+    @property
+    def length(self) -> int:
+        """Number of points covered."""
+        return self.end - self.start
+
+
+def _sse(x: np.ndarray, start: int, end: int) -> float:
+    chunk = x[start:end]
+    return float(((chunk - chunk.mean()) ** 2).sum())
+
+
+def apca(x: np.ndarray, k: int) -> list[APCASegment]:
+    """Approximate ``x`` with ``k`` adaptive constant segments."""
+    x = np.asarray(x, dtype=float)
+    n = len(x)
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}]")
+
+    # Start with pairs (or singles) and merge greedily.
+    bounds = list(range(0, n, 2)) + [n]
+    bounds = sorted(set(bounds))
+    while len(bounds) - 1 > k:
+        best_i = None
+        best_cost = np.inf
+        for i in range(len(bounds) - 2):
+            cost = _sse(x, bounds[i], bounds[i + 2])
+            if cost < best_cost:
+                best_cost = cost
+                best_i = i
+        assert best_i is not None
+        del bounds[best_i + 1]
+
+    return [
+        APCASegment(bounds[i], bounds[i + 1], float(x[bounds[i]:bounds[i + 1]].mean()))
+        for i in range(len(bounds) - 1)
+    ]
+
+
+def apca_reconstruct(segments: list[APCASegment], n: int) -> np.ndarray:
+    """Expand APCA segments back to ``n`` points."""
+    out = np.empty(n)
+    covered = 0
+    for segment in segments:
+        out[segment.start : segment.end] = segment.value
+        covered += segment.length
+    if covered != n:
+        raise ValueError("segments do not cover the sequence exactly")
+    return out

@@ -1,0 +1,29 @@
+"""Discrete Fourier Transform reduction.
+
+The representation Faloutsos et al. use for subsequence matching (paper
+Section 2, ref [7]): keep the first ``k`` complex coefficients, which
+capture the low-frequency structure of quasi-periodic signals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["dft_reduce", "dft_reconstruct"]
+
+
+def dft_reduce(x: np.ndarray, k: int) -> np.ndarray:
+    """The first ``k`` complex DFT coefficients of ``x`` (rfft order)."""
+    x = np.asarray(x, dtype=float)
+    coeffs = np.fft.rfft(x)
+    if not 1 <= k <= len(coeffs):
+        raise ValueError(f"k must be in [1, {len(coeffs)}]")
+    return coeffs[:k]
+
+
+def dft_reconstruct(coefficients: np.ndarray, n: int) -> np.ndarray:
+    """Inverse transform from truncated coefficients back to ``n`` points."""
+    full = np.zeros(n // 2 + 1, dtype=complex)
+    k = min(len(coefficients), len(full))
+    full[:k] = coefficients[:k]
+    return np.fft.irfft(full, n=n)

@@ -1,0 +1,84 @@
+"""Haar Discrete Wavelet Transform reduction.
+
+Related-work representation (paper Section 2, refs [4, 11]).  A full Haar
+decomposition (from scratch, power-of-two padding by edge replication)
+with truncation to the ``k`` largest-magnitude coefficients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["haar_transform", "haar_inverse", "dwt_reduce", "dwt_reconstruct"]
+
+_SQRT2 = np.sqrt(2.0)
+
+
+def _pad_pow2(x: np.ndarray) -> tuple[np.ndarray, int]:
+    n = len(x)
+    size = 1
+    while size < n:
+        size *= 2
+    if size == n:
+        return x.copy(), n
+    return np.concatenate([x, np.full(size - n, x[-1])]), n
+
+
+def haar_transform(x: np.ndarray) -> np.ndarray:
+    """Full Haar decomposition (orthonormal), length padded to a power of 2."""
+    x = np.asarray(x, dtype=float)
+    if len(x) == 0:
+        raise ValueError("sequence must be non-empty")
+    data, _ = _pad_pow2(x)
+    out = data.copy()
+    length = len(out)
+    while length > 1:
+        half = length // 2
+        evens = out[:length:2].copy()
+        odds = out[1:length:2].copy()
+        out[:half] = (evens + odds) / _SQRT2
+        out[half:length] = (evens - odds) / _SQRT2
+        length = half
+    return out
+
+
+def haar_inverse(coefficients: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`haar_transform` (padded length)."""
+    out = np.asarray(coefficients, dtype=float).copy()
+    n = len(out)
+    length = 2
+    while length <= n:
+        half = length // 2
+        approx = out[:half].copy()
+        detail = out[half:length].copy()
+        evens = (approx + detail) / _SQRT2
+        odds = (approx - detail) / _SQRT2
+        out[:length:2] = evens
+        out[1:length:2] = odds
+        length *= 2
+    return out
+
+
+def dwt_reduce(x: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Keep the ``k`` largest-magnitude Haar coefficients.
+
+    Returns ``(values, indices)`` into the padded coefficient vector.
+    """
+    coeffs = haar_transform(x)
+    if not 1 <= k <= len(coeffs):
+        raise ValueError(f"k must be in [1, {len(coeffs)}]")
+    indices = np.argsort(np.abs(coeffs))[::-1][:k]
+    indices = np.sort(indices)
+    return coeffs[indices], indices
+
+
+def dwt_reconstruct(
+    values: np.ndarray, indices: np.ndarray, n: int
+) -> np.ndarray:
+    """Rebuild ``n`` points from the kept coefficients."""
+    size = 1
+    while size < n:
+        size *= 2
+    coeffs = np.zeros(size)
+    coeffs[np.asarray(indices, dtype=int)] = values
+    return haar_inverse(coeffs)[:n]

@@ -1,0 +1,38 @@
+"""Piecewise Aggregate Approximation (PAA).
+
+One of the dimensionality-reduction representations the paper's related
+work surveys (Section 2).  A sequence of ``n`` points is reduced to ``k``
+segment means; reconstruction repeats each mean over its segment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["paa", "paa_reconstruct"]
+
+
+def _segment_bounds(n: int, k: int) -> np.ndarray:
+    """Boundaries splitting ``n`` points into ``k`` near-equal segments."""
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}]")
+    return np.linspace(0, n, k + 1).round().astype(int)
+
+
+def paa(x: np.ndarray, k: int) -> np.ndarray:
+    """Reduce ``x`` to ``k`` PAA coefficients (segment means)."""
+    x = np.asarray(x, dtype=float)
+    bounds = _segment_bounds(len(x), k)
+    return np.array(
+        [x[bounds[i] : bounds[i + 1]].mean() for i in range(k)]
+    )
+
+
+def paa_reconstruct(coefficients: np.ndarray, n: int) -> np.ndarray:
+    """Expand ``k`` PAA coefficients back to ``n`` points."""
+    coefficients = np.asarray(coefficients, dtype=float)
+    bounds = _segment_bounds(n, len(coefficients))
+    out = np.empty(n)
+    for i, c in enumerate(coefficients):
+        out[bounds[i] : bounds[i + 1]] = c
+    return out

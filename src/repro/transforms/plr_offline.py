@@ -1,0 +1,85 @@
+"""Offline bottom-up piecewise linear approximation.
+
+The offline counterpart of the online segmenter: the classic bottom-up
+PLR algorithm (repeatedly merge the adjacent segment pair with the least
+resulting least-squares error) used as a reference for how well a given
+number of line segments *can* represent a signal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["bottom_up_plr", "plr_reconstruct", "reconstruction_error"]
+
+
+def _line_error(t: np.ndarray, x: np.ndarray) -> float:
+    """SSE of the least-squares line through ``(t, x)``."""
+    if len(t) <= 2:
+        return 0.0
+    design = np.column_stack([t, np.ones_like(t)])
+    _, residuals, _, _ = np.linalg.lstsq(design, x, rcond=None)
+    if len(residuals) == 0:
+        return 0.0
+    return float(residuals[0])
+
+
+def bottom_up_plr(
+    times: np.ndarray, values: np.ndarray, n_segments: int
+) -> list[int]:
+    """Breakpoint indices of a bottom-up PLR with ``n_segments`` pieces.
+
+    Returns sorted indices ``b_0 = 0 < b_1 < ... < b_k = n - 1`` such that
+    segment ``i`` spans points ``[b_i, b_{i+1}]``.
+    """
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    n = len(times)
+    if n != len(values):
+        raise ValueError("times and values must align")
+    if not 1 <= n_segments <= max(1, n - 1):
+        raise ValueError(f"n_segments must be in [1, {n - 1}]")
+
+    # Initial fine segmentation: every 2 points.
+    bounds = list(range(0, n, 2))
+    if bounds[-1] != n - 1:
+        bounds.append(n - 1)
+
+    def merge_cost(i: int) -> float:
+        lo, hi = bounds[i], bounds[i + 2]
+        return _line_error(times[lo : hi + 1], values[lo : hi + 1])
+
+    while len(bounds) - 1 > n_segments:
+        costs = [merge_cost(i) for i in range(len(bounds) - 2)]
+        best = int(np.argmin(costs))
+        del bounds[best + 1]
+    return bounds
+
+
+def plr_reconstruct(
+    times: np.ndarray, values: np.ndarray, breakpoints: list[int]
+) -> np.ndarray:
+    """Evaluate the PLR polyline (least-squares line per piece) at ``times``."""
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    out = np.empty_like(values)
+    for i in range(len(breakpoints) - 1):
+        lo, hi = breakpoints[i], breakpoints[i + 1]
+        t = times[lo : hi + 1]
+        x = values[lo : hi + 1]
+        if len(t) < 2 or t[-1] == t[0]:
+            out[lo : hi + 1] = x
+            continue
+        design = np.column_stack([t, np.ones_like(t)])
+        coef, *_ = np.linalg.lstsq(design, x, rcond=None)
+        out[lo : hi + 1] = design @ coef
+    return out
+
+
+def reconstruction_error(original: np.ndarray, approx: np.ndarray) -> float:
+    """Root-mean-square reconstruction error."""
+    original = np.asarray(original, dtype=float)
+    approx = np.asarray(approx, dtype=float)
+    if original.shape != approx.shape:
+        raise ValueError("shapes must match")
+    return float(np.sqrt(np.mean((original - approx) ** 2)))

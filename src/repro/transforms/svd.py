@@ -1,0 +1,52 @@
+"""SVD-based reduction of a window collection.
+
+Related-work representation (paper Section 2, ref [17]): project a matrix
+of equal-length windows onto its top ``k`` singular directions.  Unlike
+the per-sequence transforms, SVD is a dataset-level reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SVDBasis", "svd_fit", "svd_reduce", "svd_reconstruct"]
+
+
+@dataclass(frozen=True)
+class SVDBasis:
+    """A fitted truncated basis: row mean and top-``k`` right singular
+    vectors of the training window matrix."""
+
+    mean: np.ndarray
+    components: np.ndarray  # (k, n)
+
+    @property
+    def k(self) -> int:
+        """Number of retained components."""
+        return self.components.shape[0]
+
+
+def svd_fit(windows: np.ndarray, k: int) -> SVDBasis:
+    """Fit a truncated SVD basis to an ``(m, n)`` window matrix."""
+    windows = np.asarray(windows, dtype=float)
+    if windows.ndim != 2:
+        raise ValueError("windows must be a 2-D matrix")
+    if not 1 <= k <= min(windows.shape):
+        raise ValueError(f"k must be in [1, {min(windows.shape)}]")
+    mean = windows.mean(axis=0)
+    _, _, vt = np.linalg.svd(windows - mean, full_matrices=False)
+    return SVDBasis(mean=mean, components=vt[:k])
+
+
+def svd_reduce(basis: SVDBasis, windows: np.ndarray) -> np.ndarray:
+    """Project windows onto the basis, yielding ``(m, k)`` coefficients."""
+    windows = np.atleast_2d(np.asarray(windows, dtype=float))
+    return (windows - basis.mean) @ basis.components.T
+
+
+def svd_reconstruct(basis: SVDBasis, coefficients: np.ndarray) -> np.ndarray:
+    """Rebuild windows from their projections."""
+    coefficients = np.atleast_2d(np.asarray(coefficients, dtype=float))
+    return coefficients @ basis.components + basis.mean

@@ -1,0 +1,77 @@
+"""Shared fixtures: tiny deterministic series, streams and cohorts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import BreathingState, PLRSeries, Vertex
+from repro.signals.patients import generate_population
+from repro.signals.respiratory import RespiratorySimulator, SessionConfig
+
+EX = BreathingState.EX
+EOE = BreathingState.EOE
+IN = BreathingState.IN
+IRR = BreathingState.IRR
+
+
+def make_series(cycles: int = 4, amplitude: float = 10.0,
+                period: float = 3.0, start: float = 0.0,
+                baseline: float = 0.0) -> PLRSeries:
+    """A hand-built perfectly regular PLR: IN, EX, EOE per cycle.
+
+    Segment pattern per cycle (durations period/3 each): rise to
+    ``baseline + amplitude``, fall back, rest.
+    """
+    series = PLRSeries()
+    t = start
+    third = period / 3.0
+    for _ in range(cycles):
+        series.append(Vertex(t, (baseline,), IN))
+        series.append(Vertex(t + third, (baseline + amplitude,), EX))
+        series.append(Vertex(t + 2 * third, (baseline,), EOE))
+        t += period
+    series.append(Vertex(t, (baseline,), IN))
+    return series
+
+
+@pytest.fixture
+def regular_series() -> PLRSeries:
+    """Four perfectly regular cycles."""
+    return make_series()
+
+
+@pytest.fixture
+def raw_stream():
+    """One deterministic synthetic raw session (60 s, 30 Hz)."""
+    profile = generate_population(1, seed=7)[0]
+    simulator = RespiratorySimulator(profile, SessionConfig(duration=60.0))
+    return simulator.generate_session(0, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_population():
+    """Three reproducible patient profiles."""
+    return generate_population(3, seed=5)
+
+
+@pytest.fixture(scope="session")
+def small_cohort():
+    """A small built cohort shared across integration tests."""
+    from repro.analysis.experiments import CohortConfig, build_cohort
+
+    return build_cohort(
+        CohortConfig(
+            n_patients=4,
+            sessions_per_patient=2,
+            session_duration=60.0,
+            live_duration=40.0,
+            seed=3,
+        )
+    )
+
+
+def assert_monotone_times(series: PLRSeries) -> None:
+    """All vertex times strictly increasing."""
+    times = series.times
+    assert np.all(np.diff(times) > 0)

@@ -1,0 +1,149 @@
+"""Tests for the analysis layer: metrics, reporting, correlation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.correlation import (
+    categorical_association,
+    contingency_table,
+    cramers_v,
+    discover_correlations,
+    numeric_association,
+)
+from repro.analysis.metrics import (
+    mean_absolute_error,
+    rmse,
+    summarize_errors,
+)
+from repro.analysis.reporting import (
+    banner,
+    format_series,
+    format_table,
+    sparkline,
+)
+from repro.signals.patients import generate_population
+
+
+class TestMetrics:
+    def test_summary(self):
+        s = summarize_errors([1.0, 2.0, 3.0, 4.0])
+        assert s.n == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.median == pytest.approx(2.5)
+        assert s.p95 == pytest.approx(3.85)
+
+    def test_empty_summary(self):
+        s = summarize_errors([])
+        assert s.n == 0
+        assert np.isnan(s.mean)
+
+    def test_mae_and_rmse(self):
+        predicted = [1.0, 2.0, 3.0]
+        actual = [1.0, 4.0, 3.0]
+        assert mean_absolute_error(predicted, actual) == pytest.approx(2 / 3)
+        assert rmse(predicted, actual) == pytest.approx(np.sqrt(4 / 3))
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            rmse([1.0], [1.0, 2.0])
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.125]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "2.500" in text and "0.125" in text
+
+    def test_format_table_title_and_bools(self):
+        text = format_table(["x"], [[True], [False]], title="T")
+        assert text.startswith("T\n")
+        assert "yes" in text and "no" in text
+
+    def test_format_series(self):
+        text = format_series("curve", [1, 2], [0.5, 0.25])
+        assert "curve" in text and "0.250" in text
+
+    def test_series_misaligned(self):
+        with pytest.raises(ValueError):
+            format_series("s", [1], [1, 2])
+
+    def test_banner(self):
+        assert "hello" in banner("hello")
+
+    def test_sparkline_shape(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line == "▁▂▃▄▅▆▇█"
+
+    def test_sparkline_constant(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+    def test_sparkline_nan_gap(self):
+        line = sparkline([0.0, float("nan"), 7.0])
+        assert line[1] == " " and line[0] == "▁" and line[2] == "█"
+
+    def test_sparkline_downsampling(self):
+        line = sparkline(list(range(100)), width=10)
+        assert len(line) == 10
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestCorrelation:
+    def test_contingency_table(self):
+        table, clusters, cats = contingency_table(
+            np.array([0, 0, 1, 1]), ["a", "b", "a", "a"]
+        )
+        assert clusters == [0, 1] and cats == ["a", "b"]
+        np.testing.assert_array_equal(table, [[1, 1], [2, 0]])
+
+    def test_cramers_v_extremes(self):
+        perfect = np.array([[5, 0], [0, 5]])
+        none = np.array([[5, 5], [5, 5]])
+        assert cramers_v(perfect) == pytest.approx(1.0)
+        assert cramers_v(none) == pytest.approx(0.0)
+
+    def test_categorical_detects_planted(self):
+        labels = np.array([0] * 10 + [1] * 10)
+        values = ["x"] * 10 + ["y"] * 10
+        assoc = categorical_association(labels, values, "attr")
+        assert assoc.significant
+        assert assoc.effect_size == pytest.approx(1.0)
+
+    def test_categorical_degenerate(self):
+        labels = np.zeros(4, dtype=int)
+        assoc = categorical_association(labels, ["x"] * 4, "attr")
+        assert assoc.p_value == 1.0
+
+    def test_numeric_detects_planted(self):
+        labels = np.array([0] * 8 + [1] * 8)
+        values = list(np.r_[np.random.default_rng(0).normal(0, 1, 8),
+                            np.random.default_rng(1).normal(10, 1, 8)])
+        assoc = numeric_association(labels, values, "age")
+        assert assoc.significant
+        assert assoc.effect_size > 0.8
+
+    def test_numeric_degenerate(self):
+        assoc = numeric_association(np.array([0, 1]), [1.0, 2.0], "age")
+        assert assoc.p_value == 1.0
+
+    def test_discover_correlations_sorted(self):
+        profiles = generate_population(9, seed=0)
+        # Cluster by tumor site -> tumor_site must rank first.
+        site_order = {"lung_upper": 0, "lung_lower": 1, "abdomen": 2}
+        labels = np.array(
+            [site_order[p.attributes.tumor_site] for p in profiles]
+        )
+        associations = discover_correlations(profiles, labels)
+        assert associations[0].attribute == "tumor_site"
+        ps = [a.p_value for a in associations]
+        assert ps == sorted(ps)
+
+    def test_discover_misaligned(self):
+        profiles = generate_population(3, seed=0)
+        with pytest.raises(ValueError):
+            discover_correlations(profiles, np.array([0]))

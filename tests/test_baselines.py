@@ -1,0 +1,184 @@
+"""Tests for the comparison baselines (Euclidean, DTW, LCSS, predictors)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.dtw import dtw_distance, dtw_path
+from repro.baselines.euclidean import (
+    EuclideanConfig,
+    euclidean_distance,
+    euclidean_subsequence_distance,
+    resample,
+)
+from repro.baselines.lcss import lcss_distance, lcss_length, lcss_similarity
+from repro.baselines.predictors import (
+    LastValuePredictor,
+    LinearExtrapolationPredictor,
+    SinusoidalPredictor,
+)
+from repro.core.model import PLRSeries, Vertex
+
+from conftest import EOE, EX, IN, make_series
+
+
+class TestEuclidean:
+    def test_resample_shape_and_endpoints(self, regular_series):
+        sub = regular_series.subsequence(0, 7)
+        values = resample(sub, 16)
+        assert values.shape == (16, 1)
+        np.testing.assert_allclose(values[0], sub.positions[0])
+        np.testing.assert_allclose(values[-1], sub.positions[-1])
+
+    def test_distance_basics(self):
+        a = np.zeros((8, 1))
+        b = np.ones((8, 1))
+        assert euclidean_distance(a, a) == 0.0
+        assert euclidean_distance(a, b) == pytest.approx(np.sqrt(8))
+
+    def test_distance_weighted(self):
+        a = np.zeros((4, 1))
+        b = np.ones((4, 1))
+        w = np.array([0.0, 0.0, 1.0, 1.0])
+        assert euclidean_distance(a, b, w) == pytest.approx(np.sqrt(2))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            euclidean_distance(np.zeros((4, 1)), np.zeros((5, 1)))
+
+    def test_subsequence_distance_identity(self, regular_series):
+        sub = regular_series.subsequence(0, 7)
+        assert euclidean_subsequence_distance(sub, sub) == pytest.approx(0.0)
+
+    def test_offset_sensitivity_and_invariance(self):
+        base = make_series(cycles=2, baseline=0.0)
+        shifted = make_series(cycles=2, baseline=10.0)
+        a = base.subsequence(0, 7)
+        b = shifted.subsequence(0, 7)
+        plain = euclidean_subsequence_distance(a, b)
+        invariant = euclidean_subsequence_distance(
+            a, b, EuclideanConfig(offset_invariant=True)
+        )
+        assert plain > 1.0  # the classic Euclidean weakness
+        assert invariant == pytest.approx(0.0, abs=1e-9)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            EuclideanConfig(n_points=1)
+        with pytest.raises(ValueError):
+            EuclideanConfig(recency_base=0.0)
+
+
+class TestDTW:
+    def test_identity_zero(self):
+        x = np.sin(np.linspace(0, 6, 50))
+        assert dtw_distance(x, x) == pytest.approx(0.0)
+
+    def test_warping_beats_euclidean_on_shift(self):
+        t = np.linspace(0, 6, 60)
+        a = np.sin(t)
+        b = np.sin(t - 0.4)
+        d_dtw = dtw_distance(a, b)
+        d_euc = float(np.linalg.norm(a - b))
+        assert d_dtw < d_euc
+
+    def test_band_constrains(self):
+        t = np.linspace(0, 6, 40)
+        a = np.sin(t)
+        b = np.sin(t - 1.0)
+        assert dtw_distance(a, b, window=2) >= dtw_distance(a, b)
+
+    def test_path_endpoints_and_monotone(self):
+        a = np.array([0.0, 1.0, 2.0, 1.0])
+        b = np.array([0.0, 2.0, 1.0])
+        path = dtw_path(a, b)
+        assert path[0] == (0, 0)
+        assert path[-1] == (len(a) - 1, len(b) - 1)
+        for (i1, j1), (i2, j2) in zip(path, path[1:]):
+            assert 0 <= i2 - i1 <= 1 and 0 <= j2 - j1 <= 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            dtw_distance(np.array([]), np.array([1.0]))
+
+
+class TestLCSS:
+    def test_identical(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert lcss_length(x, x, epsilon=0.1) == 3
+        assert lcss_similarity(x, x, epsilon=0.1) == 1.0
+        assert lcss_distance(x, x, epsilon=0.1) == 0.0
+
+    def test_epsilon_matching(self):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([1.05, 2.6, 3.02])
+        assert lcss_length(a, b, epsilon=0.1) == 2
+
+    def test_delta_band(self):
+        a = np.arange(10.0)
+        b = np.arange(10.0)[::-1]
+        assert lcss_length(a, b, epsilon=0.1, delta=1) <= lcss_length(
+            a, b, epsilon=0.1
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lcss_length(np.array([1.0]), np.array([1.0]), epsilon=-1.0)
+        with pytest.raises(ValueError):
+            lcss_similarity(np.array([]), np.array([]), epsilon=0.1)
+
+
+class TestPredictors:
+    def test_last_value(self, regular_series):
+        pred = LastValuePredictor().predict(regular_series, 0.3)
+        np.testing.assert_allclose(pred, regular_series.positions[-1])
+
+    def test_last_value_empty(self):
+        assert LastValuePredictor().predict(PLRSeries(), 0.1) is None
+
+    def test_linear_extrapolation(self):
+        series = PLRSeries()
+        series.append(Vertex(0.0, (0.0,), IN))
+        series.append(Vertex(1.0, (10.0,), EX))
+        pred = LinearExtrapolationPredictor().predict(series, 0.5)
+        np.testing.assert_allclose(pred, [15.0])
+
+    def test_linear_extrapolation_capped(self):
+        series = PLRSeries()
+        series.append(Vertex(0.0, (0.0,), IN))
+        series.append(Vertex(0.01, (10.0,), EX))  # 1000 mm/s spike
+        pred = LinearExtrapolationPredictor(max_step=5.0).predict(series, 1.0)
+        assert abs(pred[0] - 10.0) <= 5.0 + 1e-9
+
+    def test_sinusoidal_on_pure_sine_history(self):
+        # PLR vertices sampled from a sinusoid with known period.
+        period = 4.0
+        series = PLRSeries()
+        states = (IN, EX, EOE)
+        for i in range(24):
+            t = i * period / 3.0
+            x = 5.0 * np.sin(2 * np.pi * t / period)
+            series.append(Vertex(t, (x,), states[i % 3]))
+        pred = SinusoidalPredictor(window_seconds=20.0).predict(series, 0.5)
+        truth = 5.0 * np.sin(2 * np.pi * (series.end_time + 0.5) / period)
+        assert pred is not None
+        assert pred[0] == pytest.approx(truth, abs=1.0)
+
+    def test_sinusoidal_needs_history(self):
+        series = PLRSeries()
+        series.append(Vertex(0.0, (0.0,), IN))
+        assert SinusoidalPredictor().predict(series, 0.2) is None
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    data=st.lists(
+        st.floats(min_value=-10, max_value=10), min_size=3, max_size=25
+    )
+)
+def test_property_dtw_nonnegative_and_symmetric(data):
+    a = np.asarray(data)
+    b = a[::-1].copy()
+    assert dtw_distance(a, b) >= 0.0
+    assert dtw_distance(a, b) == pytest.approx(dtw_distance(b, a))

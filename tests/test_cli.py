@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def snapshot(tmp_path):
+    path = tmp_path / "cohort.json"
+    code = main([
+        "simulate", "--patients", "2", "--sessions", "2",
+        "--duration", "50", "--out", str(path),
+    ])
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate", "--out", "x.json"])
+        assert args.patients == 3 and args.sessions == 2
+
+
+class TestCommands:
+    def test_simulate_writes_snapshot(self, snapshot):
+        assert snapshot.exists()
+        assert snapshot.stat().st_size > 1000
+
+    def test_inspect(self, snapshot, capsys):
+        assert main(["inspect", str(snapshot)]) == 0
+        out = capsys.readouterr().out
+        assert "P000" in out and "streams" in out
+
+    def test_replay(self, snapshot, capsys):
+        code = main([
+            "replay", str(snapshot), "--patient", "P000",
+            "--duration", "30", "--horizon", "0.2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean error" in out
+
+    def test_replay_unknown_patient(self, snapshot):
+        assert main(["replay", str(snapshot), "--patient", "ZZZ"]) == 2
+
+    def test_cluster(self, snapshot, capsys):
+        assert main(["cluster", str(snapshot), "-k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "cluster 0" in out

@@ -1,0 +1,134 @@
+"""Tests for the distance-matrix clustering algorithms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clustering import (
+    agglomerative,
+    cluster_members,
+    kmedoids,
+    silhouette_score,
+)
+
+
+def blocky_matrix(sizes, within=1.0, between=10.0, seed=0):
+    """A planted-cluster distance matrix with noise."""
+    rng = np.random.default_rng(seed)
+    labels = np.repeat(np.arange(len(sizes)), sizes)
+    n = len(labels)
+    matrix = np.empty((n, n))
+    for i in range(n):
+        for j in range(n):
+            base = within if labels[i] == labels[j] else between
+            matrix[i, j] = base + rng.uniform(0, 0.3)
+    matrix = 0.5 * (matrix + matrix.T)
+    np.fill_diagonal(matrix, 0.0)
+    return matrix, labels
+
+
+def agree(labels_a, labels_b):
+    """Pairwise co-clustering agreement (label-permutation invariant)."""
+    same_a = labels_a[:, None] == labels_a[None, :]
+    same_b = labels_b[:, None] == labels_b[None, :]
+    return float((same_a == same_b).mean())
+
+
+class TestKMedoids:
+    def test_recovers_planted_clusters(self):
+        matrix, truth = blocky_matrix((4, 5, 3))
+        result = kmedoids(matrix, k=3, seed=0)
+        assert agree(result.labels, truth) == 1.0
+        assert result.n_clusters == 3
+
+    def test_medoids_are_members(self):
+        matrix, _ = blocky_matrix((4, 4))
+        result = kmedoids(matrix, k=2, seed=1)
+        assert result.medoids is not None
+        for c, medoid in enumerate(result.medoids):
+            assert result.labels[medoid] == c
+
+    def test_k_one(self):
+        matrix, _ = blocky_matrix((5,))
+        result = kmedoids(matrix, k=1)
+        assert set(result.labels) == {0}
+
+    def test_k_equals_n(self):
+        matrix, _ = blocky_matrix((3,))
+        result = kmedoids(matrix, k=3, seed=0)
+        assert result.n_clusters == 3
+
+    def test_invalid_inputs(self):
+        matrix, _ = blocky_matrix((4,))
+        with pytest.raises(ValueError):
+            kmedoids(matrix, k=0)
+        with pytest.raises(ValueError):
+            kmedoids(matrix, k=5)
+        with pytest.raises(ValueError):
+            kmedoids(np.array([[0.0, np.inf], [np.inf, 0.0]]), k=1)
+        with pytest.raises(ValueError):
+            kmedoids(np.zeros((2, 3)), k=1)
+
+
+class TestAgglomerative:
+    @pytest.mark.parametrize("linkage", ["average", "complete", "single"])
+    def test_recovers_planted_clusters(self, linkage):
+        matrix, truth = blocky_matrix((4, 5, 3), seed=2)
+        result = agglomerative(matrix, n_clusters=3, linkage=linkage)
+        assert agree(result.labels, truth) == 1.0
+
+    def test_one_cluster(self):
+        matrix, _ = blocky_matrix((6,))
+        result = agglomerative(matrix, n_clusters=1)
+        assert set(result.labels) == {0}
+
+    def test_unknown_linkage(self):
+        matrix, _ = blocky_matrix((4,))
+        with pytest.raises(ValueError):
+            agglomerative(matrix, 2, linkage="ward")
+
+
+class TestSilhouette:
+    def test_planted_better_than_random(self):
+        matrix, truth = blocky_matrix((5, 5))
+        rng = np.random.default_rng(0)
+        random_labels = rng.integers(0, 2, len(truth))
+        assert silhouette_score(matrix, truth) > silhouette_score(
+            matrix, random_labels
+        )
+
+    def test_perfect_separation_near_one(self):
+        matrix, truth = blocky_matrix((5, 5), within=0.1, between=50.0)
+        assert silhouette_score(matrix, truth) > 0.9
+
+    def test_single_cluster_rejected(self):
+        matrix, _ = blocky_matrix((4,))
+        with pytest.raises(ValueError):
+            silhouette_score(matrix, np.zeros(4, dtype=int))
+
+
+class TestClusterMembers:
+    def test_mapping(self):
+        labels = np.array([0, 1, 0, 2])
+        members = cluster_members(labels, ("a", "b", "c", "d"))
+        assert members == {0: ("a", "c"), 1: ("b",), 2: ("d",)}
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_members(np.array([0, 1]), ("a",))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    sizes=st.lists(st.integers(min_value=2, max_value=5), min_size=2,
+                   max_size=4),
+    seed=st.integers(min_value=0, max_value=50),
+)
+def test_property_kmedoids_partitions(sizes, seed):
+    """Labels always form a partition into exactly k non-empty clusters."""
+    matrix, _ = blocky_matrix(tuple(sizes), seed=seed)
+    k = len(sizes)
+    result = kmedoids(matrix, k=k, seed=seed)
+    assert len(result.labels) == sum(sizes)
+    assert set(result.labels) == set(range(k))

@@ -1,0 +1,127 @@
+"""Tests for the Section 6 generalised framework and its domains."""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import DomainSpec, StructuredMotionAnalyzer
+from repro.core.model import BreathingState
+from repro.signals.domains import (
+    dual_dwell_fsa,
+    heartbeat_signal,
+    heartbeat_spec,
+    robot_arm_signal,
+    robot_arm_spec,
+    tide_signal,
+    tide_spec,
+)
+
+IN = BreathingState.IN
+EX = BreathingState.EX
+EOE = BreathingState.EOE
+IRR = BreathingState.IRR
+
+
+class TestDualDwellFSA:
+    def test_dwell_follows_both_moves(self):
+        fsa = dual_dwell_fsa()
+        assert fsa.is_regular_transition(IN, EOE)
+        assert fsa.is_regular_transition(EX, EOE)
+        assert fsa.is_regular_transition(EOE, IN)
+        assert fsa.is_regular_transition(EOE, EX)
+        assert not fsa.is_regular_transition(IN, EX)
+
+    def test_expected_next_ambiguous_for_dwell(self):
+        fsa = dual_dwell_fsa()
+        assert fsa.expected_next(EOE) is None
+        assert fsa.expected_next(IN) is EOE
+
+
+class TestDomainSpec:
+    def test_describe_state(self):
+        spec = tide_spec()
+        assert spec.describe_state(IN) == "flood"
+        assert spec.describe_state(IRR) == "surge"
+
+    def test_default_spec_is_respiratory(self):
+        spec = DomainSpec(name="resp")
+        assert spec.fsa.is_regular_transition(EX, EOE)
+
+
+@pytest.mark.parametrize(
+    "spec_factory,generator,kwargs,expected_pairs",
+    [
+        (
+            heartbeat_spec,
+            heartbeat_signal,
+            {"duration": 30.0},
+            {(IN, EX), (EX, EOE), (EOE, IN)},
+        ),
+        (
+            robot_arm_spec,
+            robot_arm_signal,
+            {"duration": 60.0},
+            {(IN, EOE), (EOE, EX), (EX, EOE), (EOE, IN)},
+        ),
+        (
+            tide_spec,
+            tide_signal,
+            {"duration_hours": 120.0},
+            {(IN, EOE), (EOE, EX), (EX, EOE), (EOE, IN)},
+        ),
+    ],
+)
+def test_domain_segmentation_follows_its_automaton(
+    spec_factory, generator, kwargs, expected_pairs
+):
+    spec = spec_factory()
+    t, x = generator(seed=0, **kwargs)
+    analyzer = StructuredMotionAnalyzer(spec)
+    series = analyzer.segment(t, x)
+    assert len(series) > 10
+    states = [BreathingState(s) for s in series.states[:-1]]
+    regular = [s for s in states if s is not IRR]
+    # After warm-up, consecutive regular states follow the domain automaton.
+    violations = sum(
+        (a, b) not in expected_pairs
+        for a, b in zip(regular[2:], regular[3:])
+    )
+    assert violations <= max(2, len(regular) // 10)
+
+
+class TestAnalyzerPipeline:
+    @pytest.fixture
+    def analyzer(self):
+        spec = robot_arm_spec()
+        analyzer = StructuredMotionAnalyzer(spec)
+        for k in range(2):
+            t, x = robot_arm_signal(duration=60.0, seed=k)
+            analyzer.ingest("arm-1", f"run{k}", t, x)
+        return analyzer
+
+    def test_ingest_creates_source_and_streams(self, analyzer):
+        assert analyzer.database.n_patients == 1
+        assert analyzer.database.n_streams == 2
+        record = analyzer.database.stream("arm-1/run0")
+        assert record.metadata["domain"] == "robot_arm"
+
+    def test_query_and_matching(self, analyzer):
+        query = analyzer.query_for("arm-1/run1")
+        assert query is not None
+        matches = analyzer.find_matches(query, "arm-1/run1")
+        assert matches
+        assert all(m.distance >= 0 for m in matches)
+
+    def test_prediction(self, analyzer):
+        prediction = analyzer.predict("arm-1/run1", horizon=0.3)
+        assert prediction is not None
+        assert np.isfinite(prediction.primary)
+
+    def test_separate_sources_related_as_other(self, analyzer):
+        t, x = robot_arm_signal(duration=30.0, seed=9)
+        analyzer.ingest("arm-2", "run0", t, x)
+        from repro.core.similarity import SourceRelation
+
+        assert (
+            analyzer.database.relation("arm-1/run0", "arm-2/run0")
+            is SourceRelation.OTHER_PATIENT
+        )

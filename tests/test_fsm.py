@@ -1,0 +1,104 @@
+"""Unit tests for the finite state automaton."""
+
+import pytest
+
+from repro.core.fsm import (
+    RESPIRATORY_TRANSITIONS,
+    FiniteStateAutomaton,
+    respiratory_fsa,
+)
+
+from conftest import EOE, EX, IN, IRR
+
+
+class TestConstruction:
+    def test_respiratory_factory(self):
+        fsa = respiratory_fsa()
+        assert fsa.irregular is IRR
+        assert set(fsa.regular_states) == {EX, EOE, IN}
+
+    def test_irregular_must_be_known(self):
+        with pytest.raises(ValueError):
+            FiniteStateAutomaton((EX, EOE), RESPIRATORY_TRANSITIONS, IRR)
+
+    def test_transitions_use_known_states(self):
+        with pytest.raises(ValueError):
+            FiniteStateAutomaton((EX, IRR), frozenset({(EX, EOE)}), IRR)
+
+    def test_self_transitions_rejected(self):
+        with pytest.raises(ValueError):
+            FiniteStateAutomaton(
+                tuple([EX, EOE, IN, IRR]), frozenset({(EX, EX)}), IRR
+            )
+
+
+class TestQueries:
+    @pytest.fixture
+    def fsa(self):
+        return respiratory_fsa()
+
+    def test_regular_cycle_allowed(self, fsa):
+        assert fsa.is_regular_transition(EX, EOE)
+        assert fsa.is_regular_transition(EOE, IN)
+        assert fsa.is_regular_transition(IN, EX)
+
+    def test_reverse_not_regular(self, fsa):
+        assert not fsa.is_regular_transition(EOE, EX)
+        assert not fsa.is_regular_transition(EX, IN)
+
+    def test_allows_into_and_out_of_irregular(self, fsa):
+        assert fsa.allows(EX, IRR)
+        assert fsa.allows(IRR, EOE)
+
+    def test_is_regular_sequence(self, fsa):
+        assert fsa.is_regular_sequence([EX, EOE, IN, EX, EOE])
+        assert not fsa.is_regular_sequence([EX, IN])
+        assert not fsa.is_regular_sequence([EX, IRR, EOE])
+
+    def test_validate_sequence(self, fsa):
+        assert fsa.validate_sequence([EX, IRR, IN, EX])
+        assert not fsa.validate_sequence([EX, IN])
+        assert not fsa.validate_sequence(["nope"])
+
+    def test_expected_next_deterministic(self, fsa):
+        assert fsa.expected_next(EX) is EOE
+        assert fsa.expected_next(EOE) is IN
+        assert fsa.expected_next(IN) is EX
+        assert fsa.expected_next(IRR) is None
+
+
+class TestStepping:
+    @pytest.fixture
+    def fsa(self):
+        return respiratory_fsa()
+
+    def test_cold_start_accepts_anything(self, fsa):
+        assert fsa.step(EOE) is EOE
+
+    def test_regular_walk(self, fsa):
+        assert fsa.run([EX, EOE, IN, EX]) == [EX, EOE, IN, EX]
+
+    def test_illegal_transition_coerced_to_irregular(self, fsa):
+        assert fsa.run([EX, IN]) == [EX, IRR]
+
+    def test_recovery_from_irregular(self, fsa):
+        assert fsa.run([EX, IN, EOE]) == [EX, IRR, EOE]
+
+    def test_same_state_repeat_allowed(self, fsa):
+        assert fsa.run([EX, EX, EOE]) == [EX, EX, EOE]
+
+    def test_unknown_state_raises(self, fsa):
+        with pytest.raises(ValueError):
+            fsa.step("bogus")
+
+    def test_reset(self, fsa):
+        fsa.step(EX)
+        fsa.reset()
+        assert fsa.current is None
+
+    def test_copy_independent(self, fsa):
+        fsa.step(EX)
+        clone = fsa.copy()
+        clone.step(EOE)
+        assert fsa.current is EX
+        assert clone.current is EOE

@@ -1,0 +1,112 @@
+"""Tests for the gated-treatment and beam-tracking simulators."""
+
+import numpy as np
+import pytest
+
+from repro.gating import (
+    GatingWindow,
+    delayed_positions,
+    simulate_gating,
+    simulate_tracking,
+)
+
+
+@pytest.fixture
+def breathing():
+    t = np.arange(0, 60, 1 / 30)
+    x = 7.5 * (1 - np.cos(2 * np.pi * t / 4.0))  # 0..15 mm
+    return t, x
+
+
+class TestGatingWindow:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GatingWindow(2.0, 2.0)
+
+    def test_contains(self):
+        window = GatingWindow(0.0, 5.0)
+        mask = window.contains(np.array([-1.0, 0.0, 3.0, 5.0, 6.0]))
+        np.testing.assert_array_equal(mask, [False, True, True, True, False])
+
+    def test_around_exhale(self, breathing):
+        _, x = breathing
+        window = GatingWindow.around_exhale(x, width_fraction=0.3)
+        assert window.low < x.min() + 1e-6
+        assert window.high == pytest.approx(x.min() + 0.3 * 15.0, abs=0.1)
+
+
+class TestDelayedPositions:
+    def test_shifts_by_latency(self, breathing):
+        t, x = breathing
+        delayed = delayed_positions(t, x, latency=0.2)
+        # 0.2 s at 30 Hz = 6 samples (7 where floating point rounds down).
+        ok = (delayed[10:] == x[4:-6]) | (delayed[10:] == x[3:-7])
+        assert ok.all()
+
+    def test_clamps_at_start(self, breathing):
+        t, x = breathing
+        delayed = delayed_positions(t, x, latency=5.0)
+        assert delayed[0] == x[0]
+
+
+class TestSimulateGating:
+    def test_perfect_controller(self, breathing):
+        _, x = breathing
+        window = GatingWindow.around_exhale(x)
+        res = simulate_gating(x, x, window)
+        assert res.precision == 1.0
+        assert res.recall == 1.0
+        assert 0.0 < res.duty_cycle < 1.0
+        assert res.mistreatment == 0.0
+
+    def test_latency_degrades_quality(self, breathing):
+        t, x = breathing
+        window = GatingWindow.around_exhale(x)
+        delayed = delayed_positions(t, x, latency=0.4)
+        res = simulate_gating(x, delayed, window)
+        assert res.precision < 1.0
+        assert res.recall < 1.0
+
+    def test_worse_with_longer_latency(self, breathing):
+        t, x = breathing
+        window = GatingWindow.around_exhale(x)
+        res_short = simulate_gating(x, delayed_positions(t, x, 0.1), window)
+        res_long = simulate_gating(x, delayed_positions(t, x, 0.8), window)
+        assert res_long.precision <= res_short.precision
+
+    def test_misaligned_arrays_rejected(self, breathing):
+        _, x = breathing
+        with pytest.raises(ValueError):
+            simulate_gating(x, x[:-1], GatingWindow(0.0, 5.0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_gating(np.array([]), np.array([]), GatingWindow(0, 1))
+
+
+class TestSimulateTracking:
+    def test_perfect_aim(self, breathing):
+        _, x = breathing
+        res = simulate_tracking(x, x)
+        assert res.mean_error == 0.0
+        assert res.max_error == 0.0
+
+    def test_constant_offset(self, breathing):
+        _, x = breathing
+        res = simulate_tracking(x, x + 2.0)
+        assert res.mean_error == pytest.approx(2.0)
+        assert res.p95_error == pytest.approx(2.0)
+
+    def test_multidimensional(self):
+        true = np.zeros((10, 3))
+        aim = np.zeros((10, 3))
+        aim[:, 0] = 3.0
+        aim[:, 1] = 4.0
+        res = simulate_tracking(true, aim)
+        assert res.mean_error == pytest.approx(5.0)
+
+    def test_latency_error_scales_with_velocity(self, breathing):
+        t, x = breathing
+        slow = simulate_tracking(x, delayed_positions(t, x, 0.1))
+        fast = simulate_tracking(x, delayed_positions(t, x, 0.5))
+        assert slow.mean_error < fast.mean_error

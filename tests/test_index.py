@@ -1,0 +1,110 @@
+"""Tests for the state-signature index."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import Vertex
+from repro.database.index import StateSignatureIndex
+from repro.database.store import MotionDatabase
+
+from conftest import EOE, EX, IN, make_series
+
+
+def brute_force(db, signature):
+    """All windows matching a signature, by direct scan."""
+    m = len(signature) + 1
+    hits = []
+    for record in db.iter_streams():
+        states = record.series.states
+        for start in range(len(record.series) - m + 1):
+            window = tuple(int(s) for s in states[start : start + m - 1])
+            if window == tuple(signature):
+                hits.append((record.stream_id, start))
+    return sorted(hits)
+
+
+@pytest.fixture
+def db():
+    database = MotionDatabase()
+    database.add_patient("PA")
+    database.add_patient("PB")
+    database.add_stream("PA", "S00", series=make_series(4))
+    database.add_stream("PB", "S00", series=make_series(3, period=4.0))
+    return database
+
+
+class TestIndex:
+    def test_matches_brute_force(self, db):
+        index = StateSignatureIndex(db)
+        signature = (int(IN), int(EX), int(EOE))
+        candidates = index.candidates(signature)
+        got = sorted(
+            zip((str(s) for s in candidates.stream_ids), candidates.starts)
+        )
+        assert got == brute_force(db, signature)
+
+    def test_unknown_signature_returns_none(self, db):
+        index = StateSignatureIndex(db)
+        assert index.candidates((int(EX), int(EX), int(EX))) is None
+
+    def test_feature_rows_align(self, db):
+        index = StateSignatureIndex(db)
+        signature = (int(IN), int(EX))
+        candidates = index.candidates(signature)
+        for i in range(candidates.n_candidates):
+            series = db.stream(str(candidates.stream_ids[i])).series
+            start = int(candidates.starts[i])
+            np.testing.assert_allclose(
+                candidates.amplitudes[i], series.amplitudes[start : start + 2]
+            )
+            np.testing.assert_allclose(
+                candidates.durations[i], series.durations[start : start + 2]
+            )
+
+    def test_incremental_growth(self, db):
+        index = StateSignatureIndex(db)
+        signature = (int(IN), int(EX), int(EOE))
+        before = index.candidates(signature).n_candidates
+        series = db.stream("PA/S00").series
+        t = series.end_time
+        series.append(Vertex(t + 1.0, (10.0,), EX))
+        series.append(Vertex(t + 2.0, (0.0,), EOE))
+        series.append(Vertex(t + 3.0, (0.0,), IN))
+        after = index.candidates(signature).n_candidates
+        assert after > before
+        assert index.candidates(signature).n_candidates == after  # idempotent
+
+    def test_stream_removal_triggers_rebuild(self, db):
+        index = StateSignatureIndex(db)
+        signature = (int(IN), int(EX), int(EOE))
+        index.candidates(signature)
+        db.remove_stream("PB/S00")
+        candidates = index.candidates(signature)
+        assert all(str(s) != "PB/S00" for s in candidates.stream_ids)
+        assert sorted(
+            zip((str(s) for s in candidates.stream_ids), candidates.starts)
+        ) == brute_force(db, signature)
+
+    def test_new_stream_picked_up(self, db):
+        index = StateSignatureIndex(db)
+        signature = (int(IN), int(EX), int(EOE))
+        before = index.candidates(signature).n_candidates
+        db.add_stream("PB", "S01", series=make_series(2))
+        after = index.candidates(signature).n_candidates
+        assert after > before
+
+    def test_select_mask(self, db):
+        index = StateSignatureIndex(db)
+        candidates = index.candidates((int(IN), int(EX), int(EOE)))
+        mask = np.zeros(candidates.n_candidates, dtype=bool)
+        mask[0] = True
+        subset = candidates.select(mask)
+        assert subset.n_candidates == 1
+        assert subset.starts[0] == candidates.starts[0]
+
+    def test_bookkeeping_accessors(self, db):
+        index = StateSignatureIndex(db)
+        index.candidates((int(IN), int(EX), int(EOE)))
+        assert index.indexed_lengths == (4,)
+        assert index.n_postings(4) >= 1
+        assert index.n_postings(99) == 0

@@ -1,0 +1,57 @@
+"""Tests for streaming ingestion into the database."""
+
+import numpy as np
+import pytest
+
+from repro.database.ingest import StreamIngestor
+from repro.database.store import MotionDatabase
+
+from tests_support import clean_cycles
+
+
+@pytest.fixture
+def db():
+    database = MotionDatabase()
+    database.add_patient("PA")
+    return database
+
+
+class TestStreamIngestor:
+    def test_series_shared_with_record(self, db):
+        ingestor = StreamIngestor(db, "PA", "S00")
+        assert ingestor.series is db.stream(ingestor.stream_id).series
+
+    def test_vertices_visible_immediately(self, db):
+        ingestor = StreamIngestor(db, "PA", "S00")
+        t, x = clean_cycles(n_cycles=3)
+        committed = ingestor.extend(t, x)
+        assert committed
+        assert db.stream("PA/S00").n_vertices == len(committed)
+
+    def test_finish_closes(self, db):
+        ingestor = StreamIngestor(db, "PA", "S00")
+        t, x = clean_cycles(n_cycles=3)
+        ingestor.extend(t, x)
+        n = db.stream("PA/S00").n_vertices
+        assert len(ingestor.finish()) == 1
+        assert db.stream("PA/S00").n_vertices == n + 1
+
+    def test_unknown_patient_rejected(self, db):
+        with pytest.raises(KeyError):
+            StreamIngestor(db, "ZZ", "S00")
+
+    def test_metadata_stored(self, db):
+        ingestor = StreamIngestor(db, "PA", "S00", metadata={"note": "x"})
+        assert db.stream(ingestor.stream_id).metadata == {"note": "x"}
+
+    def test_incremental_matches_batch(self, db):
+        t, x = clean_cycles(n_cycles=4)
+        a = StreamIngestor(db, "PA", "A")
+        for ti, xi in zip(t, x):
+            a.add_point(float(ti), float(xi))
+        a.finish()
+        b = StreamIngestor(db, "PA", "B")
+        b.extend(t, x)
+        b.finish()
+        np.testing.assert_allclose(a.series.times, b.series.times)
+        np.testing.assert_array_equal(a.series.states, b.series.states)

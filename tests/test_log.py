@@ -1,0 +1,66 @@
+"""Tests for the append-only vertex log."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.database.ingest import StreamIngestor
+from repro.database.log import VertexLogWriter, read_vertex_log
+from repro.database.store import MotionDatabase
+
+from conftest import make_series
+from tests_support import clean_cycles
+
+
+class TestVertexLog:
+    def test_roundtrip(self, tmp_path):
+        series = make_series(cycles=3)
+        path = tmp_path / "session.jsonl"
+        with VertexLogWriter(path, "PA/S00", "PA") as log:
+            log.extend(series)
+        header, recovered = read_vertex_log(path)
+        assert header["stream_id"] == "PA/S00"
+        assert header["patient_id"] == "PA"
+        np.testing.assert_allclose(recovered.times, series.times)
+        np.testing.assert_array_equal(recovered.states, series.states)
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        series = make_series(cycles=2)
+        path = tmp_path / "torn.jsonl"
+        with VertexLogWriter(path) as log:
+            log.extend(series)
+        with path.open("a") as handle:
+            handle.write('{"t": 99.0, "p": [1.0')  # crash mid-write
+        _, recovered = read_vertex_log(path)
+        assert len(recovered) == len(series)
+
+    def test_write_after_close_rejected(self, tmp_path):
+        log = VertexLogWriter(tmp_path / "x.jsonl")
+        log.close()
+        with pytest.raises(ValueError):
+            log.append(make_series(1)[0])
+
+    def test_foreign_file_rejected(self, tmp_path):
+        path = tmp_path / "foreign.jsonl"
+        path.write_text(json.dumps({"format": "other"}) + "\n")
+        with pytest.raises(ValueError):
+            read_vertex_log(path)
+        (tmp_path / "empty.jsonl").write_text("")
+        with pytest.raises(ValueError):
+            read_vertex_log(tmp_path / "empty.jsonl")
+
+    def test_ingestor_integration_recovers_session(self, tmp_path):
+        db = MotionDatabase()
+        db.add_patient("PA")
+        path = tmp_path / "live.jsonl"
+        with VertexLogWriter(path, "PA/LIVE", "PA") as log:
+            ingestor = StreamIngestor(db, "PA", "LIVE", vertex_log=log)
+            t, x = clean_cycles(n_cycles=4)
+            ingestor.extend(t, x)
+            ingestor.finish()
+        _, recovered = read_vertex_log(path)
+        np.testing.assert_allclose(
+            recovered.times, ingestor.series.times
+        )
+        assert log.n_written == len(ingestor.series)

@@ -1,0 +1,148 @@
+"""Tests for the subsequence matcher."""
+
+import math
+
+import pytest
+
+from repro.core.matching import SubsequenceMatcher
+from repro.core.model import PLRSeries, Vertex
+from repro.core.similarity import SimilarityParams, SourceRelation
+from repro.database.store import MotionDatabase
+
+from conftest import EOE, EX, IN
+
+
+def series_with_amp(amplitude, cycles=4, period=3.0):
+    series = PLRSeries()
+    t = 0.0
+    third = period / 3.0
+    for _ in range(cycles):
+        series.append(Vertex(t, (0.0,), IN))
+        series.append(Vertex(t + third, (amplitude,), EX))
+        series.append(Vertex(t + 2 * third, (0.0,), EOE))
+        t += period
+    series.append(Vertex(t, (0.0,), IN))
+    return series
+
+
+@pytest.fixture
+def db():
+    database = MotionDatabase()
+    database.add_patient("PA")
+    database.add_patient("PB")
+    database.add_stream("PA", "S00", series=series_with_amp(10.0, cycles=8))
+    database.add_stream("PA", "S01", series=series_with_amp(11.0))
+    database.add_stream("PB", "S00", series=series_with_amp(14.0))
+    return database
+
+
+@pytest.fixture
+def matcher(db):
+    return SubsequenceMatcher(db)
+
+
+class TestFindMatches:
+    def test_finds_exact_match_first(self, db, matcher):
+        query = db.stream("PA/S01").series.subsequence(0, 7)
+        matches = matcher.find_matches(query, "PA/S01", threshold=math.inf)
+        assert matches
+        best = matches[0]
+        # The closest candidates are the (identical) windows of PA/S01
+        # itself that do not overlap the query — or PA/S00's near-identical
+        # windows scaled by the cross-session weight.
+        assert best.distance <= matches[-1].distance
+
+    def test_sorted_by_distance(self, db, matcher):
+        query = db.stream("PA/S00").series.subsequence(0, 7)
+        matches = matcher.find_matches(query, "PA/S00", threshold=math.inf)
+        distances = [m.distance for m in matches]
+        assert distances == sorted(distances)
+
+    def test_overlap_excluded(self, db, matcher):
+        series = db.stream("PA/S00").series
+        query = series.suffix(7)
+        matches = matcher.find_matches(query, "PA/S00", threshold=math.inf)
+        for m in matches:
+            if m.stream_id == "PA/S00":
+                assert m.start + m.n_vertices <= query.start
+
+    def test_threshold_filters(self, db, matcher):
+        query = db.stream("PA/S00").series.subsequence(0, 7)
+        all_matches = matcher.find_matches(query, "PA/S00", threshold=math.inf)
+        some = matcher.find_matches(query, "PA/S00", threshold=1.0)
+        assert len(some) <= len(all_matches)
+        assert all(m.distance <= 1.0 for m in some)
+
+    def test_max_matches(self, db, matcher):
+        query = db.stream("PA/S00").series.subsequence(0, 7)
+        top2 = matcher.find_matches(
+            query, "PA/S00", threshold=math.inf, max_matches=2
+        )
+        assert len(top2) == 2
+
+    def test_restrict_patients(self, db, matcher):
+        query = db.stream("PA/S00").series.subsequence(0, 7)
+        matches = matcher.find_matches(
+            query, "PA/S00", threshold=math.inf, restrict_patients=("PB",)
+        )
+        assert matches
+        assert all(m.stream_id.startswith("PB/") for m in matches)
+
+    def test_relations_assigned(self, db, matcher):
+        query = db.stream("PA/S00").series.subsequence(0, 7)
+        matches = matcher.find_matches(query, "PA/S00", threshold=math.inf)
+        by_stream = {m.stream_id: m.relation for m in matches}
+        assert by_stream["PA/S00"] is SourceRelation.SAME_SESSION
+        assert by_stream["PA/S01"] is SourceRelation.SAME_PATIENT
+        assert by_stream["PB/S00"] is SourceRelation.OTHER_PATIENT
+
+    def test_no_stream_id_treats_all_as_other(self, db, matcher):
+        query = db.stream("PA/S00").series.subsequence(0, 7)
+        matches = matcher.find_matches(query, None, threshold=math.inf)
+        assert all(
+            m.relation is SourceRelation.OTHER_PATIENT for m in matches
+        )
+
+    def test_no_candidates(self, db, matcher):
+        # A signature that never occurs (three rests in a row).
+        series = PLRSeries()
+        for i, state in enumerate((EOE, EOE, EOE, EOE)):
+            series.append(Vertex(float(i), (0.0,), state))
+        query = series.subsequence(0, 4)
+        assert matcher.find_matches(query, None, threshold=math.inf) == []
+
+    def test_match_materialisation(self, db, matcher):
+        query = db.stream("PA/S00").series.subsequence(0, 7)
+        match = matcher.find_matches(query, "PA/S00", threshold=math.inf)[0]
+        sub = match.subsequence(db)
+        assert sub.n_vertices == query.n_vertices
+        assert sub.state_signature == query.state_signature
+
+
+class TestScanEquivalence:
+    def test_index_equals_scan(self, db):
+        indexed = SubsequenceMatcher(db, use_index=True)
+        scanning = SubsequenceMatcher(db, use_index=False)
+        query = db.stream("PA/S01").series.subsequence(2, 9)
+        a = indexed.find_matches(query, "PA/S01", threshold=math.inf)
+        b = scanning.find_matches(query, "PA/S01", threshold=math.inf)
+        assert [(m.stream_id, m.start, round(m.distance, 9)) for m in a] == [
+            (m.stream_id, m.start, round(m.distance, 9)) for m in b
+        ]
+
+    def test_per_call_params_override(self, db, matcher):
+        query = db.stream("PA/S00").series.subsequence(0, 7)
+        default = matcher.find_matches(query, "PA/S00", threshold=math.inf)
+        unweighted = matcher.find_matches(
+            query,
+            "PA/S00",
+            threshold=math.inf,
+            params=SimilarityParams().unweighted(),
+        )
+        d_default = {(m.stream_id, m.start): m.distance for m in default}
+        d_unweighted = {
+            (m.stream_id, m.start): m.distance for m in unweighted
+        }
+        # Cross-patient candidates lose their penalty without weighting.
+        key = next(k for k in d_default if k[0] == "PB/S00")
+        assert d_unweighted[key] < d_default[key]

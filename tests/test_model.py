@@ -1,0 +1,258 @@
+"""Unit tests for the core PLR data model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import (
+    BreathingState,
+    PLRSeries,
+    Segment,
+    Vertex,
+    cycles_to_vertices,
+    vertices_to_cycles,
+)
+
+from conftest import EOE, EX, IN, IRR, make_series
+
+
+class TestBreathingState:
+    def test_four_states(self):
+        assert len(BreathingState) == 4
+
+    def test_regularity(self):
+        assert EX.is_regular and EOE.is_regular and IN.is_regular
+        assert not IRR.is_regular
+
+    def test_int_values_stable(self):
+        assert [int(s) for s in (EX, EOE, IN, IRR)] == [0, 1, 2, 3]
+
+
+class TestVertex:
+    def test_scalar_position_normalised(self):
+        v = Vertex(1.0, 5.0, EX)
+        assert v.position == (5.0,)
+        assert v.ndim == 1
+
+    def test_multidim_position(self):
+        v = Vertex(0.0, (1.0, 2.0, 3.0), IN)
+        assert v.ndim == 3
+        np.testing.assert_allclose(v.position_array(), [1.0, 2.0, 3.0])
+
+    def test_state_coerced(self):
+        v = Vertex(0.0, 1.0, 2)
+        assert v.state is IN
+
+    def test_frozen(self):
+        v = Vertex(0.0, 1.0, EX)
+        with pytest.raises(AttributeError):
+            v.time = 2.0
+
+
+class TestSegment:
+    def test_basic_geometry(self):
+        seg = Segment(Vertex(0.0, 0.0, IN), Vertex(2.0, 10.0, EX))
+        assert seg.state is IN
+        assert seg.duration == 2.0
+        assert seg.amplitude == 10.0
+        np.testing.assert_allclose(seg.slope, [5.0])
+
+    def test_amplitude_is_norm(self):
+        seg = Segment(Vertex(0.0, (0.0, 0.0), IN), Vertex(1.0, (3.0, 4.0), EX))
+        assert seg.amplitude == pytest.approx(5.0)
+
+    def test_position_interpolation(self):
+        seg = Segment(Vertex(0.0, 0.0, IN), Vertex(2.0, 10.0, EX))
+        np.testing.assert_allclose(seg.position_at(1.0), [5.0])
+
+    def test_zero_duration_slope_raises(self):
+        seg = Segment(Vertex(0.0, 0.0, IN), Vertex(0.0, 1.0, EX))
+        with pytest.raises(ValueError):
+            _ = seg.slope
+
+
+class TestPLRSeries:
+    def test_append_and_len(self):
+        series = PLRSeries()
+        series.append(Vertex(0.0, 1.0, EX))
+        series.append(Vertex(1.0, 2.0, EOE))
+        assert len(series) == 2
+        assert series.n_segments == 1
+
+    def test_append_requires_increasing_time(self):
+        series = PLRSeries()
+        series.append(Vertex(1.0, 0.0, EX))
+        with pytest.raises(ValueError):
+            series.append(Vertex(1.0, 1.0, EOE))
+
+    def test_append_requires_consistent_ndim(self):
+        series = PLRSeries()
+        series.append(Vertex(0.0, (1.0, 2.0), EX))
+        with pytest.raises(ValueError):
+            series.append(Vertex(1.0, 3.0, EOE))
+
+    def test_replace_last(self):
+        series = make_series(cycles=1)
+        last = series[-1]
+        series.replace_last(Vertex(last.time + 0.5, last.position, IRR))
+        assert series[-1].state is IRR
+
+    def test_replace_last_empty_raises(self):
+        with pytest.raises(IndexError):
+            PLRSeries().replace_last(Vertex(0.0, 0.0, EX))
+
+    def test_dense_views_align(self, regular_series):
+        s = regular_series
+        assert len(s.times) == len(s) == len(s.positions) == len(s.states)
+        assert len(s.durations) == s.n_segments == len(s.amplitudes)
+
+    def test_views_read_only(self, regular_series):
+        with pytest.raises(ValueError):
+            regular_series.times[0] = 99.0
+
+    def test_cache_invalidated_on_append(self):
+        series = make_series(cycles=1)
+        n = len(series.times)
+        series.append(Vertex(series.end_time + 1.0, 0.0, EX))
+        assert len(series.times) == n + 1
+
+    def test_segment_accessor(self, regular_series):
+        seg = regular_series.segment(0)
+        assert seg.state is IN
+        assert seg.amplitude == pytest.approx(10.0)
+        with pytest.raises(IndexError):
+            regular_series.segment(regular_series.n_segments)
+
+    def test_negative_segment_index(self, regular_series):
+        seg = regular_series.segment(-1)
+        assert seg.end.time == regular_series.end_time
+
+    def test_position_at_interior(self, regular_series):
+        third = 1.0  # period 3, three equal segments
+        np.testing.assert_allclose(
+            regular_series.position_at(0.5 * third), [5.0]
+        )
+
+    def test_position_at_clamps(self, regular_series):
+        np.testing.assert_allclose(regular_series.position_at(-5.0), [0.0])
+        np.testing.assert_allclose(regular_series.position_at(1e9), [0.0])
+
+    def test_position_at_empty_raises(self):
+        with pytest.raises(ValueError):
+            PLRSeries().position_at(0.0)
+
+    def test_segment_index_at(self, regular_series):
+        assert regular_series.segment_index_at(0.1) == 0
+        assert regular_series.segment_index_at(1e9) == (
+            regular_series.n_segments - 1
+        )
+
+    def test_from_arrays_roundtrip(self, regular_series):
+        rebuilt = PLRSeries.from_arrays(
+            regular_series.times,
+            regular_series.positions,
+            regular_series.states,
+        )
+        np.testing.assert_allclose(rebuilt.times, regular_series.times)
+        np.testing.assert_array_equal(rebuilt.states, regular_series.states)
+
+    def test_from_arrays_misaligned_raises(self):
+        with pytest.raises(ValueError):
+            PLRSeries.from_arrays([0.0, 1.0], [[0.0]], [EX, EOE])
+
+    def test_iteration_yields_vertices(self, regular_series):
+        vertices = list(regular_series)
+        assert len(vertices) == len(regular_series)
+        assert all(isinstance(v, Vertex) for v in vertices)
+
+
+class TestSubsequence:
+    def test_window_bounds_validated(self, regular_series):
+        with pytest.raises(ValueError):
+            regular_series.subsequence(3, 3)
+        with pytest.raises(ValueError):
+            regular_series.subsequence(0, len(regular_series) + 1)
+
+    def test_counts(self, regular_series):
+        sub = regular_series.subsequence(0, 4)
+        assert sub.n_vertices == 4
+        assert sub.n_segments == 3
+        assert len(sub) == 4
+
+    def test_state_signature(self, regular_series):
+        sub = regular_series.subsequence(0, 4)
+        assert sub.state_signature == (int(IN), int(EX), int(EOE))
+
+    def test_signature_cached_and_hashable(self, regular_series):
+        sub = regular_series.subsequence(0, 4)
+        assert sub.state_signature is sub.state_signature
+        hash(sub.state_signature)
+
+    def test_feature_arrays(self, regular_series):
+        sub = regular_series.subsequence(0, 4)
+        np.testing.assert_allclose(sub.amplitudes, [10.0, 10.0, 0.0])
+        np.testing.assert_allclose(sub.durations, [1.0, 1.0, 1.0])
+
+    def test_first_last_vertex(self, regular_series):
+        sub = regular_series.subsequence(1, 5)
+        assert sub.first_vertex.time == regular_series[1].time
+        assert sub.last_vertex.time == regular_series[4].time
+
+    def test_vertex_indexing(self, regular_series):
+        sub = regular_series.subsequence(1, 5)
+        assert sub.vertex(-1).time == sub.last_vertex.time
+        with pytest.raises(IndexError):
+            sub.vertex(4)
+
+    def test_cycle_count(self, regular_series):
+        whole = regular_series.subsequence(0, len(regular_series))
+        assert whole.cycle_count(anchor=IN) == 4
+
+    def test_suffix(self, regular_series):
+        sub = regular_series.suffix(5)
+        assert sub.stop == len(regular_series)
+        assert sub.n_vertices == 5
+
+    def test_suffix_clamps_to_length(self, regular_series):
+        sub = regular_series.suffix(10_000)
+        assert sub.n_vertices == len(regular_series)
+
+    def test_subsequences_enumeration(self, regular_series):
+        subs = list(regular_series.subsequences(4))
+        assert len(subs) == len(regular_series) - 3
+        assert subs[0].start == 0
+        assert subs[-1].stop == len(regular_series)
+
+
+class TestCycleConversions:
+    def test_roundtrip(self):
+        for c in (1, 2, 5, 9):
+            assert vertices_to_cycles(cycles_to_vertices(c)) == c
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            cycles_to_vertices(-1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    times=st.lists(
+        st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+        min_size=2,
+        max_size=40,
+        unique=True,
+    ),
+    amp=st.floats(min_value=0.1, max_value=100.0),
+)
+def test_property_series_interpolation_within_hull(times, amp):
+    """position_at never leaves the convex hull of vertex positions."""
+    times = sorted(times)
+    rng = np.random.default_rng(0)
+    positions = rng.uniform(-amp, amp, len(times))
+    states = [BreathingState(int(i) % 4) for i in range(len(times))]
+    series = PLRSeries.from_arrays(times, positions, states)
+    lo, hi = positions.min(), positions.max()
+    for t in np.linspace(times[0] - 1, times[-1] + 1, 17):
+        value = series.position_at(float(t))[0]
+        assert lo - 1e-9 <= value <= hi + 1e-9

@@ -1,0 +1,128 @@
+"""Tests for the continuous clinical monitors."""
+
+import pytest
+
+from repro.analysis.monitors import (
+    AmplitudeMonitor,
+    BreathingRateMonitor,
+    IrregularityMonitor,
+    ThresholdAlarm,
+)
+from repro.core.model import Vertex
+
+from conftest import EX, IN, IRR, make_series
+
+
+def feed(monitor, series):
+    value = None
+    for vertex in series:
+        value = monitor.update(vertex)
+    return value
+
+
+class TestBreathingRateMonitor:
+    def test_rate_of_regular_breathing(self):
+        series = make_series(cycles=8, period=4.0)  # 15 breaths/min
+        rate = feed(BreathingRateMonitor(window_seconds=60.0), series)
+        assert rate == pytest.approx(15.0, rel=0.05)
+
+    def test_none_until_two_breaths(self):
+        monitor = BreathingRateMonitor()
+        assert monitor.update(Vertex(0.0, (0.0,), IN)) is None
+        assert monitor.value is None
+
+    def test_window_tracks_recent_rate(self):
+        monitor = BreathingRateMonitor(window_seconds=20.0)
+        # 10 slow cycles (6 s) followed by 10 fast cycles (2 s).
+        slow = make_series(cycles=10, period=6.0)
+        for v in slow:
+            monitor.update(v)
+        t0 = slow.end_time
+        fast = make_series(cycles=10, period=2.0, start=t0 + 0.1)
+        rate = feed(monitor, fast)
+        assert rate == pytest.approx(30.0, rel=0.1)
+
+
+class TestAmplitudeMonitor:
+    def test_mean_amplitude(self):
+        series = make_series(cycles=6, amplitude=12.0)
+        value = feed(AmplitudeMonitor(window_seconds=60.0), series)
+        assert value == pytest.approx(12.0)
+
+    def test_none_with_too_few_segments(self):
+        monitor = AmplitudeMonitor()
+        assert monitor.update(Vertex(0.0, (0.0,), IN)) is None
+
+
+class TestIrregularityMonitor:
+    def test_regular_stream_is_zero(self):
+        series = make_series(cycles=6)
+        assert feed(IrregularityMonitor(), series) == 0.0
+
+    def test_counts_irregular_share(self):
+        monitor = IrregularityMonitor(window_seconds=100.0)
+        states = [IN, EX, IRR, IRR, IN, EX]
+        value = None
+        for i, state in enumerate(states):
+            value = monitor.update(Vertex(float(i), (0.0,), state))
+        assert value == pytest.approx(2 / 5)
+
+
+class TestThresholdAlarm:
+    def test_fires_and_clears_with_hysteresis(self):
+        monitor = BreathingRateMonitor(window_seconds=15.0)
+        alarm = ThresholdAlarm(monitor, low=10.0, high=20.0, hysteresis=1.0)
+        # Regular 4 s cycles: 15/min, inside the band.
+        for v in make_series(cycles=4, period=4.0):
+            assert alarm.update(v) is None
+        assert not alarm.active
+        # Speed up to 1.5 s cycles: 40/min -> fires.
+        t0 = 16.1
+        fired = False
+        for v in make_series(cycles=6, period=1.5, start=t0):
+            event = alarm.update(v)
+            if event is not None:
+                assert event.active
+                fired = True
+        assert fired and alarm.active
+        # Back to 4 s cycles: clears once well inside the band.
+        cleared = False
+        for v in make_series(cycles=8, period=4.0, start=26.0):
+            event = alarm.update(v)
+            if event is not None and not event.active:
+                cleared = True
+        assert cleared and not alarm.active
+        kinds = [e.active for e in alarm.events]
+        assert kinds == [True, False]
+
+    def test_validation(self):
+        monitor = BreathingRateMonitor()
+        with pytest.raises(ValueError):
+            ThresholdAlarm(monitor)
+        with pytest.raises(ValueError):
+            ThresholdAlarm(monitor, low=5.0, high=4.0)
+        with pytest.raises(ValueError):
+            ThresholdAlarm(monitor, low=1.0, hysteresis=-0.1)
+
+    def test_one_sided_band(self):
+        monitor = AmplitudeMonitor(window_seconds=60.0)
+        alarm = ThresholdAlarm(monitor, low=5.0)
+        for v in make_series(cycles=5, amplitude=2.0):
+            alarm.update(v)
+        assert alarm.active
+
+
+class TestOnSegmentedStream:
+    def test_monitors_on_simulated_session(self, raw_stream):
+        from repro.core.segmentation import OnlineSegmenter
+
+        segmenter = OnlineSegmenter()
+        rate_monitor = BreathingRateMonitor()
+        amp_monitor = AmplitudeMonitor()
+        rate = amplitude = None
+        for t, position in raw_stream.iter_points():
+            for vertex in segmenter.add_point(t, position):
+                rate = rate_monitor.update(vertex)
+                amplitude = amp_monitor.update(vertex)
+        assert rate is not None and 5.0 < rate < 40.0
+        assert amplitude is not None and amplitude > 0.5

@@ -1,0 +1,117 @@
+"""Tests for the continuous online analysis session."""
+
+import numpy as np
+import pytest
+
+from repro.core.online import OnlineAnalysisSession, OnlineSessionConfig
+from repro.signals.respiratory import RespiratorySimulator, SessionConfig
+
+
+@pytest.fixture
+def live_session(small_cohort):
+    pid = small_cohort.patient_ids[0]
+    raw = RespiratorySimulator(
+        small_cohort.profile(pid), SessionConfig(duration=40.0)
+    ).generate_session(5, seed=55)
+    session = OnlineAnalysisSession(
+        small_cohort.db, pid, session_id="ONLINE-TEST"
+    )
+    yield session, raw
+    if session.stream_id in small_cohort.db:
+        small_cohort.db.remove_stream(session.stream_id)
+
+
+class TestOnlineAnalysisSession:
+    def test_warmup_then_queries(self, live_session):
+        session, raw = live_session
+        saw_query = False
+        for t, position in raw.iter_points():
+            session.observe(t, position)
+            if session.query is not None:
+                saw_query = True
+                assert session.query.stop == len(session.ingestor.series)
+        assert saw_query
+
+    def test_predict_ahead_every_frame(self, live_session):
+        session, raw = live_session
+        answered = total = 0
+        predictions = []
+        for t, position in raw.iter_points():
+            session.observe(t, position)
+            if session.query is None:
+                continue
+            total += 1
+            predicted = session.predict_ahead(0.2)
+            if predicted is not None:
+                answered += 1
+                predictions.append((t + 0.2, float(predicted[0])))
+        session.finish(keep_stream=True)
+        assert total > 0
+        assert answered / total > 0.5
+        series = session.ingestor.series
+        errors = [
+            abs(p - series.position_at(tt)[0])
+            for tt, p in predictions
+            if tt <= series.end_time
+        ]
+        assert np.mean(errors) < 1.5
+
+    def test_predict_at_past_time_reads_plr(self, live_session):
+        session, raw = live_session
+        for t, position in raw.iter_points():
+            session.observe(t, position)
+            if session.query is not None:
+                break
+        past = session.ingestor.series.start_time + 0.5
+        value = session.predict_at(past)
+        np.testing.assert_allclose(
+            value, session.ingestor.series.position_at(past)
+        )
+
+    def test_no_prediction_before_warmup(self, live_session):
+        session, raw = live_session
+        points = raw.iter_points()
+        t, position = next(points)
+        session.observe(t, position)
+        assert session.predict_ahead(0.2) is None
+
+    def test_finish_drop_stream(self, small_cohort):
+        pid = small_cohort.patient_ids[1]
+        session = OnlineAnalysisSession(
+            small_cohort.db, pid, session_id="DROPME"
+        )
+        raw = RespiratorySimulator(
+            small_cohort.profile(pid), SessionConfig(duration=10.0)
+        ).generate_session(0, seed=1)
+        for t, position in raw.iter_points():
+            session.observe(t, position)
+        session.finish(keep_stream=False)
+        assert session.stream_id not in small_cohort.db
+
+    def test_matches_refresh_on_vertices(self, live_session):
+        session, raw = live_session
+        snapshots = []
+        for t, position in raw.iter_points():
+            committed = session.observe(t, position)
+            if committed and session.query is not None:
+                snapshots.append(len(session.matches))
+        assert snapshots
+        assert any(n > 0 for n in snapshots)
+
+    def test_config_restriction(self, small_cohort):
+        pid = small_cohort.patient_ids[0]
+        other = small_cohort.patient_ids[1]
+        session = OnlineAnalysisSession(
+            small_cohort.db,
+            pid,
+            session_id="RESTRICTED",
+            config=OnlineSessionConfig(restrict_patients=(other,)),
+        )
+        raw = RespiratorySimulator(
+            small_cohort.profile(pid), SessionConfig(duration=30.0)
+        ).generate_session(2, seed=9)
+        for t, position in raw.iter_points():
+            session.observe(t, position)
+            for match in session.matches:
+                assert match.stream_id.startswith(f"{other}/")
+        session.finish(keep_stream=False)

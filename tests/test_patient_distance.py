@@ -1,0 +1,103 @@
+"""Tests for Definition 4 (patient distance) and the distance matrices."""
+
+import numpy as np
+import pytest
+
+from repro.core.patient_distance import (
+    impute_infinite,
+    patient_distance,
+    patient_distance_matrix,
+    stream_distance_matrix,
+)
+from repro.core.stream_distance import StreamDistanceConfig
+from repro.database.store import MotionDatabase
+
+from test_stream_distance import stream
+
+
+@pytest.fixture
+def db():
+    database = MotionDatabase()
+    # Two similar patients (amplitude ~10) and one distinct (16).
+    for pid, amp in (("PA", 10.0), ("PB", 10.5), ("PC", 16.0)):
+        database.add_patient(pid)
+        for k in range(2):
+            database.add_stream(
+                pid,
+                f"S{k:02d}",
+                series=stream(amp, jitter=0.5, seed=hash((pid, k)) % 1000),
+            )
+    return database
+
+
+CONFIG = StreamDistanceConfig(top_p=3)
+
+
+class TestPatientDistance:
+    def test_symmetric(self, db):
+        assert patient_distance(db, "PA", "PB", CONFIG) == pytest.approx(
+            patient_distance(db, "PB", "PA", CONFIG)
+        )
+
+    def test_similar_patients_closer(self, db):
+        d_ab = patient_distance(db, "PA", "PB", CONFIG)
+        d_ac = patient_distance(db, "PA", "PC", CONFIG)
+        assert d_ab < d_ac
+
+    def test_self_distance_uses_distinct_streams(self, db):
+        d_self = patient_distance(db, "PA", "PA", CONFIG)
+        assert np.isfinite(d_self)
+        assert d_self < patient_distance(db, "PA", "PC", CONFIG)
+
+    def test_self_distance_single_stream(self, db):
+        db.add_patient("PD")
+        db.add_stream("PD", "S00", series=stream(9.0))
+        assert np.isfinite(patient_distance(db, "PD", "PD", CONFIG))
+
+    def test_missing_streams_rejected(self, db):
+        db.add_patient("PE")
+        with pytest.raises(ValueError):
+            patient_distance(db, "PA", "PE", CONFIG)
+
+
+class TestMatrices:
+    def test_stream_matrix_structure(self, db):
+        ids, matrix = stream_distance_matrix(db, CONFIG)
+        assert matrix.shape == (6, 6)
+        np.testing.assert_allclose(matrix, matrix.T)
+        # Self-distance is not exactly zero (top-p keeps near neighbours
+        # beyond the identical window) but every stream is closest to
+        # itself.
+        off = matrix + np.diag(np.full(len(matrix), np.inf))
+        assert np.all(np.diag(matrix) < off.min(axis=1))
+
+    def test_patient_matrix_structure(self, db):
+        ids, matrix = patient_distance_matrix(db, CONFIG)
+        assert ids == ("PA", "PB", "PC")
+        np.testing.assert_allclose(matrix, matrix.T)
+        # PC is the outlier patient.
+        assert matrix[0, 2] > matrix[0, 1]
+
+    def test_subset_selection(self, db):
+        ids, matrix = patient_distance_matrix(
+            db, CONFIG, patient_ids=("PA", "PC")
+        )
+        assert ids == ("PA", "PC")
+        assert matrix.shape == (2, 2)
+
+
+class TestImputeInfinite:
+    def test_replaces_inf(self):
+        matrix = np.array([[0.0, np.inf], [np.inf, 0.0]])
+        fixed = impute_infinite(np.array([[0.0, 2.0], [2.0, np.inf]]))
+        assert np.isfinite(fixed).all()
+        assert fixed[1, 1] == pytest.approx(3.0)
+
+    def test_all_inf_rejected(self):
+        with pytest.raises(ValueError):
+            impute_infinite(np.full((2, 2), np.inf))
+
+    def test_copy_not_inplace(self):
+        matrix = np.array([[0.0, np.inf], [np.inf, 0.0]])
+        impute_infinite(matrix)
+        assert np.isinf(matrix).any()

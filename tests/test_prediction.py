@@ -1,0 +1,112 @@
+"""Tests for the online predictor."""
+
+import pytest
+
+from repro.core.matching import SubsequenceMatcher
+from repro.core.model import PLRSeries, Vertex
+from repro.core.prediction import OnlinePredictor
+from repro.database.store import MotionDatabase
+
+from conftest import EOE, EX, IN
+
+
+def periodic_series(cycles, amplitude=10.0, period=3.0, baseline=0.0):
+    series = PLRSeries()
+    t = 0.0
+    third = period / 3.0
+    for _ in range(cycles):
+        series.append(Vertex(t, (baseline,), IN))
+        series.append(Vertex(t + third, (baseline + amplitude,), EX))
+        series.append(Vertex(t + 2 * third, (baseline,), EOE))
+        t += period
+    series.append(Vertex(t, (baseline,), IN))
+    return series
+
+
+@pytest.fixture
+def setup():
+    db = MotionDatabase()
+    db.add_patient("PA")
+    db.add_stream("PA", "HIST", series=periodic_series(6))
+    live = periodic_series(3)
+    db.add_stream("PA", "LIVE", series=live)
+    matcher = SubsequenceMatcher(db)
+    predictor = OnlinePredictor(db, matcher, min_matches=1)
+    return db, matcher, predictor, live
+
+
+class TestPredict:
+    def test_exact_periodicity_predicted_exactly(self, setup):
+        db, matcher, predictor, live = setup
+        query = live.suffix(7)
+        # Query ends at an IN vertex (baseline); 0.5 s into the next
+        # inhale segment (duration 1.0, amplitude 10) -> position 5.0.
+        prediction = predictor.predict(query, "PA/LIVE", horizon=0.5)
+        assert prediction is not None
+        assert prediction.primary == pytest.approx(5.0, abs=1e-6)
+
+    def test_zero_horizon_returns_current(self, setup):
+        db, matcher, predictor, live = setup
+        query = live.suffix(7)
+        prediction = predictor.predict(query, "PA/LIVE", horizon=0.0)
+        assert prediction.primary == pytest.approx(
+            live.positions[-1][0], abs=1e-9
+        )
+
+    def test_baseline_shift_invariance(self, setup):
+        db, matcher, predictor, _ = setup
+        shifted = periodic_series(3, baseline=50.0)
+        db.add_stream("PA", "SHIFTED", series=shifted)
+        query = shifted.suffix(7)
+        prediction = predictor.predict(query, "PA/SHIFTED", horizon=0.5)
+        assert prediction is not None
+        assert prediction.primary == pytest.approx(55.0, abs=1e-6)
+
+    def test_min_matches_gate(self, setup):
+        db, matcher, _, live = setup
+        strict = OnlinePredictor(db, matcher, min_matches=10_000)
+        query = live.suffix(7)
+        assert strict.predict(query, "PA/LIVE", horizon=0.2) is None
+
+    def test_prediction_time_metadata(self, setup):
+        db, matcher, predictor, live = setup
+        query = live.suffix(7)
+        prediction = predictor.predict(query, "PA/LIVE", horizon=0.25)
+        assert prediction.time == pytest.approx(
+            query.last_vertex.time + 0.25
+        )
+        assert prediction.horizon == 0.25
+        assert prediction.n_matches >= 1
+
+    def test_anchor_modes_agree_on_perfect_matches(self, setup):
+        db, matcher, _, live = setup
+        query = live.suffix(7)
+        last = OnlinePredictor(db, matcher, min_matches=1, anchor="last")
+        first = OnlinePredictor(db, matcher, min_matches=1, anchor="first")
+        p_last = last.predict(query, "PA/LIVE", horizon=0.5)
+        p_first = first.predict(query, "PA/LIVE", horizon=0.5)
+        # The history is perfectly periodic, so both anchors coincide.
+        assert p_last.primary == pytest.approx(p_first.primary, abs=1e-6)
+
+    def test_invalid_configuration(self, setup):
+        db, matcher, _, _ = setup
+        with pytest.raises(ValueError):
+            OnlinePredictor(db, matcher, min_matches=0)
+        with pytest.raises(ValueError):
+            OnlinePredictor(db, matcher, anchor="middle")
+
+
+class TestSegmentForecast:
+    def test_forecast_regular_cycle(self, setup):
+        db, matcher, predictor, live = setup
+        query = live.suffix(7)
+        forecast = predictor.forecast_segment(query, "PA/LIVE")
+        assert forecast is not None
+        # The next segment is always an IN rise: amplitude 10, duration 1.
+        assert forecast.amplitude == pytest.approx(10.0, abs=1e-6)
+        assert forecast.duration == pytest.approx(1.0, abs=1e-6)
+
+    def test_forecast_none_without_matches(self, setup):
+        db, matcher, _, live = setup
+        strict = OnlinePredictor(db, matcher, min_matches=10_000)
+        assert strict.forecast_segment(live.suffix(7), "PA/LIVE") is None

@@ -1,0 +1,91 @@
+"""Tests for within-patient session progression analysis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.progression import (
+    ProgressionReport,
+    detect_change,
+    session_progression,
+)
+from repro.core.segmentation import segment_signal
+from repro.database.store import MotionDatabase
+from repro.signals.patients import generate_population
+from repro.signals.respiratory import RespiratorySimulator, SessionConfig
+
+
+def build_patient_history(change_at=None, n_sessions=5, seed=0):
+    """Sessions of one patient; from ``change_at`` on, traits shift."""
+    profile = generate_population(1, seed=seed)[0]
+    db = MotionDatabase()
+    db.add_patient(profile.patient_id, profile.attributes)
+    for k in range(n_sessions):
+        p = profile
+        if change_at is not None and k >= change_at:
+            p = profile.with_traits(
+                mean_amplitude=profile.traits.mean_amplitude * 0.5,
+                mean_period=profile.traits.mean_period * 1.4,
+            )
+        raw = RespiratorySimulator(
+            p, SessionConfig(duration=75.0)
+        ).generate_session(k, seed=seed * 100 + k)
+        db.add_stream(
+            profile.patient_id,
+            f"S{k:02d}",
+            series=segment_signal(raw.times, raw.values),
+        )
+    return db, profile.patient_id
+
+
+class TestSessionProgression:
+    def test_report_shape(self):
+        db, pid = build_patient_history(n_sessions=4)
+        report = session_progression(db, pid, baseline_sessions=2)
+        assert report.n_sessions == 4
+        assert len(report.consecutive) == 3
+        assert len(report.from_baseline) == 4
+        assert math.isnan(report.from_baseline[0])
+        assert math.isnan(report.from_baseline[1])
+        assert all(np.isfinite(report.from_baseline[2:]))
+
+    def test_stable_patient_flat_profile(self):
+        db, pid = build_patient_history(change_at=None, n_sessions=5)
+        report = session_progression(db, pid, baseline_sessions=2)
+        finite = [d for d in report.from_baseline if math.isfinite(d)]
+        assert max(finite) < 2.5 * min(finite)
+
+    def test_pattern_change_raises_distance(self):
+        db, pid = build_patient_history(change_at=3, n_sessions=5)
+        report = session_progression(db, pid, baseline_sessions=2)
+        before = report.from_baseline[2]
+        after = np.mean(report.from_baseline[3:])
+        assert after > 2.0 * before
+
+    def test_validation(self):
+        db, pid = build_patient_history(n_sessions=2)
+        with pytest.raises(ValueError):
+            session_progression(db, pid, baseline_sessions=2)
+        db2 = MotionDatabase()
+        db2.add_patient("PX")
+        db2.add_stream("PX", "S00")
+        with pytest.raises(ValueError):
+            session_progression(db2, "PX")
+
+
+class TestDetectChange:
+    def test_flags_planted_change(self):
+        db, pid = build_patient_history(change_at=3, n_sessions=6)
+        report = session_progression(db, pid, baseline_sessions=2)
+        assert detect_change(report) == 3
+
+    def test_stable_patient_unflagged(self):
+        db, pid = build_patient_history(change_at=None, n_sessions=5)
+        report = session_progression(db, pid, baseline_sessions=2)
+        assert detect_change(report, factor=3.0) is None
+
+    def test_factor_validation(self):
+        report = ProgressionReport("P", ("a", "b"), (1.0,), (float("nan"), 1.0))
+        with pytest.raises(ValueError):
+            detect_change(report, factor=1.0)

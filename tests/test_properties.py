@@ -1,0 +1,177 @@
+"""Cross-module property-based tests (hypothesis fuzzing)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.matching import SubsequenceMatcher
+from repro.core.model import BreathingState, PLRSeries, Vertex
+from repro.core.segmentation import OnlineSegmenter
+from repro.core.similarity import SimilarityParams, subsequence_distance
+from repro.database.store import MotionDatabase
+
+from conftest import EOE, EX, IN
+from tests_support import clean_cycles
+
+
+def random_plr(rng, n_vertices, irregular_rate=0.1):
+    """A random FSA-plausible PLR series."""
+    series = PLRSeries()
+    t = 0.0
+    order = [IN, EX, EOE]
+    position = 0.0
+    cursor = int(rng.integers(0, 3))
+    for _ in range(n_vertices):
+        if rng.random() < irregular_rate:
+            state = BreathingState.IRR
+        else:
+            state = order[cursor % 3]
+            cursor += 1
+        series.append(Vertex(t, (position,), state))
+        t += float(rng.uniform(0.4, 2.0))
+        if state is IN:
+            position += float(rng.uniform(3.0, 15.0))
+        elif state is EX:
+            position -= float(rng.uniform(3.0, 15.0))
+        else:
+            position += float(rng.uniform(-0.5, 0.5))
+    return series
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_streams=st.integers(min_value=1, max_value=4),
+    query_len=st.integers(min_value=3, max_value=8),
+)
+def test_index_matches_linear_scan_on_random_series(
+    seed, n_streams, query_len
+):
+    """The signature index and the linear scan always agree exactly."""
+    rng = np.random.default_rng(seed)
+    db = MotionDatabase()
+    db.add_patient("PA")
+    db.add_patient("PB")
+    for k in range(n_streams):
+        pid = "PA" if k % 2 == 0 else "PB"
+        db.add_stream(
+            pid, f"S{k:02d}", series=random_plr(rng, int(rng.integers(12, 40)))
+        )
+    sid = db.stream_ids[0]
+    series = db.stream(sid).series
+    if len(series) <= query_len:
+        return
+    start = int(rng.integers(0, len(series) - query_len))
+    query = series.subsequence(start, start + query_len)
+
+    indexed = SubsequenceMatcher(db, use_index=True)
+    scanning = SubsequenceMatcher(db, use_index=False)
+    a = indexed.find_matches(query, sid, threshold=math.inf)
+    b = scanning.find_matches(query, sid, threshold=math.inf)
+    assert [(m.stream_id, m.start) for m in a] == [
+        (m.stream_id, m.start) for m in b
+    ]
+    np.testing.assert_allclose(
+        [m.distance for m in a], [m.distance for m in b]
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=1_000),
+    chunk=st.integers(min_value=1, max_value=97),
+)
+def test_segmenter_invariant_to_chunking(seed, chunk):
+    """Feeding a stream in arbitrary chunk sizes never changes the PLR."""
+    rng = np.random.default_rng(seed)
+    t, x = clean_cycles(n_cycles=4, period=float(rng.uniform(3.0, 5.0)))
+    x = x + rng.normal(0, 0.1, len(x))
+
+    whole = OnlineSegmenter()
+    whole.extend(t, x)
+    whole.finish()
+
+    chunked = OnlineSegmenter()
+    for i in range(0, len(t), chunk):
+        chunked.extend(t[i : i + chunk], x[i : i + chunk])
+    chunked.finish()
+
+    np.testing.assert_allclose(chunked.series.times, whole.series.times)
+    np.testing.assert_array_equal(chunked.series.states, whole.series.states)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_database_persistence_roundtrip_random(seed, tmp_path_factory):
+    """Save/load preserves every vertex of random databases exactly."""
+    rng = np.random.default_rng(seed)
+    db = MotionDatabase()
+    db.add_patient("PA")
+    for k in range(int(rng.integers(1, 4))):
+        db.add_stream(
+            "PA", f"S{k:02d}", series=random_plr(rng, int(rng.integers(5, 30)))
+        )
+    path = tmp_path_factory.mktemp("dbs") / f"db-{seed}.json"
+    db.save(path)
+    loaded = MotionDatabase.load(path)
+    for sid in db.stream_ids:
+        original = db.stream(sid).series
+        restored = loaded.stream(sid).series
+        np.testing.assert_allclose(restored.times, original.times)
+        np.testing.assert_allclose(restored.positions, original.positions)
+        np.testing.assert_array_equal(restored.states, original.states)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    length=st.integers(min_value=3, max_value=9),
+)
+def test_distance_is_quasi_metric_on_same_signature(seed, length):
+    """Identity, non-negativity and symmetry on random matched windows."""
+    rng = np.random.default_rng(seed)
+    base = random_plr(rng, 30, irregular_rate=0.0)
+    # Two windows with the same signature: same phase offset (period 3).
+    starts = [s for s in range(0, 30 - length, 3)]
+    if len(starts) < 2:
+        return
+    a = base.subsequence(starts[0], starts[0] + length)
+    b = base.subsequence(starts[1], starts[1] + length)
+    if a.state_signature != b.state_signature:
+        return
+    params = SimilarityParams(use_source_weights=False)
+    d_ab = subsequence_distance(a, b, params)
+    d_ba = subsequence_distance(b, a, params)
+    assert d_ab >= 0.0
+    assert d_ab == pytest.approx(d_ba)
+    assert subsequence_distance(a, a, params) == pytest.approx(0.0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1_000))
+def test_prediction_within_recent_motion_envelope(seed):
+    """Predicted positions stay inside the envelope of historical motion."""
+    rng = np.random.default_rng(seed)
+    db = MotionDatabase()
+    db.add_patient("PA")
+    hist = random_plr(rng, 40, irregular_rate=0.0)
+    db.add_stream("PA", "HIST", series=hist)
+    live = random_plr(np.random.default_rng(seed + 1), 15, irregular_rate=0.0)
+    db.add_stream("PA", "LIVE", series=live)
+    from repro.core.prediction import OnlinePredictor
+
+    matcher = SubsequenceMatcher(db)
+    predictor = OnlinePredictor(db, matcher, min_matches=1)
+    query = live.suffix(7)
+    prediction = predictor.predict(
+        query, "PA/LIVE", horizon=0.3, threshold=math.inf
+    )
+    if prediction is None:
+        return
+    # Envelope: live position range widened by the largest historical step.
+    lo = live.positions[:, 0].min() - hist.amplitudes.max()
+    hi = live.positions[:, 0].max() + hist.amplitudes.max()
+    assert lo <= prediction.primary <= hi

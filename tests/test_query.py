@@ -1,0 +1,97 @@
+"""Tests for dynamic query subsequence generation (Section 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import PLRSeries, Vertex
+from repro.core.query import QueryConfig, fixed_query, generate_query
+from repro.core.stability import StabilityConfig
+
+from conftest import EOE, EX, IN, make_series
+
+
+def series_with_unstable_tail(calm_cycles=5, wild_cycles=3, seed=0):
+    """Regular history followed by erratic recent cycles."""
+    rng = np.random.default_rng(seed)
+    series = PLRSeries()
+    t = 0.0
+    for i in range(calm_cycles + wild_cycles):
+        wild = i >= calm_cycles
+        amp = 10.0 + (rng.uniform(-6, 6) if wild else 0.0)
+        dur = 1.0 + (rng.uniform(-0.5, 0.5) if wild else 0.0)
+        series.append(Vertex(t, (0.0,), IN))
+        series.append(Vertex(t + dur, (amp,), EX))
+        series.append(Vertex(t + 2 * dur, (0.0,), EOE))
+        t += 3 * dur
+    series.append(Vertex(t, (0.0,), IN))
+    return series
+
+
+class TestGenerateQuery:
+    def test_stable_history_gives_min_length(self, regular_series):
+        config = QueryConfig(min_cycles=2, max_cycles=4)
+        query = generate_query(regular_series, config)
+        assert query is not None
+        assert query.n_vertices == config.min_vertices
+        assert query.stop == len(regular_series)
+
+    def test_query_always_ends_at_most_recent_vertex(self):
+        series = series_with_unstable_tail()
+        query = generate_query(series, QueryConfig(min_cycles=2, max_cycles=6))
+        assert query.stop == len(series)
+
+    def test_unstable_tail_lengthens_query(self):
+        calm = make_series(cycles=8)
+        wild = series_with_unstable_tail(calm_cycles=2, wild_cycles=6)
+        config = QueryConfig(
+            min_cycles=2,
+            max_cycles=8,
+            stability=StabilityConfig(threshold=1.0),
+        )
+        q_calm = generate_query(calm, config)
+        q_wild = generate_query(wild, config)
+        assert q_calm.n_vertices < q_wild.n_vertices
+
+    def test_max_length_respected(self):
+        wild = series_with_unstable_tail(calm_cycles=0, wild_cycles=9)
+        config = QueryConfig(
+            min_cycles=2,
+            max_cycles=4,
+            stability=StabilityConfig(threshold=0.0),
+        )
+        query = generate_query(wild, config)
+        assert query.n_vertices <= config.max_vertices + 1
+
+    def test_short_series_returns_none(self):
+        series = make_series(cycles=1)
+        assert generate_query(series, QueryConfig(min_cycles=3)) is None
+
+    def test_threshold_monotonicity(self):
+        series = series_with_unstable_tail(calm_cycles=3, wild_cycles=4)
+        lengths = []
+        for sigma in (0.5, 2.0, 8.0, 32.0):
+            config = QueryConfig(
+                min_cycles=2,
+                max_cycles=9,
+                stability=StabilityConfig(threshold=sigma),
+            )
+            lengths.append(generate_query(series, config).n_vertices)
+        assert all(a >= b for a, b in zip(lengths, lengths[1:]))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            QueryConfig(min_cycles=0)
+        with pytest.raises(ValueError):
+            QueryConfig(min_cycles=5, max_cycles=3)
+
+
+class TestFixedQuery:
+    def test_length(self, regular_series):
+        query = fixed_query(regular_series, 2)
+        assert query is not None
+        assert query.n_vertices == 7
+        assert query.stop == len(regular_series)
+
+    def test_too_short_returns_none(self):
+        series = make_series(cycles=1)
+        assert fixed_query(series, 5) is None

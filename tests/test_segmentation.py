@@ -1,0 +1,173 @@
+"""Tests for the online PLR segmenter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import BreathingState
+from repro.core.segmentation import (
+    OnlineSegmenter,
+    SegmenterConfig,
+    segment_signal,
+)
+
+from conftest import EOE, EX, IN, IRR, assert_monotone_times
+from tests_support import clean_cycles
+
+
+class TestCleanSignal:
+    def test_states_cycle_regularly(self):
+        t, x = clean_cycles()
+        series = segment_signal(t, x)
+        states = [BreathingState(s) for s in series.states[:-1]]
+        # After warm-up the regular loop IN -> EX -> EOE must repeat.
+        tail = states[3:]
+        assert IRR not in tail
+        for a, b in zip(tail, tail[1:]):
+            assert (a, b) in {(IN, EX), (EX, EOE), (EOE, IN)}, (a, b)
+
+    def test_roughly_three_segments_per_cycle(self):
+        t, x = clean_cycles(n_cycles=10)
+        series = segment_signal(t, x)
+        assert 3 * 10 - 4 <= series.n_segments <= 3 * 10 + 4
+
+    def test_amplitudes_recovered(self):
+        # Causal EMA smoothing attenuates peaks, so the detected amplitude
+        # sits somewhat below truth; it must stay within 30%.
+        t, x = clean_cycles(amplitude=12.0)
+        series = segment_signal(t, x)
+        in_amps = series.amplitudes[series.states[:-1] == int(IN)]
+        assert 0.7 * 12.0 <= np.median(in_amps) <= 1.1 * 12.0
+
+    def test_durations_recovered(self):
+        t, x = clean_cycles(period=4.0)
+        series = segment_signal(t, x)
+        eoe_durs = series.durations[series.states[:-1] == int(EOE)]
+        assert abs(np.median(eoe_durs) - 1.2) < 0.5
+
+    def test_monotone_vertex_times(self):
+        t, x = clean_cycles()
+        assert_monotone_times(segment_signal(t, x))
+
+    def test_plr_tracks_signal(self):
+        # The PLR lags the raw signal by roughly the EMA time constant,
+        # bounding the mean reconstruction error at a few mm on steep slopes.
+        t, x = clean_cycles()
+        series = segment_signal(t, x)
+        probe = t[(t > series.start_time) & (t < series.end_time)][::7]
+        recon = np.array([series.position_at(ti)[0] for ti in probe])
+        truth = np.interp(probe, t, x)
+        assert np.mean(np.abs(recon - truth)) < 3.0
+
+
+class TestStreamingBehaviour:
+    def test_incremental_equals_batch(self):
+        t, x = clean_cycles(n_cycles=5)
+        batch = segment_signal(t, x)
+        seg = OnlineSegmenter()
+        for ti, xi in zip(t, x):
+            seg.add_point(float(ti), float(xi))
+        seg.finish()
+        np.testing.assert_allclose(seg.series.times, batch.times)
+        np.testing.assert_array_equal(seg.series.states, batch.states)
+
+    def test_rejects_non_increasing_time(self):
+        seg = OnlineSegmenter()
+        seg.add_point(0.0, 1.0)
+        with pytest.raises(ValueError):
+            seg.add_point(0.0, 2.0)
+
+    def test_finish_idempotent_on_empty(self):
+        assert OnlineSegmenter().finish() == []
+
+    def test_finish_closes_open_segment(self):
+        t, x = clean_cycles(n_cycles=3)
+        seg = OnlineSegmenter()
+        seg.extend(t, x)
+        n_before = len(seg.series)
+        closed = seg.finish()
+        assert len(closed) == 1
+        assert len(seg.series) == n_before + 1
+        assert seg.series.end_time == pytest.approx(t[-1])
+
+    def test_multidimensional_input(self):
+        t, x = clean_cycles(n_cycles=4)
+        values = np.stack([x, 0.3 * x], axis=1)
+        series = segment_signal(t, values)
+        assert series.ndim == 2
+        assert series.n_segments > 6
+
+
+class TestNoiseRobustness:
+    def test_despiking_swallows_outliers(self):
+        t, x = clean_cycles(n_cycles=5)
+        x_spiky = x.copy()
+        x_spiky[40] += 40.0
+        x_spiky[200] -= 35.0
+        clean = segment_signal(t, x)
+        spiky = segment_signal(t, x_spiky)
+        assert abs(spiky.n_segments - clean.n_segments) <= 2
+
+    def test_cardiac_noise_filtered(self):
+        t, x = clean_cycles(n_cycles=8)
+        noisy = x + 0.5 * np.sin(2 * np.pi * 1.2 * t)
+        series = segment_signal(t, noisy)
+        # Cardiac oscillation must not triple the segment count.
+        assert series.n_segments <= 8 * 3 + 6
+
+    def test_breath_hold_marked_irregular(self):
+        t, x = clean_cycles(n_cycles=10, period=3.0)
+        hold = (t > 12.0) & (t < 18.0)
+        x = x.copy()
+        x[hold] = 0.0
+        series = segment_signal(t, x)
+        idx = [
+            i
+            for i in range(series.n_segments)
+            if series.times[i] >= 11.0 and series.times[i] <= 20.0
+        ]
+        assert any(series.states[i] == int(IRR) for i in idx)
+
+
+class TestOnSimulator:
+    def test_states_match_ground_truth(self, raw_stream):
+        series = segment_signal(raw_stream.times, raw_stream.values)
+        checked = agreed = 0
+        for i in range(series.n_segments):
+            mid = 0.5 * (series.times[i] + series.times[i + 1])
+            truth = raw_stream.truth_state_at(mid)
+            got = BreathingState(series.states[i])
+            if truth is None or truth is IRR or got is IRR:
+                continue
+            checked += 1
+            agreed += truth is got
+        assert checked > 20
+        # Detected boundaries lag truth by the smoothing delay, so perfect
+        # agreement is impossible; two thirds at segment midpoints is the
+        # reliable floor.
+        assert agreed / checked > 0.65
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SegmenterConfig(smoothing_seconds=0.0)
+        with pytest.raises(ValueError):
+            SegmenterConfig(flat_velocity_fraction=1.5)
+        with pytest.raises(ValueError):
+            SegmenterConfig(min_state_duration=-1.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    period=st.floats(min_value=2.5, max_value=6.0),
+    amplitude=st.floats(min_value=3.0, max_value=20.0),
+)
+def test_property_segmentation_bounded_and_ordered(period, amplitude):
+    """For any clean periodic signal: monotone times, bounded segment count,
+    no IRR after warm-up."""
+    t, x = clean_cycles(n_cycles=6, period=period, amplitude=amplitude)
+    series = segment_signal(t, x)
+    assert_monotone_times(series)
+    assert series.n_segments <= 6 * 3 + 5
+    tail = series.states[3:-1]
+    assert int(IRR) not in tail

@@ -1,0 +1,233 @@
+"""Tests for the synthetic signal substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import BreathingState
+from repro.signals.noise import (
+    BaselineDrift,
+    CardiacMotion,
+    GaussianJitter,
+    SpikeNoise,
+    compose_noise,
+)
+from repro.signals.patients import (
+    PatientAttributes,
+    generate_population,
+    traits_from_attributes,
+)
+from repro.signals.respiratory import (
+    RespiratorySimulator,
+    SessionConfig,
+)
+from repro.signals.waveforms import CycleSpec, render_cycle
+
+
+class TestWaveforms:
+    def test_cycle_spec_validation(self):
+        with pytest.raises(ValueError):
+            CycleSpec(period=0.0, amplitude=1.0)
+        with pytest.raises(ValueError):
+            CycleSpec(period=4.0, amplitude=-1.0)
+        with pytest.raises(ValueError):
+            CycleSpec(period=4.0, amplitude=1.0,
+                      inhale_fraction=0.6, exhale_fraction=0.4)
+        with pytest.raises(ValueError):
+            CycleSpec(period=4.0, amplitude=1.0, shape_power=0.0)
+
+    def test_render_cycle_phases(self):
+        spec = CycleSpec(period=4.0, amplitude=10.0)
+        times = np.arange(0, 4.0, 1 / 30)
+        values, phases = render_cycle(spec, 0.0, times)
+        assert len(phases) == 3
+        assert [p.state for p in phases] == [
+            BreathingState.IN, BreathingState.EX, BreathingState.EOE
+        ]
+        assert phases[0].start_time == 0.0
+        assert phases[-1].end_time == pytest.approx(4.0)
+
+    def test_render_cycle_amplitude_and_baseline(self):
+        spec = CycleSpec(period=4.0, amplitude=10.0, baseline=3.0)
+        times = np.arange(0, 4.0, 1 / 60)
+        values, _ = render_cycle(spec, 0.0, times)
+        valid = values[~np.isnan(values)]
+        assert valid.max() == pytest.approx(13.0, abs=0.05)
+        assert valid.min() == pytest.approx(3.0, abs=0.05)
+
+    def test_render_outside_is_nan(self):
+        spec = CycleSpec(period=2.0, amplitude=5.0)
+        times = np.array([-1.0, 0.5, 3.0])
+        values, _ = render_cycle(spec, 0.0, times)
+        assert np.isnan(values[0]) and np.isnan(values[2])
+        assert not np.isnan(values[1])
+
+
+class TestNoiseModels:
+    def test_cardiac_bounded(self):
+        times = np.arange(0, 30, 1 / 30)
+        noise = CardiacMotion(amplitude=0.5)(times, np.random.default_rng(0))
+        assert np.max(np.abs(noise)) <= 0.5 + 1e-9
+
+    def test_spike_rate(self):
+        times = np.arange(0, 1000, 1 / 30)
+        noise = SpikeNoise(rate=0.1)(times, np.random.default_rng(0))
+        n_spikes = np.count_nonzero(noise)
+        assert 50 < n_spikes < 200  # ~100 expected
+
+    def test_jitter_scale(self):
+        times = np.arange(0, 100, 1 / 30)
+        noise = GaussianJitter(sigma=0.2)(times, np.random.default_rng(0))
+        assert 0.15 < noise.std() < 0.25
+
+    def test_drift_starts_at_zero_and_wanders(self):
+        times = np.arange(0, 300, 1 / 30)
+        noise = BaselineDrift(rate=0.1)(times, np.random.default_rng(0))
+        assert noise[0] == pytest.approx(0.0)
+        assert np.max(np.abs(noise)) > 0.05
+
+    def test_compose(self):
+        times = np.arange(0, 10, 1 / 30)
+        rng = np.random.default_rng(0)
+        total = compose_noise(times, [GaussianJitter(0.1), CardiacMotion()], rng)
+        assert total.shape == times.shape
+
+
+class TestPatients:
+    def test_attribute_validation(self):
+        with pytest.raises(ValueError):
+            PatientAttributes("P", 50, "F", "brain", "none")
+        with pytest.raises(ValueError):
+            PatientAttributes("P", 50, "X", "abdomen", "none")
+        with pytest.raises(ValueError):
+            PatientAttributes("P", 50, "M", "abdomen", "flu")
+
+    def test_site_drives_amplitude(self):
+        rng = np.random.default_rng(0)
+        amps = {}
+        for site in ("lung_upper", "lung_lower", "abdomen"):
+            values = [
+                traits_from_attributes(
+                    PatientAttributes(f"P{i}", 60, "F", site, "none"),
+                    np.random.default_rng(i),
+                ).mean_amplitude
+                for i in range(10)
+            ]
+            amps[site] = np.mean(values)
+        assert amps["lung_upper"] < amps["lung_lower"] < amps["abdomen"]
+
+    def test_pathology_drives_irregularity(self):
+        t_none = traits_from_attributes(
+            PatientAttributes("P", 60, "F", "abdomen", "none"),
+            np.random.default_rng(0),
+        )
+        t_copd = traits_from_attributes(
+            PatientAttributes("P", 60, "F", "abdomen", "copd"),
+            np.random.default_rng(0),
+        )
+        assert t_copd.irregular_rate > t_none.irregular_rate
+        assert t_copd.mean_period > t_none.mean_period
+
+    def test_population_reproducible(self):
+        a = generate_population(6, seed=4)
+        b = generate_population(6, seed=4)
+        assert [p.traits for p in a] == [p.traits for p in b]
+        assert len({p.patient_id for p in a}) == 6
+
+    def test_population_strata_covered(self):
+        population = generate_population(9, seed=0)
+        assert {p.attributes.tumor_site for p in population} == {
+            "lung_upper", "lung_lower", "abdomen"
+        }
+
+    def test_with_traits_override(self):
+        profile = generate_population(1, seed=0)[0]
+        changed = profile.with_traits(mean_period=9.9)
+        assert changed.traits.mean_period == 9.9
+        assert changed.attributes is profile.attributes
+
+
+class TestRespiratorySimulator:
+    def test_deterministic_given_seed(self, small_population):
+        sim = RespiratorySimulator(small_population[0])
+        a = sim.generate_session(0, seed=5)
+        b = sim.generate_session(0, seed=5)
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_sessions_differ(self, small_population):
+        sim = RespiratorySimulator(small_population[0])
+        a = sim.generate_session(0, seed=1)
+        b = sim.generate_session(1, seed=2)
+        assert not np.allclose(a.values[:300], b.values[:300])
+
+    def test_shape_and_rate(self, raw_stream):
+        assert raw_stream.n_samples == 60 * 30
+        assert raw_stream.ndim == 1
+        assert raw_stream.sample_rate == 30.0
+
+    def test_truth_covers_duration(self, raw_stream):
+        assert raw_stream.truth[0].start_time == 0.0
+        assert raw_stream.truth[-1].end_time >= 60.0 - 1e-6
+        # contiguous annotation
+        for a, b in zip(raw_stream.truth, raw_stream.truth[1:]):
+            assert b.start_time == pytest.approx(a.end_time)
+
+    def test_truth_state_lookup(self, raw_stream):
+        assert raw_stream.truth_state_at(-5.0) is None
+        mid = raw_stream.truth[3]
+        t = 0.5 * (mid.start_time + mid.end_time)
+        assert raw_stream.truth_state_at(t) is mid.state
+
+    def test_amplitude_matches_traits(self, small_population):
+        profile = small_population[2]  # abdomen -> large amplitude
+        sim = RespiratorySimulator(profile, SessionConfig(duration=60.0))
+        raw = sim.generate_session(0, seed=3)
+        # Peak-to-peak exceeds the mean cycle amplitude (modulation, noise,
+        # irregular bursts) but stays within a small multiple of it.
+        peak_to_peak = raw.primary.max() - raw.primary.min()
+        amplitude = profile.traits.mean_amplitude
+        assert 0.8 * amplitude < peak_to_peak < 2.5 * amplitude
+
+    def test_multidimensional_output(self, small_population):
+        sim = RespiratorySimulator(
+            small_population[0], SessionConfig(duration=20.0, ndim=3)
+        )
+        raw = sim.generate_session(0, seed=0)
+        assert raw.ndim == 3
+        # Secondary axes are scaled copies of the primary motion.
+        corr = np.corrcoef(raw.values[:, 0], raw.values[:, 1])[0, 1]
+        assert corr > 0.8
+
+    def test_iter_points(self, raw_stream):
+        points = list(raw_stream.iter_points())
+        assert len(points) == raw_stream.n_samples
+        t0, p0 = points[0]
+        assert t0 == 0.0 and p0.shape == (1,)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SessionConfig(duration=0.0)
+        with pytest.raises(ValueError):
+            SessionConfig(ndim=0)
+
+    def test_irregular_episodes_present(self):
+        profile = generate_population(1, seed=0)[0].with_traits(
+            irregular_rate=0.25
+        )
+        sim = RespiratorySimulator(profile, SessionConfig(duration=120.0))
+        raw = sim.generate_session(0, seed=2)
+        assert any(
+            p.state is BreathingState.IRR for p in raw.truth
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_property_stream_is_finite_and_annotated(seed):
+    profile = generate_population(1, seed=seed % 7)[0]
+    raw = RespiratorySimulator(
+        profile, SessionConfig(duration=30.0)
+    ).generate_session(0, seed=seed)
+    assert np.all(np.isfinite(raw.values))
+    assert raw.truth[-1].end_time >= 30.0 - 1e-6

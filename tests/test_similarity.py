@@ -1,0 +1,200 @@
+"""Tests for Definition 2 (the weighted subsequence distance)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import PLRSeries, Vertex
+from repro.core.similarity import (
+    SimilarityParams,
+    SourceRelation,
+    batch_distance,
+    subsequence_distance,
+    vertex_weights,
+)
+
+from conftest import EOE, EX, IN
+
+
+def shifted_series(amplitude=10.0, period=3.0, baseline=0.0, dur_scale=1.0):
+    series = PLRSeries()
+    t = 0.0
+    third = period / 3.0 * dur_scale
+    for _ in range(4):
+        series.append(Vertex(t, (baseline,), IN))
+        series.append(Vertex(t + third, (baseline + amplitude,), EX))
+        series.append(Vertex(t + 2 * third, (baseline,), EOE))
+        t += 3 * third
+    series.append(Vertex(t, (baseline,), IN))
+    return series
+
+
+class TestVertexWeights:
+    def test_ramp_endpoints(self):
+        w = vertex_weights(5, 0.5)
+        assert w[0] == pytest.approx(0.5)
+        assert w[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(w) > 0)
+
+    def test_single_segment(self):
+        np.testing.assert_allclose(vertex_weights(1, 0.5), [1.0])
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            vertex_weights(0, 0.5)
+
+
+class TestSubsequenceDistance:
+    def test_identity_is_zero(self, regular_series):
+        sub = regular_series.subsequence(0, 7)
+        assert subsequence_distance(sub, sub) == pytest.approx(0.0)
+
+    def test_signature_mismatch_is_inf(self, regular_series):
+        a = regular_series.subsequence(0, 7)
+        b = regular_series.subsequence(1, 8)
+        assert math.isinf(subsequence_distance(a, b))
+
+    def test_offset_translation_invariant(self):
+        a = shifted_series(baseline=0.0).subsequence(0, 7)
+        b = shifted_series(baseline=25.0).subsequence(0, 7)
+        assert subsequence_distance(a, b) == pytest.approx(0.0)
+
+    def test_symmetry_same_relation(self):
+        a = shifted_series(amplitude=10.0).subsequence(0, 7)
+        b = shifted_series(amplitude=13.0).subsequence(0, 7)
+        params = SimilarityParams()
+        d_ab = subsequence_distance(a, b, params, SourceRelation.SAME_PATIENT)
+        d_ba = subsequence_distance(b, a, params, SourceRelation.SAME_PATIENT)
+        assert d_ab == pytest.approx(d_ba)
+
+    def test_amplitude_difference_scales(self):
+        a = shifted_series(amplitude=10.0).subsequence(0, 7)
+        b = shifted_series(amplitude=12.0).subsequence(0, 7)
+        c = shifted_series(amplitude=14.0).subsequence(0, 7)
+        params = SimilarityParams(use_vertex_weights=False,
+                                  use_source_weights=False)
+        assert subsequence_distance(a, c, params) == pytest.approx(
+            2.0 * subsequence_distance(a, b, params)
+        )
+
+    def test_frequency_weight_governs_duration_cost(self):
+        a = shifted_series(dur_scale=1.0).subsequence(0, 7)
+        b = shifted_series(dur_scale=1.3).subsequence(0, 7)
+        low = SimilarityParams(frequency_weight=0.25,
+                               use_vertex_weights=False,
+                               use_source_weights=False)
+        high = SimilarityParams(frequency_weight=1.0,
+                                use_vertex_weights=False,
+                                use_source_weights=False)
+        assert subsequence_distance(a, b, high) == pytest.approx(
+            4.0 * subsequence_distance(a, b, low)
+        )
+
+    def test_source_weight_divides(self):
+        a = shifted_series(amplitude=10.0).subsequence(0, 7)
+        b = shifted_series(amplitude=12.0).subsequence(0, 7)
+        params = SimilarityParams(use_vertex_weights=False)
+        same = subsequence_distance(a, b, params, SourceRelation.SAME_SESSION)
+        other = subsequence_distance(a, b, params, SourceRelation.OTHER_PATIENT)
+        assert other == pytest.approx(same / 0.3)
+
+    def test_source_weight_multiplicative_ablation(self):
+        a = shifted_series(amplitude=10.0).subsequence(0, 7)
+        b = shifted_series(amplitude=12.0).subsequence(0, 7)
+        params = SimilarityParams(
+            use_vertex_weights=False, source_weight_multiplies=True
+        )
+        same = subsequence_distance(a, b, params, SourceRelation.SAME_SESSION)
+        other = subsequence_distance(a, b, params, SourceRelation.OTHER_PATIENT)
+        assert other == pytest.approx(same * 0.3)
+
+    def test_normalized_inner_sum_is_mean(self):
+        a = shifted_series(amplitude=10.0).subsequence(0, 7)
+        b = shifted_series(amplitude=12.0).subsequence(0, 7)
+        summed = SimilarityParams(use_vertex_weights=False,
+                                  use_source_weights=False)
+        meaned = SimilarityParams(use_vertex_weights=False,
+                                  use_source_weights=False,
+                                  normalize_inner_sum=True)
+        assert subsequence_distance(a, b, summed) == pytest.approx(
+            a.n_segments * subsequence_distance(a, b, meaned)
+        )
+
+    def test_vertex_weights_emphasise_recent(self):
+        # Build candidates differing only in the oldest vs newest segment.
+        base = shifted_series(amplitude=10.0)
+        peaks = [i for i, v in enumerate(base) if v.state == EX]
+        first_peak, last_peak = peaks[0], peaks[-1]
+        old_diff = PLRSeries()
+        new_diff = PLRSeries()
+        for i, v in enumerate(base):
+            old_pos = (14.0,) if i == first_peak else v.position
+            new_pos = (14.0,) if i == last_peak else v.position
+            old_diff.append(Vertex(v.time, old_pos, v.state))
+            new_diff.append(Vertex(v.time, new_pos, v.state))
+        params = SimilarityParams(use_source_weights=False)
+        query = base.subsequence(0, len(base))
+        d_old = subsequence_distance(
+            query, old_diff.subsequence(0, len(old_diff)), params
+        )
+        d_new = subsequence_distance(
+            query, new_diff.subsequence(0, len(new_diff)), params
+        )
+        assert d_old < d_new  # recent mismatch costs more
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            SimilarityParams(vertex_base_weight=0.0)
+        with pytest.raises(ValueError):
+            SimilarityParams(weight_other_patient=1.5)
+        with pytest.raises(ValueError):
+            SimilarityParams(distance_threshold=0.0)
+        with pytest.raises(ValueError):
+            SimilarityParams(amplitude_weight=-1.0)
+
+    def test_offline_and_unweighted_helpers(self):
+        params = SimilarityParams()
+        assert params.offline().use_vertex_weights is False
+        unweighted = params.unweighted()
+        assert unweighted.frequency_weight == 1.0
+        assert unweighted.use_source_weights is False
+
+
+class TestBatchDistance:
+    def test_matches_pairwise(self):
+        query = shifted_series(amplitude=10.0).subsequence(0, 7)
+        candidates = [
+            shifted_series(amplitude=a, dur_scale=d).subsequence(0, 7)
+            for a, d in ((10.0, 1.0), (12.0, 1.1), (8.0, 0.9))
+        ]
+        params = SimilarityParams()
+        relations = [
+            SourceRelation.SAME_SESSION,
+            SourceRelation.SAME_PATIENT,
+            SourceRelation.OTHER_PATIENT,
+        ]
+        amp = np.vstack([c.amplitudes for c in candidates])
+        dur = np.vstack([c.durations for c in candidates])
+        ws = np.array([params.source_weight(r) for r in relations])
+        batched = batch_distance(query, amp, dur, ws, params)
+        pairwise = [
+            subsequence_distance(query, c, params, r)
+            for c, r in zip(candidates, relations)
+        ]
+        np.testing.assert_allclose(batched, pairwise)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    amp=st.floats(min_value=1.0, max_value=30.0),
+    dur=st.floats(min_value=0.5, max_value=2.0),
+)
+def test_property_distance_nonnegative_and_identity(amp, dur):
+    a = shifted_series(amplitude=amp, dur_scale=dur).subsequence(0, 7)
+    b = shifted_series(amplitude=amp + 1.0, dur_scale=dur).subsequence(0, 7)
+    params = SimilarityParams()
+    assert subsequence_distance(a, a, params) == pytest.approx(0.0)
+    assert subsequence_distance(a, b, params) >= 0.0

@@ -1,0 +1,98 @@
+"""Tests for the DFT-feature subsequence matcher baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.spectral import SpectralConfig, SpectralMatcher
+
+from tests_support import clean_cycles
+
+
+@pytest.fixture
+def matcher():
+    m = SpectralMatcher(SpectralConfig(window_seconds=8.0, stride_seconds=1.0))
+    t, x = clean_cycles(n_cycles=10, period=4.0)
+    m.add_stream("A", t, x)
+    t2, x2 = clean_cycles(n_cycles=10, period=5.0, amplitude=6.0)
+    m.add_stream("B", t2, x2)
+    return m
+
+
+class TestIndexing:
+    def test_window_count(self):
+        m = SpectralMatcher(
+            SpectralConfig(window_seconds=8.0, stride_seconds=2.0)
+        )
+        t, x = clean_cycles(n_cycles=8, period=4.0)  # ~31.97 s of samples
+        added = m.add_stream("A", t, x)
+        # Windows start at 0, 2, ..., 22 (24 + 8 exceeds the last sample).
+        assert added == 12
+        assert m.n_windows == 12
+
+    def test_misaligned_rejected(self):
+        m = SpectralMatcher()
+        with pytest.raises(ValueError):
+            m.add_stream("A", np.arange(10.0), np.arange(9.0))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SpectralConfig(window_seconds=0.0)
+        with pytest.raises(ValueError):
+            SpectralConfig(n_points=2)
+        with pytest.raises(ValueError):
+            SpectralConfig(n_coefficients=0)
+
+
+class TestQuery:
+    def test_same_period_stream_preferred(self, matcher):
+        t, x = clean_cycles(n_cycles=6, period=4.0)
+        hits = matcher.query(t, x, k=5)
+        assert len(hits) == 5
+        # The 4 s-period stream A dominates the neighbours of a 4 s query.
+        assert sum(w.stream_id == "A" for w, _ in hits) >= 4
+
+    def test_distances_sorted(self, matcher):
+        t, x = clean_cycles(n_cycles=6, period=4.0)
+        hits = matcher.query(t, x, k=8)
+        distances = [d for _, d in hits]
+        assert distances == sorted(distances)
+
+    def test_exclusion(self, matcher):
+        t, x = clean_cycles(n_cycles=6, period=4.0)
+        hits = matcher.query(t, x, k=10, exclude_stream="A")
+        assert all(w.stream_id != "A" for w, _ in hits)
+
+    def test_exclude_after(self, matcher):
+        t, x = clean_cycles(n_cycles=6, period=4.0)
+        hits = matcher.query(
+            t, x, k=10, exclude_stream="A", exclude_after=16.0
+        )
+        for window, _ in hits:
+            if window.stream_id == "A":
+                assert window.end_time <= 16.0
+
+    def test_short_query_rejected(self, matcher):
+        t, x = clean_cycles(n_cycles=1, period=4.0)
+        with pytest.raises(ValueError):
+            matcher.query(t, x)
+
+    def test_empty_index(self):
+        m = SpectralMatcher()
+        t, x = clean_cycles(n_cycles=6)
+        assert m.query(t, x) == []
+
+
+class TestLowerBound:
+    def test_feature_distance_lower_bounds_euclidean(self):
+        """Parseval: truncated-DFT distance <= true Euclidean distance."""
+        config = SpectralConfig(window_seconds=8.0, stride_seconds=2.0)
+        m = SpectralMatcher(config)
+        t, x = clean_cycles(n_cycles=10, period=4.0)
+        rng = np.random.default_rng(0)
+        x_noisy = x + rng.normal(0, 0.5, len(x))
+        m.add_stream("A", t, x_noisy)
+        tq, xq = clean_cycles(n_cycles=4, period=3.5)
+        hits = m.query(tq, xq, k=10)
+        for window, feature_distance in hits:
+            true = m.true_distance(tq, xq, window, t, x_noisy)
+            assert feature_distance <= true + 1e-9

@@ -1,0 +1,132 @@
+"""Tests for Definition 1 (subsequence stability)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import PLRSeries, Vertex
+from repro.core.stability import (
+    StabilityConfig,
+    is_stable,
+    subsequence_stability,
+)
+
+from conftest import EOE, EX, IN
+
+
+def jittered_series(amp_jitter=0.0, dur_jitter=0.0, seed=0, cycles=5):
+    """Regular cycles with controlled per-segment jitter."""
+    rng = np.random.default_rng(seed)
+    series = PLRSeries()
+    t = 0.0
+    for _ in range(cycles):
+        amp = 10.0 + rng.uniform(-amp_jitter, amp_jitter)
+        d_in = 1.0 + rng.uniform(-dur_jitter, dur_jitter)
+        d_ex = 1.0 + rng.uniform(-dur_jitter, dur_jitter)
+        d_eoe = 1.0 + rng.uniform(-dur_jitter, dur_jitter)
+        series.append(Vertex(t, (0.0,), IN))
+        series.append(Vertex(t + d_in, (amp,), EX))
+        series.append(Vertex(t + d_in + d_ex, (0.0,), EOE))
+        t += d_in + d_ex + d_eoe
+    series.append(Vertex(t, (0.0,), IN))
+    return series
+
+
+class TestStability:
+    def test_perfectly_regular_is_zero(self, regular_series):
+        whole = regular_series.subsequence(0, len(regular_series))
+        assert subsequence_stability(whole) == pytest.approx(0.0)
+
+    def test_jitter_increases_score(self):
+        calm = jittered_series(amp_jitter=0.2, dur_jitter=0.02)
+        wild = jittered_series(amp_jitter=3.0, dur_jitter=0.5)
+        s_calm = subsequence_stability(calm.subsequence(0, len(calm)))
+        s_wild = subsequence_stability(wild.subsequence(0, len(wild)))
+        assert s_calm < s_wild
+
+    def test_amplitude_weight_scales_amp_term(self):
+        series = jittered_series(amp_jitter=2.0, dur_jitter=0.0)
+        sub = series.subsequence(0, len(series))
+        half = subsequence_stability(
+            sub, StabilityConfig(amplitude_weight=0.5, frequency_weight=0.25)
+        )
+        full = subsequence_stability(
+            sub, StabilityConfig(amplitude_weight=1.0, frequency_weight=0.25)
+        )
+        assert half == pytest.approx(full / 2.0)
+
+    def test_frequency_weight_scales_dur_term(self):
+        series = jittered_series(amp_jitter=0.0, dur_jitter=0.4)
+        sub = series.subsequence(0, len(series))
+        s1 = subsequence_stability(
+            sub, StabilityConfig(amplitude_weight=1.0, frequency_weight=0.25)
+        )
+        s2 = subsequence_stability(
+            sub, StabilityConfig(amplitude_weight=1.0, frequency_weight=0.5)
+        )
+        assert s2 == pytest.approx(2.0 * s1)
+
+    def test_states_grouped_separately(self):
+        # Alternating amplitudes within one state create deviations; the
+        # same values split across states do not.
+        series = PLRSeries()
+        series.append(Vertex(0.0, (0.0,), IN))
+        series.append(Vertex(1.0, (8.0,), EX))
+        series.append(Vertex(2.0, (0.0,), EOE))
+        series.append(Vertex(3.0, (0.0,), IN))
+        series.append(Vertex(4.0, (12.0,), EX))
+        series.append(Vertex(5.0, (0.0,), EOE))
+        series.append(Vertex(6.0, (0.0,), IN))
+        sub = series.subsequence(0, len(series))
+        # IN amps are 8 and 12 (dev 2 each); EX amps 8 and 12 likewise.
+        score = subsequence_stability(
+            sub, StabilityConfig(amplitude_weight=1.0, frequency_weight=0.0)
+        )
+        assert score == pytest.approx(8.0)
+
+    def test_relative_variant_unit_free(self):
+        series = jittered_series(amp_jitter=2.0, dur_jitter=0.2, seed=3)
+        scaled = PLRSeries()
+        for v in series:
+            scaled.append(Vertex(v.time, tuple(10 * p for p in v.position), v.state))
+        config = StabilityConfig(relative=True)
+        s1 = subsequence_stability(series.subsequence(0, len(series)), config)
+        s2 = subsequence_stability(scaled.subsequence(0, len(scaled)), config)
+        assert s1 == pytest.approx(s2, rel=1e-9)
+
+    def test_empty_window_raises(self, regular_series):
+        with pytest.raises(ValueError):
+            subsequence_stability(regular_series.subsequence(0, 1))
+
+    def test_is_stable_threshold(self):
+        series = jittered_series(amp_jitter=3.0, dur_jitter=0.5, seed=1)
+        sub = series.subsequence(0, len(series))
+        score = subsequence_stability(sub)
+        assert is_stable(sub, StabilityConfig(threshold=score + 1.0))
+        assert not is_stable(sub, StabilityConfig(threshold=score - 1.0))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            StabilityConfig(amplitude_weight=-1.0)
+        with pytest.raises(ValueError):
+            StabilityConfig(threshold=-0.1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    amp_jitter=st.floats(min_value=0.0, max_value=4.0),
+    dur_jitter=st.floats(min_value=0.0, max_value=0.8),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_property_stability_nonnegative_and_monotone_in_weights(
+    amp_jitter, dur_jitter, seed
+):
+    series = jittered_series(amp_jitter, dur_jitter, seed)
+    sub = series.subsequence(0, len(series))
+    score = subsequence_stability(sub)
+    assert score >= 0.0
+    heavier = subsequence_stability(
+        sub, StabilityConfig(amplitude_weight=2.0, frequency_weight=0.5)
+    )
+    assert heavier >= score - 1e-12

@@ -1,0 +1,100 @@
+"""Tests for Definition 3 (whole-stream distance)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.model import PLRSeries, Vertex
+from repro.core.similarity import SourceRelation
+from repro.core.stream_distance import (
+    StreamDistanceConfig,
+    directed_distances,
+    stream_distance,
+)
+
+from conftest import EOE, EX, IN
+
+
+def stream(amplitude, cycles=12, period=3.0, jitter=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    series = PLRSeries()
+    t = 0.0
+    third = period / 3.0
+    for _ in range(cycles):
+        amp = amplitude + rng.uniform(-jitter, jitter)
+        series.append(Vertex(t, (0.0,), IN))
+        series.append(Vertex(t + third, (amp,), EX))
+        series.append(Vertex(t + 2 * third, (0.0,), EOE))
+        t += period
+    series.append(Vertex(t, (0.0,), IN))
+    return series
+
+
+class TestStreamDistance:
+    def test_symmetric(self):
+        a = stream(10.0, jitter=1.0, seed=1)
+        b = stream(12.0, jitter=1.0, seed=2)
+        config = StreamDistanceConfig(top_p=3)
+        assert stream_distance(a, b, config=config) == pytest.approx(
+            stream_distance(b, a, config=config)
+        )
+
+    def test_identical_streams_near_zero(self):
+        a = stream(10.0)
+        d = stream_distance(a, a, config=StreamDistanceConfig(top_p=3))
+        assert d == pytest.approx(0.0, abs=1e-9)
+
+    def test_orders_by_shape_difference(self):
+        a = stream(10.0, jitter=0.5, seed=1)
+        near = stream(10.5, jitter=0.5, seed=2)
+        far = stream(16.0, jitter=0.5, seed=3)
+        config = StreamDistanceConfig(top_p=3, use_source_weight=False)
+        assert stream_distance(a, near, config=config) < stream_distance(
+            a, far, config=config
+        )
+
+    def test_source_weight_inflates_cross_patient(self):
+        a = stream(10.0, jitter=0.5, seed=1)
+        b = stream(11.0, jitter=0.5, seed=2)
+        config = StreamDistanceConfig(top_p=3)
+        same = stream_distance(
+            a, b, relation=SourceRelation.SAME_PATIENT, config=config
+        )
+        other = stream_distance(
+            a, b, relation=SourceRelation.OTHER_PATIENT, config=config
+        )
+        assert other == pytest.approx(same * (0.9 / 0.3))
+
+    def test_outlier_queries_dropped(self):
+        a = stream(10.0, cycles=12)
+        b = stream(10.0, cycles=2)  # too few windows for top_p
+        config = StreamDistanceConfig(top_p=10)
+        # Fallback to top_p=1 keeps the pair comparable.
+        d = stream_distance(a, b, config=config)
+        assert math.isfinite(d)
+
+    def test_incomparable_streams_inf(self):
+        a = stream(10.0, cycles=4)
+        # A stream whose state pattern (all EX) never occurs in `a`.
+        c = PLRSeries()
+        for i in range(10):
+            c.append(Vertex(float(i), (float(i),), EX))
+        assert math.isinf(stream_distance(a, c))
+
+    def test_directed_distances_count(self):
+        a = stream(10.0, cycles=10, jitter=0.3, seed=1)
+        b = stream(10.0, cycles=10, jitter=0.3, seed=2)
+        config = StreamDistanceConfig(top_p=2)
+        retained = directed_distances(
+            a, b, SourceRelation.OTHER_PATIENT, config
+        )
+        # Each retained query contributes exactly top_p distances.
+        assert len(retained) % config.top_p == 0
+        assert all(d >= 0 for d in retained)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            StreamDistanceConfig(query_vertices=1)
+        with pytest.raises(ValueError):
+            StreamDistanceConfig(top_p=0)

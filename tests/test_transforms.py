@@ -1,0 +1,207 @@
+"""Tests for the related-work representations (PAA, APCA, DFT, DWT, SVD, PLR)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transforms import (
+    apca,
+    apca_reconstruct,
+    bottom_up_plr,
+    dft_reconstruct,
+    dft_reduce,
+    dwt_reconstruct,
+    dwt_reduce,
+    haar_inverse,
+    haar_transform,
+    paa,
+    paa_reconstruct,
+    plr_reconstruct,
+    reconstruction_error,
+    svd_fit,
+    svd_reconstruct,
+    svd_reduce,
+)
+
+
+@pytest.fixture
+def signal():
+    t = np.linspace(0, 6 * np.pi, 256)
+    return np.sin(t) + 0.3 * np.sin(3 * t)
+
+
+class TestPAA:
+    def test_full_resolution_exact(self, signal):
+        coeffs = paa(signal, len(signal))
+        np.testing.assert_allclose(paa_reconstruct(coeffs, len(signal)), signal)
+
+    def test_error_decreases_with_k(self, signal):
+        errors = [
+            reconstruction_error(
+                signal, paa_reconstruct(paa(signal, k), len(signal))
+            )
+            for k in (4, 16, 64)
+        ]
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_mean_preserved(self, signal):
+        coeffs = paa(signal, 8)
+        assert np.average(
+            coeffs, weights=np.diff(np.linspace(0, len(signal), 9).round())
+        ) == pytest.approx(signal.mean())
+
+    def test_invalid_k(self, signal):
+        with pytest.raises(ValueError):
+            paa(signal, 0)
+        with pytest.raises(ValueError):
+            paa(signal, len(signal) + 1)
+
+
+class TestAPCA:
+    def test_segments_cover(self, signal):
+        segments = apca(signal, 10)
+        assert segments[0].start == 0
+        assert segments[-1].end == len(signal)
+        for a, b in zip(segments, segments[1:]):
+            assert a.end == b.start
+
+    def test_adapts_better_than_paa_on_bursty_signal(self):
+        x = np.zeros(128)
+        x[90:110] = np.sin(np.linspace(0, 3 * np.pi, 20)) * 5
+        k = 8
+        e_apca = reconstruction_error(x, apca_reconstruct(apca(x, k), len(x)))
+        e_paa = reconstruction_error(x, paa_reconstruct(paa(x, k), len(x)))
+        assert e_apca <= e_paa
+
+    def test_reconstruct_requires_cover(self, signal):
+        segments = apca(signal, 5)
+        with pytest.raises(ValueError):
+            apca_reconstruct(segments, len(signal) + 10)
+
+
+class TestDFT:
+    def test_full_reconstruction(self, signal):
+        coeffs = dft_reduce(signal, len(signal) // 2 + 1)
+        np.testing.assert_allclose(
+            dft_reconstruct(coeffs, len(signal)), signal, atol=1e-9
+        )
+
+    def test_low_frequency_signal_compresses_well(self, signal):
+        # The fixture has content at bins ~3 and ~9; 16 coefficients
+        # capture both (up to leakage from the non-integer window).
+        coeffs = dft_reduce(signal, 16)
+        approx = dft_reconstruct(coeffs, len(signal))
+        assert reconstruction_error(signal, approx) < 0.1
+
+    def test_invalid_k(self, signal):
+        with pytest.raises(ValueError):
+            dft_reduce(signal, 0)
+
+
+class TestDWT:
+    def test_roundtrip_power_of_two(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=64)
+        np.testing.assert_allclose(haar_inverse(haar_transform(x)), x,
+                                   atol=1e-9)
+
+    def test_roundtrip_arbitrary_length(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=50)
+        values, indices = dwt_reduce(x, 64)
+        np.testing.assert_allclose(dwt_reconstruct(values, indices, 50), x,
+                                   atol=1e-9)
+
+    def test_energy_preserved(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=32)
+        coeffs = haar_transform(x)
+        assert np.sum(coeffs**2) == pytest.approx(np.sum(x**2))
+
+    def test_error_decreases_with_k(self, signal):
+        errors = []
+        for k in (8, 32, 128):
+            values, indices = dwt_reduce(signal, k)
+            errors.append(
+                reconstruction_error(
+                    signal, dwt_reconstruct(values, indices, len(signal))
+                )
+            )
+        assert errors[0] >= errors[1] >= errors[2]
+
+
+class TestSVD:
+    def test_projection_roundtrip_full_rank(self):
+        rng = np.random.default_rng(0)
+        windows = rng.normal(size=(20, 6))
+        basis = svd_fit(windows, 6)
+        coeffs = svd_reduce(basis, windows)
+        np.testing.assert_allclose(
+            svd_reconstruct(basis, coeffs), windows, atol=1e-9
+        )
+
+    def test_low_rank_structure_captured(self):
+        rng = np.random.default_rng(1)
+        factors = rng.normal(size=(40, 2))
+        directions = rng.normal(size=(2, 16))
+        windows = factors @ directions
+        basis = svd_fit(windows, 2)
+        approx = svd_reconstruct(basis, svd_reduce(basis, windows))
+        assert reconstruction_error(windows.ravel(), approx.ravel()) < 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            svd_fit(np.zeros(5), 1)
+        with pytest.raises(ValueError):
+            svd_fit(np.zeros((4, 4)), 5)
+
+
+class TestBottomUpPLR:
+    def test_breakpoints_valid(self, signal):
+        t = np.arange(len(signal), dtype=float)
+        bounds = bottom_up_plr(t, signal, 12)
+        assert bounds[0] == 0 and bounds[-1] == len(signal) - 1
+        assert all(a < b for a, b in zip(bounds, bounds[1:]))
+        assert len(bounds) - 1 == 12
+
+    def test_error_decreases_with_segments(self, signal):
+        t = np.arange(len(signal), dtype=float)
+        errors = []
+        for k in (4, 12, 40):
+            bounds = bottom_up_plr(t, signal, k)
+            errors.append(
+                reconstruction_error(signal, plr_reconstruct(t, signal, bounds))
+            )
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_piecewise_linear_signal_exact(self):
+        t = np.arange(40, dtype=float)
+        x = np.concatenate([np.linspace(0, 10, 20), np.linspace(10, 0, 20)])
+        bounds = bottom_up_plr(t, x, 3)
+        approx = plr_reconstruct(t, x, bounds)
+        assert reconstruction_error(x, approx) < 0.2
+
+    def test_validation(self):
+        t = np.arange(10, dtype=float)
+        with pytest.raises(ValueError):
+            bottom_up_plr(t, t[:5], 2)
+        with pytest.raises(ValueError):
+            bottom_up_plr(t, t, 0)
+        with pytest.raises(ValueError):
+            reconstruction_error(np.zeros(3), np.zeros(4))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=8, max_value=100),
+    k=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_paa_reconstruction_bounded(n, k, seed):
+    """PAA reconstruction error never exceeds the signal's own spread."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=n)
+    k = min(k, n)
+    approx = paa_reconstruct(paa(x, k), n)
+    assert reconstruction_error(x, approx) <= x.std() + 1e-9

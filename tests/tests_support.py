@@ -1,0 +1,17 @@
+"""Shared non-fixture helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def clean_cycles(n_cycles=8, period=4.0, amplitude=10.0, rate=30.0):
+    """Noise-free raised-cosine breathing (IN 30%, EX 40%, EOE 30%)."""
+    t = np.arange(int(n_cycles * period * rate)) / rate
+    phase = (t % period) / period
+    x = np.zeros_like(t)
+    rise = phase < 0.3
+    x[rise] = amplitude * 0.5 * (1 - np.cos(np.pi * phase[rise] / 0.3))
+    fall = (phase >= 0.3) & (phase < 0.7)
+    x[fall] = amplitude * 0.5 * (1 + np.cos(np.pi * (phase[fall] - 0.3) / 0.4))
+    return t, x

@@ -7,6 +7,21 @@ paper's future-work extension, default) or by a linear scan (the paper's
 baseline access path), then ranked by the weighted distance and filtered
 by the threshold ``delta``.
 
+Both access paths are vectorised: the index hands back columnar
+:class:`CandidateSet` slices keyed by the query's radix-encoded
+signature, and the linear scan extracts every stream's windows with
+``sliding_window_view`` and compares packed keys instead of looping per
+window.  The scan can additionally fan out across streams on a thread
+pool (``scan_workers``), since the per-stream work is numpy-dominated
+and releases the GIL.
+
+Ranking is fully deterministic: equal distances tie-break by
+``(stream_id, start)``, so retrieval is reproducible across runs and
+platforms.  When only the best ``max_matches`` are wanted, the ranking
+uses ``np.argpartition`` top-k selection instead of a full sort — the
+selected set (including boundary ties) is sorted, so the result is
+identical to sorting everything and truncating.
+
 Same-stream candidates that overlap the query window are always excluded:
 the query is the live suffix of its own stream, and an overlapping window
 has no usable future.
@@ -14,12 +29,19 @@ has no usable future.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Iterable
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
-from ..database.index import CandidateSet, StateSignatureIndex
+from ..database.index import (
+    CandidateSet,
+    StateSignatureIndex,
+    _window_keys,
+    encode_signature,
+)
 from ..database.store import MotionDatabase
 from .model import Subsequence
 from .similarity import SimilarityParams, SourceRelation, batch_distance
@@ -55,6 +77,10 @@ class SubsequenceMatcher:
     use_index:
         Retrieve candidates through the state-signature index (default) or
         by scanning every window of every stream (ablation baseline).
+    scan_workers:
+        Thread-pool width for the linear scan.  ``None`` (default) scans
+        streams serially; ``n >= 1`` scans up to ``n`` streams
+        concurrently.  Only meaningful with ``use_index=False``.
     """
 
     def __init__(
@@ -62,10 +88,14 @@ class SubsequenceMatcher:
         database: MotionDatabase,
         params: SimilarityParams | None = None,
         use_index: bool = True,
+        scan_workers: int | None = None,
     ) -> None:
+        if scan_workers is not None and scan_workers < 1:
+            raise ValueError("scan_workers must be None or >= 1")
         self.database = database
         self.params = params or SimilarityParams()
         self.use_index = use_index
+        self.scan_workers = scan_workers
         self._index = StateSignatureIndex(database) if use_index else None
 
     @property
@@ -84,6 +114,9 @@ class SubsequenceMatcher:
     ) -> list[Match]:
         """Similar subsequences for ``query``, closest first.
 
+        Ordering is deterministic: ascending distance, ties broken by
+        ``(stream_id, start)``.
+
         Parameters
         ----------
         query:
@@ -96,7 +129,8 @@ class SubsequenceMatcher:
             Distance cut-off; defaults to the params' ``delta``.  Pass
             ``math.inf`` to disable.
         max_matches:
-            Keep only the closest ``max_matches``.
+            Keep only the closest ``max_matches`` (top-k selection via
+            ``np.argpartition`` — no full sort of the candidate set).
         restrict_patients:
             When given, only streams of these patients are searched (the
             Figure 8a "prediction with clustering" mode).
@@ -137,10 +171,15 @@ class SubsequenceMatcher:
         keep = distances <= threshold
         if not keep.any():
             return []
-        order = np.argsort(distances[keep], kind="stable")
-        indices = np.flatnonzero(keep)[order]
-        if max_matches is not None:
-            indices = indices[:max_matches]
+        kept = np.flatnonzero(keep)
+        indices = kept[
+            self._rank(
+                distances[kept],
+                candidates.stream_ids[kept],
+                candidates.starts[kept],
+                max_matches,
+            )
+        ]
 
         return [
             Match(
@@ -153,42 +192,95 @@ class SubsequenceMatcher:
             for i in indices
         ]
 
+    # -- ranking ------------------------------------------------------------------
+
+    @staticmethod
+    def _rank(
+        distances: np.ndarray,
+        stream_ids: np.ndarray,
+        starts: np.ndarray,
+        max_matches: int | None,
+    ) -> np.ndarray:
+        """Order candidates by ``(distance, stream_id, start)``.
+
+        With ``max_matches`` set, ``np.argpartition`` preselects the k
+        smallest distances plus any candidates tied with the k-th value,
+        and only that subset is sorted — the truncated result is exactly
+        the full sort's head.
+        """
+        codes = np.unique(stream_ids.astype(str), return_inverse=True)[1]
+        if max_matches is not None and max_matches < len(distances):
+            head = np.argpartition(distances, max_matches - 1)[:max_matches]
+            cut = distances[head].max()
+            sel = np.flatnonzero(distances <= cut)
+            order = np.lexsort(
+                (starts[sel], codes[sel], distances[sel])
+            )
+            return sel[order][:max_matches]
+        return np.lexsort((starts, codes, distances))
+
     # -- candidate generation --------------------------------------------------
 
     def _candidates(self, query: Subsequence) -> CandidateSet | None:
         if self._index is not None:
-            return self._index.candidates(query.state_signature)
+            # Fast path: hand the int8 segment-state array straight to the
+            # index, which radix-encodes it without building a tuple.
+            return self._index.candidates(query.segment_states)
         return self._scan(query)
 
     def _scan(self, query: Subsequence) -> CandidateSet | None:
-        """Linear-scan candidate generation (no index)."""
-        signature = np.asarray(query.state_signature, dtype=np.int8)
+        """Vectorised linear-scan candidate generation (no index)."""
         m = query.n_vertices
-        stream_ids: list[str] = []
-        starts: list[int] = []
-        amp_rows: list[np.ndarray] = []
-        dur_rows: list[np.ndarray] = []
-        for record in self.database.iter_streams():
-            series = record.series
-            if len(series) < m:
-                continue
-            states = series.states
-            amplitudes = series.amplitudes
-            durations = series.durations
-            for s in range(len(series) - m + 1):
-                if np.array_equal(states[s : s + m - 1], signature):
-                    stream_ids.append(record.stream_id)
-                    starts.append(s)
-                    amp_rows.append(amplitudes[s : s + m - 1])
-                    dur_rows.append(durations[s : s + m - 1])
-        if not starts:
+        key = encode_signature(query.segment_states)
+        records = list(self.database.iter_streams())
+        if self.scan_workers is not None and len(records) > 1:
+            with ThreadPoolExecutor(max_workers=self.scan_workers) as pool:
+                parts = list(
+                    pool.map(lambda r: self._scan_stream(r, key, m), records)
+                )
+        else:
+            parts = [self._scan_stream(r, key, m) for r in records]
+        parts = [p for p in parts if p is not None]
+        if not parts:
             return None
+        total = sum(len(p[1]) for p in parts)
+        stream_ids = np.empty(total, dtype=object)
+        offset = 0
+        for sid, starts, _, _ in parts:
+            stream_ids[offset : offset + len(starts)] = sid
+            offset += len(starts)
         return CandidateSet(
-            stream_ids=np.asarray(stream_ids, dtype=object),
-            starts=np.asarray(starts, dtype=int),
-            amplitudes=np.vstack(amp_rows),
-            durations=np.vstack(dur_rows),
+            stream_ids=stream_ids,
+            starts=np.concatenate([p[1] for p in parts]),
+            amplitudes=np.vstack([p[2] for p in parts]),
+            durations=np.vstack([p[3] for p in parts]),
         )
+
+    @staticmethod
+    def _scan_stream(record, key: int | bytes, m: int):
+        """One stream's windows matching the encoded query signature."""
+        series = record.series
+        n = len(series)
+        if n < m:
+            return None
+        n_segments = m - 1
+        if n_segments == 0:
+            starts = np.arange(n, dtype=np.int64)
+            empty = np.empty((n, 0), dtype=float)
+            return record.stream_id, starts, empty, empty
+        windows = sliding_window_view(series.states[: n - 1], n_segments)
+        keys = _window_keys(windows)
+        if isinstance(keys, list):  # byte keys (very long windows)
+            hits = np.flatnonzero(
+                np.fromiter((k == key for k in keys), bool, len(keys))
+            )
+        else:
+            hits = np.flatnonzero(keys == key)
+        if len(hits) == 0:
+            return None
+        amplitudes = sliding_window_view(series.amplitudes, n_segments)[hits]
+        durations = sliding_window_view(series.durations, n_segments)[hits]
+        return record.stream_id, hits.astype(np.int64), amplitudes, durations
 
     # -- filters ------------------------------------------------------------------
 

@@ -44,6 +44,10 @@ class OnlineSessionConfig:
         No queries until the live PLR has this many vertices.
     min_matches:
         Minimum usable matches required to answer a prediction.
+    max_matches:
+        Retain only the closest ``max_matches`` per refresh (top-k
+        ``argpartition`` retrieval — bounds per-vertex cost on dense
+        databases).  ``None`` keeps every match under the threshold.
     restrict_patients:
         Optional retrieval restriction (clustering mode).
     """
@@ -53,6 +57,7 @@ class OnlineSessionConfig:
     segmenter: SegmenterConfig = field(default_factory=SegmenterConfig)
     warmup_vertices: int = 10
     min_matches: int = 1
+    max_matches: int | None = None
     restrict_patients: tuple[str, ...] | None = None
 
 
@@ -128,6 +133,7 @@ class OnlineAnalysisSession:
                 self._matches = self.matcher.find_matches(
                     self._query,
                     self.stream_id,
+                    max_matches=self.config.max_matches,
                     restrict_patients=self.config.restrict_patients,
                 )
             else:

@@ -37,6 +37,7 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass, replace
+from functools import lru_cache
 
 import numpy as np
 
@@ -147,9 +148,23 @@ class SimilarityParams:
         )
 
 
+@lru_cache(maxsize=512)
+def _vertex_weights_cached(n_segments: int, base: float) -> np.ndarray:
+    if n_segments == 1:
+        ramp = np.array([1.0])
+    else:
+        ramp = base + (1.0 - base) * np.arange(n_segments) / (n_segments - 1)
+    ramp.setflags(write=False)
+    return ramp
+
+
 def vertex_weights(n_segments: int, base: float) -> np.ndarray:
     """The recency ramp ``w_i``: ``base`` at the oldest segment, 1.0 at the
     newest, linear in between.
+
+    The ramp is memoised per ``(n_segments, base)`` — every distance call
+    needs it, and query lengths cluster on a handful of values — and the
+    returned array is **read-only** (all callers share one instance).
 
     Parameters
     ----------
@@ -160,9 +175,7 @@ def vertex_weights(n_segments: int, base: float) -> np.ndarray:
     """
     if n_segments <= 0:
         raise ValueError("n_segments must be positive")
-    if n_segments == 1:
-        return np.array([1.0])
-    return base + (1.0 - base) * np.arange(n_segments) / (n_segments - 1)
+    return _vertex_weights_cached(int(n_segments), float(base))
 
 
 def _segment_costs(
@@ -202,10 +215,12 @@ def subsequence_distance(
         return math.inf
 
     costs = _segment_costs(query, candidate, params)
-    if params.use_vertex_weights:
-        weights = vertex_weights(query.n_segments, params.vertex_base_weight)
-    else:
-        weights = np.ones(query.n_segments)
+    # base = 1.0 degenerates the ramp to all-ones, so the unweighted
+    # variant shares the same cached arrays.
+    weights = vertex_weights(
+        query.n_segments,
+        params.vertex_base_weight if params.use_vertex_weights else 1.0,
+    )
     base = float(np.dot(weights, costs))
     if params.normalize_inner_sum:
         base /= float(weights.sum())
@@ -247,10 +262,10 @@ def batch_distance(
         params.amplitude_weight * amp_diff
         + params.frequency_weight * dur_diff
     )
-    if params.use_vertex_weights:
-        weights = vertex_weights(query.n_segments, params.vertex_base_weight)
-    else:
-        weights = np.ones(query.n_segments)
+    weights = vertex_weights(
+        query.n_segments,
+        params.vertex_base_weight if params.use_vertex_weights else 1.0,
+    )
     base = costs @ weights
     if params.normalize_inner_sum:
         base = base / weights.sum()

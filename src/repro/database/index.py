@@ -1,19 +1,34 @@
-"""State-signature index for candidate retrieval.
+"""Columnar state-signature index for candidate retrieval.
 
 Definition 2 only compares subsequences with *identical* state sequences,
 so the natural access path is an inverted index from the state signature
-(the tuple of segment states) to every window of the database that carries
-it.  The paper lists indexing as future work and scans linearly; this index
-is the reproduction's realisation of that extension and is ablated against
-the linear scan in ``benchmarks/bench_ablations.py``.
+(the sequence of segment states) to every window of the database that
+carries it.  The paper lists indexing as future work and scans linearly;
+this index is the reproduction's realisation of that extension and is
+ablated against the linear scan in ``benchmarks/bench_ablations.py``.
 
-The index is **lazy and incremental**: windows of a given length are
+The engine is **columnar and vectorised** end to end:
+
+* Window extraction uses ``numpy.lib.stride_tricks.sliding_window_view``
+  — all windows of a length are materialised as strided views in one
+  shot, never via a per-window Python loop.
+* Signatures are **radix-encoded** into packed ``int64`` keys
+  (base-``N_STATES`` positional encoding, the KV-match-style
+  order-preserving window code).  Windows longer than
+  ``MAX_RADIX_SEGMENTS`` segments fall back to raw-byte keys.
+* Posting lists are **growable contiguous arrays** with
+  amortised-doubling capacity, so appends are O(1) amortised and
+  ``stacked()`` is a zero-copy slice of the live buffers rather than a
+  re-``vstack``.  Stream ids are interned to small integer codes and
+  expanded only when a :class:`CandidateSet` is materialised.
+
+The index remains **lazy and incremental**: windows of a given length are
 indexed the first time a query of that length arrives, and each lookup
 first catches up with vertices appended since the previous lookup — which
 is exactly the online-streaming pattern (the live session's series keeps
-growing during treatment).  Per posting list the per-window feature rows
-(segment amplitudes and durations) are stored alongside, so the matcher
-can hand the stacked matrices straight to the vectorised distance.
+growing during treatment).  Stream *removal* is detected through the
+database's ``removal_epoch`` counter, so the common append-only path pays
+nothing for the check.
 """
 
 from __future__ import annotations
@@ -21,10 +36,70 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from .store import MotionDatabase
 
-__all__ = ["CandidateSet", "StateSignatureIndex"]
+__all__ = [
+    "CandidateSet",
+    "StateSignatureIndex",
+    "N_STATES",
+    "MAX_RADIX_SEGMENTS",
+    "encode_signature",
+    "decode_signature",
+]
+
+#: Cardinality of the state alphabet (EX, EOE, IN, IRR).
+N_STATES = 4
+
+#: Longest signature (in segments) that fits a packed int64 radix key:
+#: ``4 ** 31 < 2 ** 63``.  Longer signatures use raw-byte keys.
+MAX_RADIX_SEGMENTS = 31
+
+
+def _radix(n_segments: int) -> np.ndarray:
+    """Positional radix vector ``[1, b, b^2, ...]`` for key packing."""
+    return N_STATES ** np.arange(n_segments, dtype=np.int64)
+
+
+def encode_signature(signature) -> int | bytes:
+    """Pack a state signature into its index key.
+
+    Signatures of up to :data:`MAX_RADIX_SEGMENTS` segments become
+    base-:data:`N_STATES` packed integers (state ``i`` contributes
+    ``state * N_STATES ** i``); longer ones become the raw ``int8`` bytes.
+    The encoding is injective either way, so key equality is exactly
+    signature equality.
+
+    Parameters
+    ----------
+    signature:
+        Sequence of segment states (tuple, list or ndarray).
+    """
+    states = np.asarray(signature, dtype=np.int8)
+    if states.size <= MAX_RADIX_SEGMENTS:
+        return int(states.astype(np.int64) @ _radix(states.size))
+    return states.tobytes()
+
+
+def decode_signature(key: int | bytes, n_segments: int) -> tuple[int, ...]:
+    """Invert :func:`encode_signature` back to the state tuple."""
+    if isinstance(key, bytes):
+        return tuple(int(s) for s in np.frombuffer(key, dtype=np.int8))
+    states = []
+    for _ in range(n_segments):
+        states.append(int(key % N_STATES))
+        key //= N_STATES
+    return tuple(states)
+
+
+def _window_keys(windows: np.ndarray) -> np.ndarray | list[bytes]:
+    """Keys for a ``(n_windows, n_segments)`` matrix of segment states."""
+    n_segments = windows.shape[1]
+    if n_segments <= MAX_RADIX_SEGMENTS:
+        return windows.astype(np.int64, copy=False) @ _radix(n_segments)
+    rows = np.ascontiguousarray(windows, dtype=np.int8)
+    return [row.tobytes() for row in rows]
 
 
 @dataclass(frozen=True)
@@ -61,37 +136,90 @@ class CandidateSet:
         )
 
 
-class _Postings:
-    """Growable posting list for one signature, with cached stacking."""
+class _ColumnarPostings:
+    """One signature's windows in contiguous amortised-doubling buffers.
+
+    Appends write into preallocated capacity (doubling on overflow, so n
+    appends cost O(n) amortised); ``stacked()`` slices the live prefix of
+    each buffer — zero copies for the numeric columns.  Stream ids are
+    stored as int32 codes into the owning :class:`_LengthIndex`'s intern
+    table and expanded to an object array only at materialisation.
+    """
+
+    __slots__ = (
+        "n_segments",
+        "n",
+        "_capacity",
+        "_stream_codes",
+        "_starts",
+        "_amplitudes",
+        "_durations",
+        "_stacked",
+    )
 
     def __init__(self, n_segments: int) -> None:
         self.n_segments = n_segments
-        self.stream_ids: list[str] = []
-        self.starts: list[int] = []
-        self.amp_rows: list[np.ndarray] = []
-        self.dur_rows: list[np.ndarray] = []
+        self.n = 0
+        self._capacity = 0
+        self._stream_codes = np.empty(0, dtype=np.int32)
+        self._starts = np.empty(0, dtype=np.int64)
+        self._amplitudes = np.empty((0, n_segments), dtype=float)
+        self._durations = np.empty((0, n_segments), dtype=float)
         self._stacked: CandidateSet | None = None
 
-    def append(
+    def _reserve(self, needed: int) -> None:
+        if needed <= self._capacity:
+            return
+        capacity = max(4, self._capacity)
+        while capacity < needed:
+            capacity *= 2
+        stream_codes = np.empty(capacity, dtype=np.int32)
+        stream_codes[: self.n] = self._stream_codes[: self.n]
+        self._stream_codes = stream_codes
+        starts = np.empty(capacity, dtype=np.int64)
+        starts[: self.n] = self._starts[: self.n]
+        self._starts = starts
+        amplitudes = np.empty((capacity, self.n_segments), dtype=float)
+        amplitudes[: self.n] = self._amplitudes[: self.n]
+        self._amplitudes = amplitudes
+        durations = np.empty((capacity, self.n_segments), dtype=float)
+        durations[: self.n] = self._durations[: self.n]
+        self._durations = durations
+        self._capacity = capacity
+
+    def extend(
         self,
-        stream_id: str,
-        start: int,
+        stream_codes: np.ndarray | int,
+        starts: np.ndarray,
         amplitudes: np.ndarray,
         durations: np.ndarray,
     ) -> None:
-        self.stream_ids.append(stream_id)
-        self.starts.append(start)
-        self.amp_rows.append(amplitudes)
-        self.dur_rows.append(durations)
+        """Bulk-append windows (``stream_codes`` broadcasts per row)."""
+        k = len(starts)
+        if k == 0:
+            return
+        self._reserve(self.n + k)
+        block = slice(self.n, self.n + k)
+        self._stream_codes[block] = stream_codes
+        self._starts[block] = starts
+        self._amplitudes[block] = amplitudes
+        self._durations[block] = durations
+        self.n += k
         self._stacked = None
 
-    def stacked(self) -> CandidateSet:
+    def stacked(self, stream_names: np.ndarray) -> CandidateSet:
+        """The posting list as a :class:`CandidateSet` (cached).
+
+        ``stream_names`` is the owning length index's intern table as an
+        object array; numeric columns are zero-copy views of the live
+        buffer prefix.
+        """
         if self._stacked is None:
             self._stacked = CandidateSet(
-                stream_ids=np.asarray(self.stream_ids, dtype=object),
-                starts=np.asarray(self.starts, dtype=int),
-                amplitudes=np.vstack(self.amp_rows),
-                durations=np.vstack(self.dur_rows),
+                stream_ids=stream_names[self._stream_codes[: self.n]],
+                starts=self._starts[: self.n],
+                amplitudes=self._amplitudes[: self.n],
+                durations=self._durations[: self.n],
             )
         return self._stacked
 
@@ -101,37 +229,170 @@ class _LengthIndex:
 
     def __init__(self, n_vertices: int) -> None:
         self.n_vertices = n_vertices
-        self.postings: dict[tuple[int, ...], _Postings] = {}
+        self.postings: dict[int | bytes, _ColumnarPostings] = {}
         self._next_start: dict[str, int] = {}
+        self._stream_names: list[str] = []
+        self._stream_codes: dict[str, int] = {}
 
     @property
     def indexed_streams(self) -> tuple[str, ...]:
         """Streams this length index has seen."""
         return tuple(self._next_start)
 
-    def catch_up(self, stream_id: str, series) -> None:
-        """Index windows added to ``series`` since the last call."""
+    @property
+    def n_windows(self) -> int:
+        """Total windows indexed at this length."""
+        return sum(p.n for p in self.postings.values())
+
+    def _code(self, stream_id: str) -> int:
+        code = self._stream_codes.get(stream_id)
+        if code is None:
+            code = len(self._stream_names)
+            self._stream_codes[stream_id] = code
+            self._stream_names.append(stream_id)
+        return code
+
+    def stream_names(self) -> np.ndarray:
+        """The intern table as an object array (for fancy expansion)."""
+        return np.asarray(self._stream_names, dtype=object)
+
+    def catch_up_all(self, records) -> None:
+        """Index every window appended to any stream since the last call.
+
+        All streams' new regions are spliced into **one** concatenated
+        buffer per column (with ``n_segments - 1`` sentinel slots between
+        streams so no window straddles a boundary), all signatures are
+        radix-encoded by a single matmul over one ``sliding_window_view``,
+        the valid window rows are selected arithmetically (no scanning),
+        and one stable argsort groups them for one bulk ``extend`` per
+        distinct signature.  A naive per-stream loop pays numpy dispatch
+        per (stream, signature) pair, which is what dominated build time
+        at fleet scale.
+        """
         m = self.n_vertices
-        last = len(series) - m
-        start = self._next_start.get(stream_id, 0)
-        if last < start:
+        n_segments = m - 1
+        if n_segments > MAX_RADIX_SEGMENTS:
+            self._catch_up_bytes(records, n_segments)
             return
-        states = series.states
-        amplitudes = series.amplitudes
-        durations = series.durations
-        for s in range(start, last + 1):
-            signature = tuple(int(x) for x in states[s : s + m - 1])
-            posting = self.postings.get(signature)
-            if posting is None:
-                posting = _Postings(m - 1)
-                self.postings[signature] = posting
-            posting.append(
-                stream_id,
-                s,
-                amplitudes[s : s + m - 1].copy(),
-                durations[s : s + m - 1].copy(),
+        sep = max(n_segments - 1, 0)
+        sep_states = np.full(sep, -1, dtype=np.int8)
+        sep_feats = np.zeros(sep, dtype=float)
+        first_starts: list[int] = []
+        counts: list[int] = []
+        codes: list[int] = []
+        offsets: list[int] = []
+        state_parts: list[np.ndarray] = []
+        amp_parts: list[np.ndarray] = []
+        dur_parts: list[np.ndarray] = []
+        pos = 0
+        for record in records:
+            series = record.series
+            last = len(series) - m
+            start = self._next_start.get(record.stream_id, 0)
+            if last < start:
+                continue
+            n_new = last - start + 1
+            first_starts.append(start)
+            counts.append(n_new)
+            codes.append(self._code(record.stream_id))
+            offsets.append(pos)
+            if n_segments > 0:
+                # Window s spans states/amplitudes/durations[s : s+m-1];
+                # the region below covers s = start .. last exactly.
+                region = slice(start, last + n_segments)
+                state_parts.append(series.states[region])
+                amp_parts.append(series.amplitudes[region])
+                dur_parts.append(series.durations[region])
+                state_parts.append(sep_states)
+                amp_parts.append(sep_feats)
+                dur_parts.append(sep_feats)
+                pos += n_new + n_segments - 1 + sep
+            else:
+                pos += n_new
+            self._next_start[record.stream_id] = last + 1
+        if not counts:
+            return
+        count_arr = np.asarray(counts, dtype=np.int64)
+        total = int(count_arr.sum())
+        shift = np.concatenate(([0], np.cumsum(count_arr)[:-1]))
+        ramp = np.arange(total, dtype=np.int64)
+        starts = ramp + np.repeat(
+            np.asarray(first_starts, dtype=np.int64) - shift, count_arr
+        )
+        stream_codes = np.repeat(
+            np.asarray(codes, dtype=np.int32), count_arr
+        )
+        if n_segments > 0:
+            # Global row index of each stream's windows inside the big
+            # strided view; sentinel-straddling windows are simply never
+            # selected.
+            rows = ramp + np.repeat(
+                np.asarray(offsets, dtype=np.int64) - shift, count_arr
             )
-        self._next_start[stream_id] = last + 1
+            windows = sliding_window_view(
+                np.concatenate(state_parts), n_segments
+            )
+            amp_wins = sliding_window_view(
+                np.concatenate(amp_parts), n_segments
+            )
+            dur_wins = sliding_window_view(
+                np.concatenate(dur_parts), n_segments
+            )
+            keys = (windows.astype(np.int64) @ _radix(n_segments))[rows]
+        else:
+            rows = ramp
+            amp_wins = np.empty((total, 0), dtype=float)
+            dur_wins = np.empty((total, 0), dtype=float)
+            keys = np.zeros(total, dtype=np.int64)
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        bounds = np.flatnonzero(
+            np.r_[True, sorted_keys[1:] != sorted_keys[:-1]]
+        )
+        for g, b in enumerate(bounds):
+            e = bounds[g + 1] if g + 1 < len(bounds) else len(order)
+            group = order[b:e]
+            self._posting(int(sorted_keys[b]), n_segments).extend(
+                stream_codes[group],
+                starts[group],
+                amp_wins[rows[group]],
+                dur_wins[rows[group]],
+            )
+
+    def _catch_up_bytes(self, records, n_segments: int) -> None:
+        """Catch-up for windows too long for radix keys (byte keys)."""
+        m = self.n_vertices
+        for record in records:
+            series = record.series
+            last = len(series) - m
+            start = self._next_start.get(record.stream_id, 0)
+            if last < start:
+                continue
+            region = slice(start, last + n_segments)
+            windows = sliding_window_view(series.states[region], n_segments)
+            amp = sliding_window_view(series.amplitudes[region], n_segments)
+            dur = sliding_window_view(series.durations[region], n_segments)
+            keys = _window_keys(windows)
+            starts = np.arange(start, last + 1, dtype=np.int64)
+            code = self._code(record.stream_id)
+            groups: dict[bytes, list[int]] = {}
+            for i, key in enumerate(keys):
+                groups.setdefault(key, []).append(i)
+            for key, group in groups.items():
+                self._posting(key, n_segments).extend(
+                    np.full(len(group), code, dtype=np.int32),
+                    starts[group],
+                    amp[group],
+                    dur[group],
+                )
+            self._next_start[record.stream_id] = last + 1
+
+    def _posting(self, key: int | bytes, n_segments: int) -> _ColumnarPostings:
+        posting = self.postings.get(key)
+        if posting is None:
+            posting = _ColumnarPostings(n_segments)
+            self.postings[key] = posting
+        return posting
 
 
 class StateSignatureIndex:
@@ -148,10 +409,9 @@ class StateSignatureIndex:
     def __init__(self, database: MotionDatabase) -> None:
         self.database = database
         self._by_length: dict[int, _LengthIndex] = {}
+        self._removal_epoch = database.removal_epoch
 
-    def candidates(
-        self, signature: tuple[int, ...]
-    ) -> CandidateSet | None:
+    def candidates(self, signature) -> CandidateSet | None:
         """All windows whose segment states equal ``signature``.
 
         Returns ``None`` when no window in the database matches.
@@ -159,28 +419,42 @@ class StateSignatureIndex:
         Parameters
         ----------
         signature:
-            Segment-state tuple; the window vertex count is
-            ``len(signature) + 1``.
+            Segment-state sequence — a tuple or an int8 ndarray (the
+            matcher passes ``Subsequence.segment_states`` directly); the
+            window vertex count is ``len(signature) + 1``.
         """
         n_vertices = len(signature) + 1
+        self._check_removals()
         length_index = self._by_length.get(n_vertices)
-        if length_index is not None and any(
-            stream_id not in self.database
-            for stream_id in length_index.indexed_streams
-        ):
-            # A stream indexed earlier has been removed; postings hold stale
-            # windows, so rebuild this length from scratch (removal is rare,
-            # appends are the common case).
-            length_index = None
         if length_index is None:
             length_index = _LengthIndex(n_vertices)
             self._by_length[n_vertices] = length_index
-        for record in self.database.iter_streams():
-            length_index.catch_up(record.stream_id, record.series)
-        posting = length_index.postings.get(tuple(int(s) for s in signature))
-        if posting is None or not posting.starts:
+        length_index.catch_up_all(self.database.iter_streams())
+        posting = length_index.postings.get(encode_signature(signature))
+        if posting is None or posting.n == 0:
             return None
-        return posting.stacked()
+        return posting.stacked(length_index.stream_names())
+
+    def _check_removals(self) -> None:
+        """Drop length indexes holding windows of since-removed streams.
+
+        Removal is rare (replay cleanup), so affected lengths are rebuilt
+        from scratch on their next lookup rather than tombstoned; the
+        epoch counter makes the append-only common case free.
+        """
+        if self._removal_epoch == self.database.removal_epoch:
+            return
+        self._removal_epoch = self.database.removal_epoch
+        stale = [
+            n
+            for n, length_index in self._by_length.items()
+            if any(
+                stream_id not in self.database
+                for stream_id in length_index.indexed_streams
+            )
+        ]
+        for n in stale:
+            del self._by_length[n]
 
     @property
     def indexed_lengths(self) -> tuple[int, ...]:
@@ -191,3 +465,8 @@ class StateSignatureIndex:
         """Number of distinct signatures indexed at a given window length."""
         length_index = self._by_length.get(n_vertices)
         return 0 if length_index is None else len(length_index.postings)
+
+    def n_windows(self, n_vertices: int) -> int:
+        """Number of windows indexed at a given window length."""
+        length_index = self._by_length.get(n_vertices)
+        return 0 if length_index is None else length_index.n_windows

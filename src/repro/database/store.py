@@ -27,6 +27,7 @@ class MotionDatabase:
     def __init__(self) -> None:
         self._patients: dict[str, PatientRecord] = {}
         self._streams: dict[str, StreamRecord] = {}
+        self._removal_epoch = 0
 
     # -- writes ---------------------------------------------------------------
 
@@ -90,6 +91,7 @@ class MotionDatabase:
         if record is None:
             raise KeyError(f"unknown stream {stream_id!r}")
         del self._patients[record.patient_id].streams[stream_id]
+        self._removal_epoch += 1
 
     # -- reads ----------------------------------------------------------------
 
@@ -109,6 +111,16 @@ class MotionDatabase:
 
     def __contains__(self, stream_id: str) -> bool:
         return stream_id in self._streams
+
+    @property
+    def removal_epoch(self) -> int:
+        """Counter bumped on every stream removal.
+
+        Derived structures (the signature index) snapshot this to detect
+        removals in O(1) instead of re-validating stream membership on
+        every lookup; appends and additions never bump it.
+        """
+        return self._removal_epoch
 
     @property
     def patient_ids(self) -> tuple[str, ...]:

@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.core.model import Vertex
-from repro.database.index import StateSignatureIndex
+from repro.database.index import (
+    MAX_RADIX_SEGMENTS,
+    StateSignatureIndex,
+    decode_signature,
+    encode_signature,
+)
 from repro.database.store import MotionDatabase
 
 from conftest import EOE, EX, IN, make_series
@@ -108,3 +113,121 @@ class TestIndex:
         assert index.indexed_lengths == (4,)
         assert index.n_postings(4) >= 1
         assert index.n_postings(99) == 0
+        # Every window of every stream at length 4 is indexed.
+        total = sum(
+            max(0, len(r.series) - 4 + 1) for r in db.iter_streams()
+        )
+        assert index.n_windows(4) == total
+        assert index.n_windows(99) == 0
+
+
+def all_candidates(index, signature):
+    """(stream_id, start) pairs the index returns, sorted."""
+    candidates = index.candidates(signature)
+    if candidates is None:
+        return []
+    return sorted(
+        zip((str(s) for s in candidates.stream_ids), candidates.starts)
+    )
+
+
+class TestSignatureEncoding:
+    def test_round_trip_radix(self):
+        signature = (2, 0, 1, 3, 2, 0)
+        key = encode_signature(signature)
+        assert isinstance(key, int)
+        assert decode_signature(key, len(signature)) == signature
+
+    def test_injective_on_prefix_padding(self):
+        # (2,) and (2, 0) must not collide even though 0 * 4 adds nothing:
+        # keys are only compared within one window length, but the tuple
+        # round-trip must still be exact.
+        assert decode_signature(encode_signature((2, 0)), 2) == (2, 0)
+        assert decode_signature(encode_signature((2,)), 1) == (2,)
+
+    def test_round_trip_bytes_fallback(self):
+        signature = tuple(i % 4 for i in range(MAX_RADIX_SEGMENTS + 5))
+        key = encode_signature(signature)
+        assert isinstance(key, bytes)
+        assert decode_signature(key, len(signature)) == signature
+
+    def test_ndarray_and_tuple_agree(self):
+        signature = (1, 2, 0, 2)
+        assert encode_signature(
+            np.asarray(signature, dtype=np.int8)
+        ) == encode_signature(signature)
+
+
+class TestIncrementality:
+    def test_catch_up_indexes_exactly_new_windows(self, db):
+        """Appending after a lookup indexes the new windows — no
+        duplicates, no gaps."""
+        index = StateSignatureIndex(db)
+        signature = (int(IN), int(EX), int(EOE))
+        assert all_candidates(index, signature) == brute_force(db, signature)
+        series = db.stream("PA/S00").series
+        t = series.end_time
+        series.append(Vertex(t + 1.0, (10.0,), EX))
+        series.append(Vertex(t + 2.0, (0.0,), EOE))
+        series.append(Vertex(t + 3.0, (0.0,), IN))
+        series.append(Vertex(t + 4.0, (10.0,), EX))
+        got = all_candidates(index, signature)
+        assert got == brute_force(db, signature)
+        assert len(got) == len(set(got))  # no duplicates
+        # Idempotent: a second catch-up adds nothing.
+        assert all_candidates(index, signature) == got
+
+    def test_catch_up_after_removal_rebuild(self, db):
+        """The stream-removal rebuild path re-indexes survivors exactly,
+        and stays incremental afterwards."""
+        index = StateSignatureIndex(db)
+        signature = (int(IN), int(EX), int(EOE))
+        index.candidates(signature)
+        db.remove_stream("PB/S00")
+        assert all_candidates(index, signature) == brute_force(db, signature)
+        series = db.stream("PA/S00").series
+        t = series.end_time
+        series.append(Vertex(t + 1.0, (10.0,), EX))
+        series.append(Vertex(t + 2.0, (0.0,), EOE))
+        series.append(Vertex(t + 3.0, (0.0,), IN))
+        got = all_candidates(index, signature)
+        assert got == brute_force(db, signature)
+        assert len(got) == len(set(got))
+
+    def test_removal_of_unindexed_stream_keeps_index(self, db):
+        """Removing a stream no length index touched must not rebuild."""
+        db.add_stream("PB", "S01", series=make_series(2))
+        index = StateSignatureIndex(db)
+        signature = (int(IN), int(EX), int(EOE), int(IN), int(EX))
+        # Only streams long enough for 6 vertices are registered; the
+        # 2-cycle stream (7 vertices) is — use a fresh one-cycle stream.
+        db.add_stream("PB", "S02", series=make_series(1))
+        index.candidates(signature)
+        db.remove_stream("PB/S02")  # 4 vertices: never indexed at length 6
+        assert all_candidates(index, signature) == brute_force(db, signature)
+
+    def test_multiple_lengths_stay_consistent(self, db):
+        index = StateSignatureIndex(db)
+        short = (int(IN), int(EX))
+        long = (int(IN), int(EX), int(EOE), int(IN))
+        assert all_candidates(index, short) == brute_force(db, short)
+        assert all_candidates(index, long) == brute_force(db, long)
+        series = db.stream("PB/S00").series
+        t = series.end_time
+        series.append(Vertex(t + 1.0, (10.0,), EX))
+        series.append(Vertex(t + 2.0, (0.0,), EOE))
+        assert all_candidates(index, short) == brute_force(db, short)
+        assert all_candidates(index, long) == brute_force(db, long)
+
+    def test_long_signature_bytes_path(self):
+        """Signatures beyond the radix range use byte keys end to end."""
+        db = MotionDatabase()
+        db.add_patient("PA")
+        db.add_stream("PA", "S00", series=make_series(cycles=14))
+        index = StateSignatureIndex(db)
+        n_segments = MAX_RADIX_SEGMENTS + 2
+        series = db.stream("PA/S00").series
+        signature = tuple(int(s) for s in series.states[:n_segments])
+        got = all_candidates(index, signature)
+        assert got == brute_force(db, signature)
+        assert got  # the pattern repeats, so there are hits

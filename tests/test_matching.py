@@ -119,6 +119,85 @@ class TestFindMatches:
         assert sub.state_signature == query.state_signature
 
 
+class TestDeterministicOrdering:
+    def test_ties_break_by_stream_then_start(self):
+        """Equal distances order by (stream_id, start), not insertion
+        order — retrieval is reproducible across runs and platforms."""
+        database = MotionDatabase()
+        database.add_patient("PZ")
+        database.add_patient("PA")
+        # Identical series inserted in anti-lexicographic order.
+        database.add_stream("PZ", "S00", series=series_with_amp(10.0))
+        database.add_stream("PA", "S00", series=series_with_amp(10.0))
+        matcher = SubsequenceMatcher(database)
+        query = database.stream("PA/S00").series.subsequence(0, 7)
+        matches = matcher.find_matches(query, None, threshold=math.inf)
+        keys = [(m.distance, m.stream_id, m.start) for m in matches]
+        assert keys == sorted(keys)
+        # All windows tie pairwise across the two identical streams, so
+        # PA must come before PZ at every tied distance.
+        zero = [m for m in matches if m.distance == 0.0]
+        assert zero and zero[0].stream_id == "PA/S00"
+
+    def test_index_and_scan_order_identically(self, db):
+        query = db.stream("PA/S00").series.subsequence(0, 7)
+        indexed = SubsequenceMatcher(db, use_index=True)
+        scanning = SubsequenceMatcher(db, use_index=False)
+        a = indexed.find_matches(query, "PA/S00", threshold=math.inf)
+        b = scanning.find_matches(query, "PA/S00", threshold=math.inf)
+        assert [(m.stream_id, m.start) for m in a] == [
+            (m.stream_id, m.start) for m in b
+        ]
+
+
+class TestTopK:
+    def test_equals_full_sort_truncation(self, db, matcher):
+        query = db.stream("PA/S00").series.subsequence(0, 7)
+        full = matcher.find_matches(query, "PA/S00", threshold=math.inf)
+        for k in (1, 2, 3, len(full), len(full) + 5):
+            topk = matcher.find_matches(
+                query, "PA/S00", threshold=math.inf, max_matches=k
+            )
+            assert [(m.stream_id, m.start, m.distance) for m in topk] == [
+                (m.stream_id, m.start, m.distance) for m in full[:k]
+            ]
+
+    def test_boundary_ties_respect_tiebreak(self):
+        """When the k-th and (k+1)-th candidates tie on distance, the
+        (stream_id, start) tie-break decides which survives."""
+        database = MotionDatabase()
+        database.add_patient("PZ")
+        database.add_patient("PA")
+        database.add_stream("PZ", "S00", series=series_with_amp(10.0))
+        database.add_stream("PA", "S00", series=series_with_amp(10.0))
+        matcher = SubsequenceMatcher(database)
+        query = database.stream("PA/S00").series.subsequence(0, 7)
+        full = matcher.find_matches(query, None, threshold=math.inf)
+        for k in range(1, len(full) + 1):
+            topk = matcher.find_matches(
+                query, None, threshold=math.inf, max_matches=k
+            )
+            assert [(m.stream_id, m.start) for m in topk] == [
+                (m.stream_id, m.start) for m in full[:k]
+            ]
+
+
+class TestParallelScan:
+    def test_pool_matches_serial(self, db):
+        query = db.stream("PA/S00").series.subsequence(0, 7)
+        serial = SubsequenceMatcher(db, use_index=False)
+        pooled = SubsequenceMatcher(db, use_index=False, scan_workers=3)
+        a = serial.find_matches(query, "PA/S00", threshold=math.inf)
+        b = pooled.find_matches(query, "PA/S00", threshold=math.inf)
+        assert [(m.stream_id, m.start, m.distance) for m in a] == [
+            (m.stream_id, m.start, m.distance) for m in b
+        ]
+
+    def test_invalid_workers_rejected(self, db):
+        with pytest.raises(ValueError):
+            SubsequenceMatcher(db, use_index=False, scan_workers=0)
+
+
 class TestScanEquivalence:
     def test_index_equals_scan(self, db):
         indexed = SubsequenceMatcher(db, use_index=True)

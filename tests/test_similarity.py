@@ -198,3 +198,98 @@ def test_property_distance_nonnegative_and_identity(amp, dur):
     params = SimilarityParams()
     assert subsequence_distance(a, a, params) == pytest.approx(0.0)
     assert subsequence_distance(a, b, params) >= 0.0
+
+
+class TestVertexWeightCache:
+    def test_returns_shared_readonly_array(self):
+        a = vertex_weights(7, 0.5)
+        b = vertex_weights(7, 0.5)
+        assert a is b  # memoised
+        assert not a.flags.writeable
+        with pytest.raises(ValueError):
+            a[0] = 2.0
+
+    def test_distinct_parameters_distinct_arrays(self):
+        assert vertex_weights(7, 0.5) is not vertex_weights(7, 0.25)
+        assert vertex_weights(7, 0.5) is not vertex_weights(8, 0.5)
+
+    def test_base_one_is_all_ones(self):
+        np.testing.assert_allclose(vertex_weights(5, 1.0), np.ones(5))
+
+
+def _series_from_features(amplitudes, durations):
+    """A 1-D series whose per-segment |dA| / dT match the given features.
+
+    Positions alternate direction so each segment's displacement norm is
+    exactly the requested amplitude; states repeat the regular cycle so
+    any two series of the same length share a signature.
+    """
+    cycle = (IN, EX, EOE)
+    series = PLRSeries()
+    t, p = 0.0, 0.0
+    series.append(Vertex(t, (p,), cycle[0]))
+    for i, (a, d) in enumerate(zip(amplitudes, durations)):
+        t += d
+        p += a if i % 2 == 0 else -a
+        series.append(Vertex(t, (p,), cycle[(i + 1) % 3]))
+    return series
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n_segments=st.integers(min_value=1, max_value=9),
+    data=st.data(),
+    use_vertex_weights=st.booleans(),
+    use_source_weights=st.booleans(),
+    source_weight_multiplies=st.booleans(),
+    normalize_inner_sum=st.booleans(),
+    vertex_base_weight=st.floats(min_value=0.1, max_value=1.0),
+)
+def test_property_batch_equals_pairwise(
+    n_segments,
+    data,
+    use_vertex_weights,
+    use_source_weights,
+    source_weight_multiplies,
+    normalize_inner_sum,
+    vertex_base_weight,
+):
+    """``batch_distance`` is elementwise ``subsequence_distance``, for any
+    parameter combination — including the single-segment edge case."""
+    feature = st.floats(min_value=0.1, max_value=20.0)
+    features = st.lists(
+        feature, min_size=n_segments, max_size=n_segments
+    )
+    params = SimilarityParams(
+        use_vertex_weights=use_vertex_weights,
+        use_source_weights=use_source_weights,
+        source_weight_multiplies=source_weight_multiplies,
+        normalize_inner_sum=normalize_inner_sum,
+        vertex_base_weight=vertex_base_weight,
+    )
+    query = _series_from_features(
+        data.draw(features), data.draw(features)
+    ).subsequence(0, n_segments + 1)
+    relations = (
+        SourceRelation.SAME_SESSION,
+        SourceRelation.SAME_PATIENT,
+        SourceRelation.OTHER_PATIENT,
+    )
+    candidates = [
+        _series_from_features(
+            data.draw(features), data.draw(features)
+        ).subsequence(0, n_segments + 1)
+        for _ in relations
+    ]
+    batched = batch_distance(
+        query,
+        np.vstack([c.amplitudes for c in candidates]),
+        np.vstack([c.durations for c in candidates]),
+        np.array([params.source_weight(r) for r in relations]),
+        params,
+    )
+    pairwise = [
+        subsequence_distance(query, c, params, r)
+        for c, r in zip(candidates, relations)
+    ]
+    np.testing.assert_allclose(batched, pairwise, rtol=1e-12, atol=1e-12)

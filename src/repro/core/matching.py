@@ -81,6 +81,9 @@ class SubsequenceMatcher:
         Thread-pool width for the linear scan.  ``None`` (default) scans
         streams serially; ``n >= 1`` scans up to ``n`` streams
         concurrently.  Only meaningful with ``use_index=False``.
+    injector:
+        Optional fault injector (chaos tests only), forwarded to the
+        signature index so catch-up batches can be interrupted.
     """
 
     def __init__(
@@ -89,6 +92,7 @@ class SubsequenceMatcher:
         params: SimilarityParams | None = None,
         use_index: bool = True,
         scan_workers: int | None = None,
+        injector=None,
     ) -> None:
         if scan_workers is not None and scan_workers < 1:
             raise ValueError("scan_workers must be None or >= 1")
@@ -96,7 +100,9 @@ class SubsequenceMatcher:
         self.params = params or SimilarityParams()
         self.use_index = use_index
         self.scan_workers = scan_workers
-        self._index = StateSignatureIndex(database) if use_index else None
+        self._index = (
+            StateSignatureIndex(database, injector) if use_index else None
+        )
 
     @property
     def index(self) -> StateSignatureIndex | None:
@@ -157,6 +163,16 @@ class SubsequenceMatcher:
         candidates = candidates.select(mask)
 
         relations = self._relations(candidates.stream_ids, query_stream_id)
+        if any(relation is None for relation in relations):
+            # A stream vanished between index catch-up and ranking
+            # (concurrent removal).  Degrade gracefully: drop its
+            # candidates rather than fail the whole retrieval; the next
+            # lookup's epoch check purges the stale postings.
+            live = np.asarray([r is not None for r in relations])
+            if not live.any():
+                return []
+            candidates = candidates.select(live)
+            relations = [r for r in relations if r is not None]
         weights = np.asarray(
             [params.source_weight(rel) for rel in relations]
         )
@@ -302,21 +318,32 @@ class SubsequenceMatcher:
 
     def _relations(
         self, stream_ids: np.ndarray, query_stream_id: str | None
-    ) -> list[SourceRelation]:
+    ) -> list[SourceRelation | None]:
+        """Provenance per candidate; ``None`` marks a vanished stream."""
         if query_stream_id is None:
             return [SourceRelation.OTHER_PATIENT] * len(stream_ids)
-        cache: dict[str, SourceRelation] = {}
+        cache: dict[str, SourceRelation | None] = {}
         relations = []
         for sid in stream_ids:
-            relation = cache.get(sid)
-            if relation is None:
-                relation = self.database.relation(query_stream_id, str(sid))
+            if sid in cache:
+                relation = cache[sid]
+            else:
+                try:
+                    relation = self.database.relation(
+                        query_stream_id, str(sid)
+                    )
+                except KeyError:
+                    relation = None  # removed mid-retrieval
                 cache[sid] = relation
             relations.append(relation)
         return relations
 
-    def _patient_lookup(self, stream_ids: np.ndarray) -> dict[str, str]:
-        return {
-            str(sid): self.database.stream(str(sid)).patient_id
-            for sid in set(str(s) for s in stream_ids)
-        }
+    def _patient_lookup(self, stream_ids: np.ndarray) -> dict[str, str | None]:
+        """Owning patient per stream; ``None`` marks a vanished stream."""
+        lookup: dict[str, str | None] = {}
+        for sid in set(str(s) for s in stream_ids):
+            try:
+                lookup[sid] = self.database.stream(sid).patient_id
+            except KeyError:
+                lookup[sid] = None  # removed mid-retrieval: never allowed
+        return lookup

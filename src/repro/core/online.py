@@ -74,6 +74,24 @@ class OnlineAnalysisSession:
         Session parameters.
     prefilter:
         Optional online pre-filter for the segmenter.
+    vertex_log:
+        Optional :class:`~repro.database.log.VertexLogWriter`; committed
+        vertices (and gate re-labels) are journalled for crash recovery.
+    injector:
+        Optional fault injector (chaos tests only).  The
+        ``"online.observe"`` site fires once per raw sample and may
+        drop, duplicate, reorder or NaN-corrupt it; the injector is also
+        forwarded to the matcher's signature index.
+
+    Robustness
+    ----------
+    Raw acquisition is not trusted: samples with non-finite time or
+    position are discarded (counted in :attr:`n_dropped`) and samples
+    that do not advance the clock — duplicated or re-ordered frames —
+    are discarded as stale (counted in :attr:`n_stale`).  Segmentation,
+    matching and prediction continue over the surviving samples instead
+    of poisoning the EMA filters with NaN or crashing on a timestamp
+    regression.
     """
 
     def __init__(
@@ -83,21 +101,32 @@ class OnlineAnalysisSession:
         session_id: str = "LIVE",
         config: OnlineSessionConfig | None = None,
         prefilter=None,
+        vertex_log=None,
+        injector=None,
     ) -> None:
         self.config = config or OnlineSessionConfig()
         self.db = db
+        self.injector = injector
         self.ingestor = StreamIngestor(
-            db, patient_id, session_id, self.config.segmenter
+            db,
+            patient_id,
+            session_id,
+            self.config.segmenter,
+            vertex_log=vertex_log,
         )
         if prefilter is not None:
             self.ingestor.segmenter.prefilter = prefilter
-        self.matcher = SubsequenceMatcher(db, self.config.similarity)
+        self.matcher = SubsequenceMatcher(
+            db, self.config.similarity, injector=injector
+        )
         self.predictor = OnlinePredictor(
             db, self.matcher, min_matches=self.config.min_matches
         )
         self._query: Subsequence | None = None
         self._matches: list[Match] = []
         self._now: float | None = None
+        self.n_dropped = 0
+        self.n_stale = 0
 
     # -- streaming --------------------------------------------------------------
 
@@ -121,8 +150,41 @@ class OnlineAnalysisSession:
     ) -> list[Vertex]:
         """Ingest one raw sample; refresh query/matches on vertex commits.
 
-        Returns the vertices committed by this sample.
+        Corrupt samples (non-finite, stale-clock) are counted and
+        skipped — see the class docstring.  Returns the vertices
+        committed by this sample.
         """
+        if self.injector is not None:
+            spec = self.injector.fire("online.observe")
+            if spec is not None:
+                if spec.kind == "drop":
+                    return []  # frame lost in acquisition
+                if spec.kind == "nan":
+                    position = np.full_like(
+                        np.atleast_1d(np.asarray(position, dtype=float)),
+                        np.nan,
+                    )
+                elif spec.kind == "out_of_order":
+                    # Delivered late, stamped with the previous frame's
+                    # clock: the stale guard below discards it.
+                    t = self._now if self._now is not None else t
+                elif spec.kind == "duplicate":
+                    committed = self._observe_clean(t, position)
+                    self._observe_clean(t, position)  # replayed frame
+                    return committed
+        return self._observe_clean(t, position)
+
+    def _observe_clean(
+        self, t: float, position: Sequence[float] | float
+    ) -> list[Vertex]:
+        """Guard one sample, then ingest it and refresh query/matches."""
+        position = np.atleast_1d(np.asarray(position, dtype=float))
+        if not (np.isfinite(t) and np.all(np.isfinite(position))):
+            self.n_dropped += 1
+            return []
+        if self._now is not None and t <= self._now:
+            self.n_stale += 1
+            return []
         committed = self.ingestor.add_point(t, position)
         self._now = t
         if committed and len(self.ingestor.series) >= self.config.warmup_vertices:

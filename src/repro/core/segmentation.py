@@ -197,6 +197,12 @@ class OnlineSegmenter:
         Optional online filter (see :mod:`repro.core.filters`) applied to
         each raw sample before the built-in despike/smooth stages — e.g. a
         cardiac notch filter (the paper's future-work noise modelling).
+    on_amend:
+        Optional callback invoked with the replacement vertex whenever an
+        already-committed vertex is re-labelled by a plausibility gate
+        (:meth:`PLRSeries.replace_last`).  The vertex log uses this to
+        journal the amendment, so crash replay reproduces the live
+        series' states exactly.
     """
 
     def __init__(
@@ -204,10 +210,12 @@ class OnlineSegmenter:
         config: SegmenterConfig | None = None,
         fsa: FiniteStateAutomaton | None = None,
         prefilter=None,
+        on_amend=None,
     ) -> None:
         self.config = config or SegmenterConfig()
         self.fsa = fsa or respiratory_fsa()
         self.prefilter = prefilter
+        self.on_amend = on_amend
         self.series = PLRSeries()
 
         self._last_time: float | None = None
@@ -365,9 +373,10 @@ class OnlineSegmenter:
 
         if closed_state != self.series[-1].state:
             last = self.series[-1]
-            self.series.replace_last(
-                Vertex(last.time, last.position, closed_state)
-            )
+            amended = Vertex(last.time, last.position, closed_state)
+            self.series.replace_last(amended)
+            if self.on_amend is not None:
+                self.on_amend(amended)
 
         proposed = self._pending_state
         if closed_state == self.fsa.irregular or self.fsa.is_regular_transition(

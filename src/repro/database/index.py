@@ -256,7 +256,7 @@ class _LengthIndex:
         """The intern table as an object array (for fancy expansion)."""
         return np.asarray(self._stream_names, dtype=object)
 
-    def catch_up_all(self, records) -> None:
+    def catch_up_all(self, records, injector=None) -> None:
         """Index every window appended to any stream since the last call.
 
         All streams' new regions are spliced into **one** concatenated
@@ -272,7 +272,7 @@ class _LengthIndex:
         m = self.n_vertices
         n_segments = m - 1
         if n_segments > MAX_RADIX_SEGMENTS:
-            self._catch_up_bytes(records, n_segments)
+            self._catch_up_bytes(records, n_segments, injector)
             return
         sep = max(n_segments - 1, 0)
         sep_states = np.full(sep, -1, dtype=np.int8)
@@ -286,6 +286,8 @@ class _LengthIndex:
         dur_parts: list[np.ndarray] = []
         pos = 0
         for record in records:
+            if injector is not None:
+                injector.fire("index.catch_up")
             series = record.series
             last = len(series) - m
             start = self._next_start.get(record.stream_id, 0)
@@ -359,10 +361,12 @@ class _LengthIndex:
                 dur_wins[rows[group]],
             )
 
-    def _catch_up_bytes(self, records, n_segments: int) -> None:
+    def _catch_up_bytes(self, records, n_segments: int, injector=None) -> None:
         """Catch-up for windows too long for radix keys (byte keys)."""
         m = self.n_vertices
         for record in records:
+            if injector is not None:
+                injector.fire("index.catch_up")
             series = record.series
             last = len(series) - m
             start = self._next_start.get(record.stream_id, 0)
@@ -404,10 +408,15 @@ class StateSignatureIndex:
         The store whose streams are indexed.  Streams added (or appended
         to) after construction are picked up automatically on the next
         lookup.
+    injector:
+        Optional fault injector (chaos tests only); the
+        ``"index.catch_up"`` site fires once per stream inside every
+        catch-up batch.
     """
 
-    def __init__(self, database: MotionDatabase) -> None:
+    def __init__(self, database: MotionDatabase, injector=None) -> None:
         self.database = database
+        self.injector = injector
         self._by_length: dict[int, _LengthIndex] = {}
         self._removal_epoch = database.removal_epoch
 
@@ -415,6 +424,14 @@ class StateSignatureIndex:
         """All windows whose segment states equal ``signature``.
 
         Returns ``None`` when no window in the database matches.
+
+        Catch-up is **transactional at the length-index level**: if the
+        batch is interrupted (a crash, an allocator failure, a fault
+        injected mid-stream), the partially updated length index is
+        discarded before the exception propagates, and the next lookup
+        rebuilds it from scratch.  An interrupted catch-up can therefore
+        cost a rebuild, but can never leave the index silently missing
+        windows.
 
         Parameters
         ----------
@@ -429,7 +446,14 @@ class StateSignatureIndex:
         if length_index is None:
             length_index = _LengthIndex(n_vertices)
             self._by_length[n_vertices] = length_index
-        length_index.catch_up_all(self.database.iter_streams())
+        # Snapshot the stream list: a stream removed concurrently (e.g.
+        # by a fault callback) must not break the iteration itself.
+        records = list(self.database.iter_streams())
+        try:
+            length_index.catch_up_all(records, self.injector)
+        except BaseException:
+            self._by_length.pop(n_vertices, None)
+            raise
         posting = length_index.postings.get(encode_signature(signature))
         if posting is None or posting.n == 0:
             return None

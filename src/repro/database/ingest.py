@@ -37,7 +37,9 @@ class StreamIngestor:
         Optional state automaton override (Section 6 domains).
     vertex_log:
         Optional :class:`~repro.database.log.VertexLogWriter`; every
-        committed vertex is appended to it (crash recovery).
+        committed vertex is appended to it, and every gate re-label of an
+        already-committed vertex is journalled as an amendment, so crash
+        replay reproduces the live series exactly.
     """
 
     def __init__(
@@ -53,6 +55,10 @@ class StreamIngestor:
         self.database = database
         self.segmenter = OnlineSegmenter(config, fsa)
         self.vertex_log = vertex_log
+        if vertex_log is not None:
+            amend = getattr(vertex_log, "amend", None)
+            if amend is not None:
+                self.segmenter.on_amend = amend
         self.record = database.add_stream(
             patient_id=patient_id,
             session_id=session_id,

@@ -6,29 +6,65 @@ log appends one JSON line per committed vertex (cheap: a handful of
 vertices per breathing cycle, not per raw sample) and can replay the
 stream into a fresh :class:`~repro.core.model.PLRSeries`.
 
-Format — one header line, then one line per vertex::
+Format — one header line, then one line per event::
 
     {"format": "repro.vertexlog/v1", "stream_id": ..., "patient_id": ...}
     {"t": 1.23, "p": [4.5], "s": 2}
+    {"t": 1.23, "p": [4.5], "s": 3, "a": 1}
+
+A record carrying ``"a": 1`` is an **amendment**: the online segmenter
+may re-label the state of the most recent vertex when a plausibility
+gate fires while closing its segment
+(:meth:`~repro.core.model.PLRSeries.replace_last`); the log records the
+re-label so replay reproduces the live series exactly, not just its
+geometry.
+
+Durability contract: every record is flushed as written, so a crash
+loses at most the in-flight line.  :func:`read_vertex_log` tolerates the
+resulting torn tail — the recovered prefix is returned together with a
+``truncated`` flag.
+
+For the chaos suite the writer accepts an optional
+:class:`~repro.testing.faults.FaultInjector`; production callers pass
+nothing and pay one ``is None`` check per record.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import IO
+from typing import IO, NamedTuple
 
 from ..core.model import BreathingState, PLRSeries, Vertex
 
-__all__ = ["VertexLogWriter", "read_vertex_log"]
+__all__ = ["RecoveredLog", "VertexLogWriter", "read_vertex_log"]
 
 _FORMAT = "repro.vertexlog/v1"
+
+
+class RecoveredLog(NamedTuple):
+    """Result of replaying a vertex log.
+
+    Attributes
+    ----------
+    header:
+        The log's identity metadata.
+    series:
+        The recovered PLR (the longest cleanly parseable prefix).
+    truncated:
+        True when the log ended in a torn record (crash mid-write); the
+        recovered prefix is still safe to use.
+    """
+
+    header: dict
+    series: PLRSeries
+    truncated: bool
 
 
 class VertexLogWriter:
     """Appends committed vertices to a JSONL file as they arrive.
 
-    Usable as a context manager; every vertex is flushed immediately so a
+    Usable as a context manager; every record is flushed immediately so a
     crash loses at most the in-flight line.
 
     Parameters
@@ -37,6 +73,11 @@ class VertexLogWriter:
         Log file path (created/truncated).
     stream_id / patient_id:
         Identity written to the header for recovery bookkeeping.
+    injector:
+        Optional fault injector (chaos tests only).  Sites
+        ``"log.append"`` and ``"log.amend"`` fire per record and may tear
+        the write (``torn_write``), lose it entirely (``fsync_loss``) or
+        crash after it is durable (``crash``).
     """
 
     def __init__(
@@ -44,8 +85,10 @@ class VertexLogWriter:
         path: str | Path,
         stream_id: str = "",
         patient_id: str = "",
+        injector=None,
     ) -> None:
         self.path = Path(path)
+        self.injector = injector
         self._handle: IO[str] | None = self.path.open("w")
         header = {
             "format": _FORMAT,
@@ -55,24 +98,59 @@ class VertexLogWriter:
         self._handle.write(json.dumps(header) + "\n")
         self._handle.flush()
         self.n_written = 0
+        self.n_amended = 0
 
     def append(self, vertex: Vertex) -> None:
         """Write one vertex and flush."""
-        if self._handle is None:
-            raise ValueError("log is closed")
-        record = {
-            "t": vertex.time,
-            "p": list(vertex.position),
-            "s": int(vertex.state),
-        }
-        self._handle.write(json.dumps(record) + "\n")
-        self._handle.flush()
+        self._write(self._record(vertex), "log.append")
         self.n_written += 1
+
+    def amend(self, vertex: Vertex) -> None:
+        """Record a re-label of the most recently appended vertex."""
+        record = self._record(vertex)
+        record["a"] = 1
+        self._write(record, "log.amend")
+        self.n_amended += 1
 
     def extend(self, vertices) -> None:
         """Write several vertices."""
         for vertex in vertices:
             self.append(vertex)
+
+    @staticmethod
+    def _record(vertex: Vertex) -> dict:
+        return {
+            "t": vertex.time,
+            "p": list(vertex.position),
+            "s": int(vertex.state),
+        }
+
+    def _write(self, record: dict, site: str) -> None:
+        if self._handle is None:
+            raise ValueError("log is closed")
+        line = json.dumps(record) + "\n"
+        if self.injector is not None:
+            # A "crash" spec raises inside fire(), before any bytes are
+            # written; torn_write persists a byte prefix of the line and
+            # fsync_loss persists nothing (the flush never reached disk).
+            spec = self.injector.fire(site)
+            if spec is not None:
+                from ..testing.faults import SimulatedCrash
+
+                if spec.kind == "torn_write":
+                    surviving = int(spec.payload)
+                    if not 0 < surviving < len(line):
+                        surviving = max(1, len(line) // 2)
+                    self._handle.write(line[:surviving])
+                    self._handle.flush()
+                    self.close()
+                    raise SimulatedCrash(spec)
+                if spec.kind == "fsync_loss":
+                    # The line sat in an unflushed buffer: nothing survives.
+                    self.close()
+                    raise SimulatedCrash(spec)
+        self._handle.write(line)
+        self._handle.flush()
 
     def close(self) -> None:
         """Close the underlying file."""
@@ -87,38 +165,54 @@ class VertexLogWriter:
         self.close()
 
 
-def read_vertex_log(path: str | Path) -> tuple[dict, PLRSeries]:
+def read_vertex_log(path: str | Path) -> RecoveredLog:
     """Replay a vertex log into a series.
 
-    Returns the header metadata and the recovered PLR.  A truncated final
-    line (crash mid-write) is tolerated and skipped.
+    Returns the header metadata, the recovered PLR and a ``truncated``
+    flag.  A torn final record (crash mid-write — truncated JSON, a
+    missing field, or any other unparseable tail) is tolerated: replay
+    stops there, the cleanly recovered prefix is returned and
+    ``truncated`` is set.  Only an unreadable *header* raises, because
+    then nothing about the log can be trusted.
     """
     path = Path(path)
     series = PLRSeries()
     header: dict | None = None
+    truncated = False
     with path.open() as handle:
         for line_no, line in enumerate(handle):
             line = line.strip()
             if not line:
                 continue
-            try:
-                payload = json.loads(line)
-            except json.JSONDecodeError:
-                if line_no == 0:
-                    raise ValueError("vertex log header is unreadable")
-                break  # torn final write; everything before it is safe
             if line_no == 0:
-                if payload.get("format") != _FORMAT:
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError:
+                    raise ValueError("vertex log header is unreadable") from None
+                if not isinstance(payload, dict) or payload.get("format") != _FORMAT:
                     raise ValueError("not a repro vertex log")
                 header = payload
                 continue
-            series.append(
-                Vertex(
+            try:
+                payload = json.loads(line)
+                vertex = Vertex(
                     payload["t"],
                     tuple(payload["p"]),
                     BreathingState(payload["s"]),
                 )
-            )
+                if payload.get("a"):
+                    series.replace_last(vertex)  # re-label amendment
+                else:
+                    series.append(vertex)
+            except (
+                json.JSONDecodeError,
+                KeyError,
+                TypeError,
+                ValueError,
+                IndexError,
+            ):
+                truncated = True
+                break  # torn tail; everything before it is safe
     if header is None:
         raise ValueError("vertex log is empty")
-    return header, series
+    return RecoveredLog(header, series, truncated)

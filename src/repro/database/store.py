@@ -22,12 +22,23 @@ __all__ = ["MotionDatabase"]
 
 
 class MotionDatabase:
-    """In-memory hierarchical store: patients -> session streams -> PLR."""
+    """In-memory hierarchical store: patients -> session streams -> PLR.
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    injector:
+        Optional fault injector (chaos tests only).  The
+        ``"store.remove_stream"`` site fires at the top of
+        :meth:`remove_stream`, *before* any mutation, so a simulated
+        crash there leaves the store untouched — removal is atomic with
+        respect to injected crashes.
+    """
+
+    def __init__(self, injector=None) -> None:
         self._patients: dict[str, PatientRecord] = {}
         self._streams: dict[str, StreamRecord] = {}
         self._removal_epoch = 0
+        self.injector = injector
 
     # -- writes ---------------------------------------------------------------
 
@@ -86,7 +97,14 @@ class MotionDatabase:
         return record
 
     def remove_stream(self, stream_id: str) -> None:
-        """Delete a stream record."""
+        """Delete a stream record.
+
+        The removal (both dict pops and the epoch bump) happens entirely
+        after the injection point, so a simulated crash never leaves the
+        store half-mutated.
+        """
+        if self.injector is not None:
+            self.injector.fire("store.remove_stream")
         record = self._streams.pop(stream_id, None)
         if record is None:
             raise KeyError(f"unknown stream {stream_id!r}")

@@ -1,0 +1,61 @@
+"""Fault injection, crash recovery and differential oracles.
+
+Everything the chaos and property suites need to *prove* the pipeline's
+durability and correctness contracts:
+
+* :mod:`~repro.testing.faults` — seeded, replayable fault plans
+  delivered through injection points compiled into the hot paths.
+* :mod:`~repro.testing.oracle` — frozen, deliberately naive reference
+  implementations of the matcher and segmenter, plus the equivalence
+  checks that compare them against the production engine.
+* :mod:`~repro.testing.chaos` — the crash-recovery driver that kills a
+  simulated session at every injection point and asserts byte-identical
+  recovery.
+
+Production code never imports this package (the hot paths only hold an
+optional ``injector`` that defaults to ``None``).
+"""
+
+from .chaos import (
+    ChaosConfig,
+    ChaosFailure,
+    CrashRecoveryReport,
+    run_crash_recovery,
+)
+from .faults import (
+    CRASH_KINDS,
+    LOG_FAULT_KINDS,
+    SAMPLE_FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    SimulatedCrash,
+)
+from .oracle import (
+    EquivalenceError,
+    check_equivalence,
+    check_plr_invariants,
+    reference_distance,
+    reference_matches,
+    reference_segment,
+)
+
+__all__ = [
+    "CRASH_KINDS",
+    "LOG_FAULT_KINDS",
+    "SAMPLE_FAULT_KINDS",
+    "ChaosConfig",
+    "ChaosFailure",
+    "CrashRecoveryReport",
+    "EquivalenceError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "SimulatedCrash",
+    "check_equivalence",
+    "check_plr_invariants",
+    "reference_distance",
+    "reference_matches",
+    "reference_segment",
+    "run_crash_recovery",
+]

@@ -1,0 +1,679 @@
+"""Crash-recovery driver: kill a simulated session at every injection point.
+
+The driver proves the durability and graceful-degradation contracts of
+the streaming pipeline end to end, deterministically from a single seed:
+
+1. **Golden pass** — one uninterrupted live session over a seeded
+   historical database, vertex-logged to disk, with the matcher state
+   snapshotted at every vertex commit.
+2. **Log crashes** — for *every* write the golden run made to the vertex
+   log (appends and amendments alike), re-run the session with a fault
+   that kills it at exactly that write — tearing the line mid-byte,
+   losing the flush, or dying just before the write — then replay the
+   torn log and assert the recovered :class:`~repro.core.model.PLRSeries`
+   is **byte-identical** to the uninterrupted run's log truncated at the
+   same record, that a fresh engine over the recovered stream agrees with
+   the frozen :mod:`~repro.testing.oracle`, and — where the golden run
+   passed through the exact same series state — that it also reproduces
+   the golden run's incremental matches.
+3. **Index crashes** — interrupt signature-index catch-up batches
+   mid-stream; after the simulated crash the session keeps running and
+   its final matches must equal the golden run's (the transactional
+   length-index drop guarantees a clean rebuild).
+4. **Concurrent removal** — remove a historical stream from the database
+   *during* a catch-up batch; retrieval must degrade gracefully (no
+   exception, no candidates from the vanished stream) and converge to a
+   fresh engine over the post-removal database.
+5. **Store crash** — kill ``remove_stream`` at its injection point and
+   assert the store is untouched (removal is all-or-nothing).
+6. **Sample corruption** — a seeded burst of dropped, duplicated,
+   re-ordered and NaN frames; the session must finish, count every
+   corruption, satisfy the PLR structural invariants and end up
+   byte-identical to a clean session fed only the surviving frames.
+
+Every broken contract raises :class:`ChaosFailure` naming the injection
+point, so a red chaos run is replayable from ``(seed, site, ordinal,
+kind)`` alone.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..core.matching import Match, SubsequenceMatcher
+from ..core.model import PLRSeries
+from ..core.online import OnlineAnalysisSession, OnlineSessionConfig
+from ..core.query import generate_query
+from ..core.segmentation import segment_signal
+from ..database.log import VertexLogWriter, read_vertex_log
+from ..database.store import MotionDatabase
+from ..signals.patients import generate_population
+from ..signals.respiratory import RespiratorySimulator, SessionConfig
+from .faults import FaultInjector, FaultPlan, FaultSpec, SimulatedCrash
+from .oracle import check_equivalence, check_plr_invariants, reference_matches
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosFailure",
+    "CrashRecoveryReport",
+    "run_crash_recovery",
+]
+
+#: Log-site fault kinds cycled across injection points.
+_LOG_KINDS = ("torn_write", "fsync_loss", "crash")
+
+_LIVE_SESSION_ID = "LIVE"
+
+
+class ChaosFailure(AssertionError):
+    """A durability or equivalence contract broke at an injection point."""
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One chaos campaign, fully determined by ``seed``.
+
+    Attributes
+    ----------
+    seed:
+        Master seed; every signal, database and fault plan derives from
+        it.
+    duration:
+        Live-session length in seconds.
+    history_duration / history_sessions / n_patients:
+        Shape of the seeded historical database.
+    sample_rate:
+        Raw acquisition rate in Hz.
+    max_log_points / max_index_points:
+        Cap on exercised injection points per site (``None`` = every
+        point); the quick tier-1 variant caps tightly, the chaos job
+        runs wide.  Capped index points are spread evenly across the
+        run, first and last included.
+    n_sample_faults:
+        Planned raw-sample corruptions in the sample-fault scenario.
+    """
+
+    seed: int = 0
+    duration: float = 30.0
+    history_duration: float = 45.0
+    history_sessions: int = 2
+    n_patients: int = 2
+    sample_rate: float = 30.0
+    max_log_points: int | None = None
+    max_index_points: int | None = 16
+    n_sample_faults: int = 8
+
+
+@dataclass
+class CrashRecoveryReport:
+    """What one chaos campaign exercised (the driver raises on failure)."""
+
+    seed: int
+    n_log_points: int = 0
+    n_index_points: int = 0
+    n_removal_points: int = 0
+    n_sample_faults: int = 0
+    n_oracle_checks: int = 0
+    n_byte_identical_recoveries: int = 0
+    sites: list[str] = field(default_factory=list)
+
+
+# -- deterministic scenario construction ---------------------------------------
+
+
+def _build_history(config: ChaosConfig) -> MotionDatabase:
+    """The seeded historical database every run starts from."""
+    db = MotionDatabase()
+    profiles = generate_population(config.n_patients, seed=config.seed)
+    session_config = SessionConfig(
+        duration=config.history_duration, sample_rate=config.sample_rate
+    )
+    for p, profile in enumerate(profiles):
+        db.add_patient(profile.patient_id, profile.attributes)
+        simulator = RespiratorySimulator(profile, session_config)
+        for s in range(config.history_sessions):
+            raw = simulator.generate_session(
+                s, seed=config.seed * 7919 + p * 1009 + s
+            )
+            series = segment_signal(raw.times, raw.values)
+            db.add_stream(profile.patient_id, f"S{s:02d}", series)
+    return db
+
+
+def _live_patient_id(config: ChaosConfig) -> str:
+    """The live patient: first of the generated population."""
+    return generate_population(config.n_patients, seed=config.seed)[
+        0
+    ].patient_id
+
+
+def _live_samples(config: ChaosConfig) -> tuple[np.ndarray, np.ndarray]:
+    """The live session's raw samples (identical for every injected run)."""
+    profile = generate_population(config.n_patients, seed=config.seed)[0]
+    simulator = RespiratorySimulator(
+        profile,
+        SessionConfig(duration=config.duration, sample_rate=config.sample_rate),
+    )
+    raw = simulator.generate_session(99, seed=config.seed + 33533)
+    return raw.times, raw.values
+
+
+def _series_key(series: PLRSeries) -> bytes:
+    """Byte-exact fingerprint of a PLR (times, positions, states)."""
+    return (
+        series.times.tobytes()
+        + series.positions.tobytes()
+        + series.states.tobytes()
+    )
+
+
+def _assert_series_identical(
+    recovered: PLRSeries, expected: PLRSeries, context: str
+) -> None:
+    if _series_key(recovered) != _series_key(expected):
+        raise ChaosFailure(
+            f"{context}: recovered PLR differs from the uninterrupted run "
+            f"({len(recovered)} vs {len(expected)} vertices)"
+        )
+
+
+def _run_session(
+    config: ChaosConfig,
+    history: MotionDatabase,
+    samples: tuple[np.ndarray, np.ndarray],
+    log_path: Path | None,
+    injector: FaultInjector | None,
+    snapshots: dict[bytes, list[Match]] | None = None,
+) -> tuple[OnlineAnalysisSession, MotionDatabase]:
+    """Feed the live samples into a fresh session; crashes propagate.
+
+    ``snapshots``, when given, captures the matches after every vertex
+    commit, keyed by the byte fingerprint of the live series at that
+    instant.  (Commit-time only: the query is a pure function of the
+    series there, so a fingerprint hit pins down the query too.)
+    """
+    db = copy.deepcopy(history)
+    db.injector = injector
+    patient_id = _live_patient_id(config)
+    writer = (
+        None
+        if log_path is None
+        else VertexLogWriter(
+            log_path,
+            stream_id=f"{patient_id}/{_LIVE_SESSION_ID}",
+            patient_id=patient_id,
+            injector=injector,
+        )
+    )
+    session = OnlineAnalysisSession(
+        db,
+        patient_id,
+        _LIVE_SESSION_ID,
+        OnlineSessionConfig(),
+        vertex_log=writer,
+        injector=injector,
+    )
+    times, values = samples
+    for i in range(len(times)):
+        committed = session.observe(float(times[i]), values[i])
+        if committed and snapshots is not None:
+            snapshots[_series_key(session.ingestor.series)] = session.matches
+    session.ingestor.finish()
+    return session, db
+
+
+def _final_matches(session: OnlineAnalysisSession) -> list[Match]:
+    """Matches for a query regenerated over the session's *final* series.
+
+    The live refresh happens at vertex commits, so ``session.matches``
+    describes the last committed state, not the post-``finish`` one; the
+    driver compares runs on the regenerated final query instead, through
+    the session's own (incrementally caught-up) matcher.
+    """
+    series = session.ingestor.series
+    if len(series) < session.config.warmup_vertices:
+        return []
+    query = generate_query(series, session.config.query)
+    if query is None:
+        return []
+    return session.matcher.find_matches(
+        query, session.stream_id, max_matches=session.config.max_matches
+    )
+
+
+# -- scenario 2: log crashes ---------------------------------------------------
+
+
+def _truncated_replays(log_path: Path, tmp: Path) -> list[PLRSeries]:
+    """Replay every record-count prefix of the golden log.
+
+    ``result[j]`` is the series recovered from the header plus the first
+    ``j`` records — what a crash leaving ``j`` durable records must
+    yield.
+    """
+    lines = log_path.read_text().splitlines(keepends=True)
+    header, records = lines[0], lines[1:]
+    replays = []
+    scratch = tmp / "truncated.jsonl"
+    for j in range(len(records) + 1):
+        scratch.write_text(header + "".join(records[:j]))
+        replays.append(read_vertex_log(scratch).series)
+    return replays
+
+
+def _golden_write_index(
+    golden_records: list[str], site: str, ordinal: int
+) -> int:
+    """Record index (0-based, header excluded) of a site's n-th write.
+
+    Appends and amendments interleave in one file; an amendment record
+    carries ``"a": 1``.
+    """
+    n = -1
+    for i, line in enumerate(golden_records):
+        is_amend = bool(json.loads(line).get("a"))
+        if (site == "log.amend") == is_amend:
+            n += 1
+            if n == ordinal:
+                return i
+    raise ChaosFailure(f"golden log has no write #{ordinal} at {site}")
+
+
+def _verify_recovered_matcher(
+    config: ChaosConfig,
+    history: MotionDatabase,
+    recovered: PLRSeries,
+    snapshots: dict[bytes, list[Match]],
+    report: CrashRecoveryReport,
+    context: str,
+) -> None:
+    """Recovered stream → fresh engine == oracle (== golden incremental)."""
+    db = copy.deepcopy(history)
+    patient_id = _live_patient_id(config)
+    stream_id = f"{patient_id}/{_LIVE_SESSION_ID}"
+    db.add_stream(patient_id, _LIVE_SESSION_ID, recovered)
+    session_config = OnlineSessionConfig()
+    if len(recovered) < session_config.warmup_vertices:
+        return
+    query = generate_query(recovered, session_config.query)
+    if query is None:
+        return
+    matcher = SubsequenceMatcher(db, session_config.similarity)
+    engine = matcher.find_matches(
+        query, stream_id, max_matches=session_config.max_matches
+    )
+    oracle = reference_matches(
+        db,
+        query,
+        stream_id,
+        max_matches=session_config.max_matches,
+        params=session_config.similarity,
+    )
+    try:
+        check_equivalence(
+            engine, oracle, max_matches=session_config.max_matches
+        )
+    except AssertionError as error:
+        raise ChaosFailure(f"{context}: {error}") from error
+    report.n_oracle_checks += 1
+    # A crash can land mid-observe (amend applied, follow-up append
+    # lost), a state the golden run never paused at — no snapshot then.
+    golden = snapshots.get(_series_key(recovered))
+    if golden is not None and golden != engine:
+        raise ChaosFailure(
+            f"{context}: rebuilt matcher differs from the uninterrupted "
+            f"run's incremental state at the same vertex"
+        )
+
+
+def _log_crash_points(
+    config: ChaosConfig,
+    history: MotionDatabase,
+    samples,
+    golden_records: list[str],
+    golden_replays: list[PLRSeries],
+    snapshots: dict[bytes, list[Match]],
+    arrivals: dict[str, int],
+    tmp: Path,
+    report: CrashRecoveryReport,
+) -> None:
+    """Kill the session at every vertex-log write; verify recovery."""
+    points = [
+        (site, ordinal)
+        for site in ("log.append", "log.amend")
+        for ordinal in range(arrivals[site])
+    ]
+    if config.max_log_points is not None:
+        points = points[: config.max_log_points]
+    for n, (site, ordinal) in enumerate(points):
+        kind = _LOG_KINDS[n % len(_LOG_KINDS)]
+        context = f"{site}#{ordinal} ({kind})"
+        injector = FaultInjector(FaultPlan.crash_at(site, ordinal, kind))
+        crash_path = tmp / f"crash-{site.replace('.', '-')}-{ordinal}.jsonl"
+        try:
+            _run_session(config, history, samples, crash_path, injector)
+        except SimulatedCrash:
+            pass
+        else:
+            raise ChaosFailure(f"{context}: planned crash never fired")
+
+        # All three kinds lose the in-flight record, so the durable
+        # records are exactly the golden log's prefix before this write.
+        durable = _golden_write_index(golden_records, site, ordinal)
+        recovered = read_vertex_log(crash_path)
+        _assert_series_identical(
+            recovered.series, golden_replays[durable], context
+        )
+        if (kind == "torn_write") != recovered.truncated:
+            raise ChaosFailure(
+                f"{context}: truncated={recovered.truncated} — only a torn "
+                f"write leaves a partial line behind"
+            )
+        check_plr_invariants(recovered.series)
+        report.n_byte_identical_recoveries += 1
+        _verify_recovered_matcher(
+            config, history, recovered.series, snapshots, report, context
+        )
+        report.n_log_points += 1
+        report.sites.append(f"{site}#{ordinal}:{kind}")
+
+
+# -- scenarios 3-6 -------------------------------------------------------------
+
+
+def _index_crash_points(
+    config: ChaosConfig,
+    history: MotionDatabase,
+    samples,
+    golden_final: PLRSeries,
+    golden_matches: list[Match],
+    arrivals: dict[str, int],
+    report: CrashRecoveryReport,
+) -> None:
+    """Interrupt catch-up batches; the session must converge anyway."""
+    total = arrivals["index.catch_up"]
+    if total == 0:
+        raise ChaosFailure("golden run never exercised index catch-up")
+    points = list(range(total))
+    if config.max_index_points is not None and total > config.max_index_points:
+        picks = np.linspace(0, total - 1, config.max_index_points)
+        points = sorted({int(p) for p in picks})
+    for ordinal in points:
+        context = f"index.catch_up#{ordinal}"
+        injector = FaultInjector(FaultPlan.crash_at("index.catch_up", ordinal))
+        db = copy.deepcopy(history)
+        session = OnlineAnalysisSession(
+            db,
+            _live_patient_id(config),
+            _LIVE_SESSION_ID,
+            OnlineSessionConfig(),
+            injector=injector,
+        )
+        crashed = False
+        times, values = samples
+        for i in range(len(times)):
+            try:
+                session.observe(float(times[i]), values[i])
+            except SimulatedCrash:
+                crashed = True  # the query subsystem died; keep streaming
+        session.ingestor.finish()
+        if not crashed:
+            raise ChaosFailure(f"{context}: planned crash never fired")
+        _assert_series_identical(
+            session.ingestor.series, golden_final, context
+        )
+        if _final_matches(session) != golden_matches:
+            raise ChaosFailure(
+                f"{context}: matches after index rebuild differ from the "
+                f"uninterrupted run"
+            )
+        report.n_index_points += 1
+        report.sites.append(f"{context}:crash")
+
+
+def _removal_mid_catch_up(
+    config: ChaosConfig,
+    history: MotionDatabase,
+    samples,
+    report: CrashRecoveryReport,
+) -> None:
+    """Remove a historical stream during a catch-up batch."""
+    victim = history.stream_ids[-1]
+    db = copy.deepcopy(history)
+    plan = FaultPlan([FaultSpec("index.catch_up", "remove_stream", at=1)])
+    injector = FaultInjector(
+        plan,
+        callbacks={"remove_stream": lambda spec: db.remove_stream(victim)},
+    )
+    session = OnlineAnalysisSession(
+        db,
+        _live_patient_id(config),
+        _LIVE_SESSION_ID,
+        OnlineSessionConfig(),
+        injector=injector,
+    )
+    times, values = samples
+    for i in range(len(times)):
+        session.observe(float(times[i]), values[i])  # must never raise
+    session.ingestor.finish()
+    if not injector.exhausted:
+        raise ChaosFailure("removal fault never fired (no catch-up ran)")
+    final = _final_matches(session)
+    for matches in (session.matches, final):
+        if any(match.stream_id == victim for match in matches):
+            raise ChaosFailure(
+                "matches still reference a stream removed mid catch-up"
+            )
+    query = generate_query(session.ingestor.series, session.config.query)
+    if query is not None:
+        fresh = SubsequenceMatcher(db, session.config.similarity).find_matches(
+            query, session.stream_id, max_matches=session.config.max_matches
+        )
+        if final != fresh:
+            raise ChaosFailure(
+                "post-removal matches diverge from a fresh engine"
+            )
+        oracle = reference_matches(
+            db,
+            query,
+            session.stream_id,
+            max_matches=session.config.max_matches,
+            params=session.config.similarity,
+        )
+        check_equivalence(
+            final, oracle, max_matches=session.config.max_matches
+        )
+        report.n_oracle_checks += 1
+    report.n_removal_points += 1
+    report.sites.append("index.catch_up#1:remove_stream")
+
+
+def _store_crash(history: MotionDatabase, report: CrashRecoveryReport) -> None:
+    """A crash inside remove_stream must leave the store untouched."""
+    db = copy.deepcopy(history)
+    victim = db.stream_ids[0]
+    epoch = db.removal_epoch
+    n_streams = db.n_streams
+    db.injector = FaultInjector(FaultPlan.crash_at("store.remove_stream", 0))
+    try:
+        db.remove_stream(victim)
+    except SimulatedCrash:
+        pass
+    else:
+        raise ChaosFailure("store.remove_stream#0: planned crash never fired")
+    if (
+        victim not in db
+        or db.removal_epoch != epoch
+        or db.n_streams != n_streams
+    ):
+        raise ChaosFailure(
+            "store.remove_stream#0: crash left a half-applied removal"
+        )
+    report.sites.append("store.remove_stream#0:crash")
+
+
+def _effective_samples(
+    samples: tuple[np.ndarray, np.ndarray], plan: FaultPlan
+) -> tuple[np.ndarray, np.ndarray]:
+    """The raw frames that survive a sample-fault plan's corruptions.
+
+    Mirrors the ``observe()`` guard exactly: dropped and NaN frames
+    vanish; a duplicate contributes once (its replay is stale); an
+    out-of-order frame is stamped with the previous clock and discarded
+    as stale — unless it is the very first frame, with nothing to be
+    stale against.
+    """
+    times, values = samples
+    faults = {spec.at: spec.kind for spec in plan}
+    keep_times, keep_values = [], []
+    last: float | None = None
+    for i in range(len(times)):
+        t = float(times[i])
+        kind = faults.get(i)
+        if kind in ("drop", "nan"):
+            continue
+        if kind == "out_of_order" and last is not None:
+            continue
+        if last is not None and t <= last:
+            continue
+        keep_times.append(t)
+        keep_values.append(values[i])
+        last = t
+    return np.asarray(keep_times), np.asarray(keep_values)
+
+
+def _sample_faults(
+    config: ChaosConfig,
+    history: MotionDatabase,
+    samples,
+    report: CrashRecoveryReport,
+) -> None:
+    """A seeded burst of corrupt frames must degrade gracefully."""
+    times, _ = samples
+    plan = FaultPlan.seeded(
+        seed=config.seed + 4243,
+        site="online.observe",
+        kinds=("drop", "duplicate", "out_of_order", "nan"),
+        n_faults=config.n_sample_faults,
+        horizon=len(times),
+    )
+    injector = FaultInjector(plan)
+    session, _ = _run_session(config, history, samples, None, injector)
+    if not injector.exhausted:
+        raise ChaosFailure("sample-fault plan did not fully fire")
+    kinds = [spec.kind for spec in injector.fired]
+    expected_stale = sum(k in ("duplicate", "out_of_order") for k in kinds)
+    if any(s.at == 0 and s.kind == "out_of_order" for s in plan):
+        expected_stale -= 1  # nothing to be stale against yet
+    if session.n_dropped != kinds.count("nan"):
+        raise ChaosFailure(
+            f"NaN frames miscounted: {session.n_dropped} dropped, "
+            f"{kinds.count('nan')} injected"
+        )
+    if session.n_stale != expected_stale:
+        raise ChaosFailure(
+            f"stale frames miscounted: {session.n_stale} counted, "
+            f"{expected_stale} expected"
+        )
+    check_plr_invariants(session.ingestor.series)
+
+    clean, _ = _run_session(
+        config, history, _effective_samples(samples, plan), None, None
+    )
+    _assert_series_identical(
+        session.ingestor.series,
+        clean.ingestor.series,
+        "online.observe (sample faults)",
+    )
+    if _final_matches(session) != _final_matches(clean):
+        raise ChaosFailure(
+            "sample faults changed retrieval beyond the lost frames"
+        )
+    report.n_sample_faults = len(kinds)
+    report.sites.append(f"online.observe:{','.join(sorted(set(kinds)))}")
+
+
+# -- entry point ---------------------------------------------------------------
+
+
+def run_crash_recovery(
+    config: ChaosConfig | None = None, workdir: str | Path | None = None
+) -> CrashRecoveryReport:
+    """Run the full chaos campaign for one seed.
+
+    Raises :class:`ChaosFailure` at the first broken contract; returns a
+    :class:`CrashRecoveryReport` of everything exercised otherwise.
+
+    Parameters
+    ----------
+    config:
+        Campaign parameters (defaults: seed 0, every log injection
+        point, 16 index points).
+    workdir:
+        Directory for the vertex-log files.  When omitted a temporary
+        directory is used; it is removed on success and left on disk
+        for post-mortem when the campaign fails.
+    """
+    config = config or ChaosConfig()
+    if workdir is None:
+        tmp = Path(tempfile.mkdtemp(prefix="repro-chaos-"))
+        cleanup = True
+    else:
+        tmp = Path(workdir)
+        tmp.mkdir(parents=True, exist_ok=True)
+        cleanup = False
+
+    report = CrashRecoveryReport(seed=config.seed)
+    history = _build_history(config)
+    samples = _live_samples(config)
+
+    # 1. golden pass — an empty (no-op) plan counts per-site arrivals.
+    golden_injector = FaultInjector(FaultPlan())
+    golden_path = tmp / "golden.jsonl"
+    snapshots: dict[bytes, list[Match]] = {}
+    golden_session, _ = _run_session(
+        config, history, samples, golden_path, golden_injector, snapshots
+    )
+    golden_final = golden_session.ingestor.series
+    # Arrival counts must be read before _final_matches: that call runs
+    # another retrieval, and its catch-up arrivals are ordinals the
+    # injected runs' observe loops never reach.
+    arrivals = {
+        site: golden_injector.arrivals(site)
+        for site in ("log.append", "log.amend", "index.catch_up")
+    }
+    golden_matches = _final_matches(golden_session)
+    golden_records = golden_path.read_text().splitlines()[1:]
+    golden_replay = read_vertex_log(golden_path)
+    if golden_replay.truncated:
+        raise ChaosFailure("golden log unexpectedly truncated")
+    _assert_series_identical(
+        golden_replay.series, golden_final, "golden replay"
+    )
+    check_plr_invariants(golden_final)
+    if arrivals["log.append"] == 0:
+        raise ChaosFailure("golden run committed no vertices")
+
+    # 2-6. the injected scenarios.
+    golden_replays = _truncated_replays(golden_path, tmp)
+    _log_crash_points(
+        config, history, samples, golden_records, golden_replays,
+        snapshots, arrivals, tmp, report,
+    )
+    _index_crash_points(
+        config, history, samples, golden_final, golden_matches,
+        arrivals, report,
+    )
+    _removal_mid_catch_up(config, history, samples, report)
+    _store_crash(history, report)
+    _sample_faults(config, history, samples, report)
+    if cleanup:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return report

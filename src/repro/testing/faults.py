@@ -1,0 +1,244 @@
+"""Deterministic fault injection for the streaming pipeline.
+
+The paper's setting is safety-critical: a treatment session must survive
+process death mid-stream, and the online matcher must degrade gracefully
+rather than silently return wrong candidates.  This module supplies the
+machinery the chaos suite uses to *prove* that:
+
+* :class:`FaultSpec` — one planned fault: a *site* (a named injection
+  point compiled into a hot path), a *kind* (what goes wrong there) and
+  an arrival ordinal *at* (fire on the ``at``-th time execution reaches
+  the site).
+* :class:`FaultPlan` — an immutable set of specs.  Plans are either
+  written explicitly or drawn from a seeded RNG
+  (:meth:`FaultPlan.seeded`), so every chaos run is replayable from its
+  seed alone.
+* :class:`FaultInjector` — delivers a plan during one simulated run.
+  Hot paths hold an ``injector`` that is ``None`` in production, so the
+  entire subsystem costs one ``if injector is None`` check per site.
+* :class:`SimulatedCrash` — raised at a crash-kind fault to simulate
+  process death at exactly that instruction.
+
+Injection sites compiled into the pipeline
+------------------------------------------
+
+=====================  ==========================================================
+site                   armed in
+=====================  ==========================================================
+``log.append``         :meth:`repro.database.log.VertexLogWriter.append`
+``log.amend``          :meth:`repro.database.log.VertexLogWriter.amend`
+``store.remove_stream``:meth:`repro.database.store.MotionDatabase.remove_stream`
+``index.catch_up``     per-stream inside ``StateSignatureIndex`` catch-up batches
+``online.observe``     :meth:`repro.core.online.OnlineAnalysisSession.observe`
+=====================  ==========================================================
+
+Fault kinds
+-----------
+
+``crash``
+    Raise :class:`SimulatedCrash` at the site, before the site performs
+    any work — at the vertex log, the in-flight record is lost.
+``torn_write`` / ``fsync_loss``
+    ``log.append`` / ``log.amend`` only: write a byte prefix of the line
+    (torn write) or nothing at all (flush lost in the page cache), then
+    crash.
+``drop`` / ``duplicate`` / ``out_of_order`` / ``nan``
+    ``online.observe`` only: lose the raw sample, deliver it twice,
+    deliver it with a stale timestamp, or replace the position with NaN.
+``remove_stream``
+    Any site, via a callback: lets a plan mutate the database mid
+    catch-up (the concurrent-removal hazard).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Mapping
+
+import numpy as np
+
+__all__ = [
+    "CRASH_KINDS",
+    "SAMPLE_FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "SimulatedCrash",
+]
+
+#: Kinds that terminate the run with :class:`SimulatedCrash` as soon as
+#: the site fires (the site performs no further work).
+CRASH_KINDS = frozenset({"crash"})
+
+#: Kinds interpreted by ``online.observe`` as raw-sample corruptions.
+SAMPLE_FAULT_KINDS = frozenset({"drop", "duplicate", "out_of_order", "nan"})
+
+#: Kinds interpreted by the vertex log as torn persistence.
+LOG_FAULT_KINDS = frozenset({"torn_write", "fsync_loss"})
+
+
+class SimulatedCrash(RuntimeError):
+    """Process death simulated at an armed injection point."""
+
+    def __init__(self, spec: "FaultSpec") -> None:
+        super().__init__(f"simulated crash at {spec.site!r} (hit #{spec.at})")
+        self.spec = spec
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault.
+
+    Attributes
+    ----------
+    site:
+        Injection-point name (see the module table).
+    kind:
+        What goes wrong (see the module list).
+    at:
+        Fire on the ``at``-th arrival at the site, 0-based.
+    payload:
+        Kind-specific parameter — the surviving byte count for
+        ``torn_write`` (0 = injector's choice), the timestamp rewind in
+        seconds for ``out_of_order``.
+    """
+
+    site: str
+    kind: str
+    at: int
+    payload: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("arrival ordinal must be non-negative")
+
+
+class FaultPlan:
+    """An immutable, ordered collection of :class:`FaultSpec`.
+
+    At most one spec may claim a given ``(site, at)`` pair — the plan is
+    a deterministic schedule, not a probability.
+    """
+
+    def __init__(self, specs: Iterable[FaultSpec] = ()) -> None:
+        self._specs = tuple(specs)
+        seen: set[tuple[str, int]] = set()
+        for spec in self._specs:
+            slot = (spec.site, spec.at)
+            if slot in seen:
+                raise ValueError(f"duplicate fault slot {slot}")
+            seen.add(slot)
+
+    def __iter__(self) -> Iterator[FaultSpec]:
+        return iter(self._specs)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    @property
+    def specs(self) -> tuple[FaultSpec, ...]:
+        """The planned faults, in declaration order."""
+        return self._specs
+
+    @classmethod
+    def crash_at(cls, site: str, at: int, kind: str = "crash") -> "FaultPlan":
+        """A single-fault plan (the crash-recovery driver's workhorse)."""
+        return cls([FaultSpec(site, kind, at)])
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        site: str,
+        kinds: Iterable[str],
+        n_faults: int,
+        horizon: int,
+    ) -> "FaultPlan":
+        """A replayable random plan for one site.
+
+        Draws ``n_faults`` distinct arrival ordinals in ``[0, horizon)``
+        and a kind for each from ``kinds``, all from
+        ``numpy.random.default_rng(seed)`` — the same seed always yields
+        the same plan.
+        """
+        if n_faults < 0:
+            raise ValueError("n_faults must be non-negative")
+        kinds = tuple(kinds)
+        if n_faults and not kinds:
+            raise ValueError("at least one kind is required")
+        rng = np.random.default_rng(seed)
+        n_faults = min(n_faults, horizon)
+        ordinals = rng.choice(horizon, size=n_faults, replace=False)
+        specs = [
+            FaultSpec(
+                site=site,
+                kind=kinds[int(rng.integers(len(kinds)))],
+                at=int(ordinal),
+                payload=float(rng.uniform(0.05, 1.0)),
+            )
+            for ordinal in np.sort(ordinals)
+        ]
+        return cls(specs)
+
+
+@dataclass
+class FaultInjector:
+    """Delivers one :class:`FaultPlan` during one simulated run.
+
+    Every instrumented hot path calls :meth:`fire` when execution
+    reaches its site.  The injector counts arrivals per site, fires the
+    planned spec on its ordinal, journals it in :attr:`fired` (the
+    replay record) and either raises :class:`SimulatedCrash` (crash
+    kinds) or hands the spec back for the site to interpret.
+
+    Parameters
+    ----------
+    plan:
+        The fault schedule.
+    callbacks:
+        Optional ``kind -> callable(spec)`` table; a matching callback
+        runs when its kind fires, *before* any crash is raised.  This is
+        how a plan mutates external state mid-operation (e.g. remove a
+        stream from the database during index catch-up).
+    """
+
+    plan: FaultPlan
+    callbacks: Mapping[str, Callable[[FaultSpec], None]] | None = None
+    fired: list[FaultSpec] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._pending: dict[str, dict[int, FaultSpec]] = {}
+        for spec in self.plan:
+            self._pending.setdefault(spec.site, {})[spec.at] = spec
+        self._arrivals: dict[str, int] = {}
+
+    def arrivals(self, site: str) -> int:
+        """How many times execution has reached ``site`` so far."""
+        return self._arrivals.get(site, 0)
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether every planned fault has fired."""
+        return len(self.fired) == len(self.plan)
+
+    def fire(self, site: str) -> FaultSpec | None:
+        """Record an arrival at ``site``; deliver the planned fault, if any.
+
+        Returns the fired spec for the site to interpret (torn writes,
+        sample corruptions), ``None`` when nothing was scheduled.
+        Crash-kind specs raise :class:`SimulatedCrash` here, after any
+        registered callback has run.
+        """
+        n = self._arrivals.get(site, 0)
+        self._arrivals[site] = n + 1
+        spec = self._pending.get(site, {}).pop(n, None)
+        if spec is None:
+            return None
+        self.fired.append(spec)
+        if self.callbacks is not None:
+            callback = self.callbacks.get(spec.kind)
+            if callback is not None:
+                callback(spec)
+        if spec.kind in CRASH_KINDS:
+            raise SimulatedCrash(spec)
+        return spec

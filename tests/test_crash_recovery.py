@@ -1,0 +1,58 @@
+"""Crash-recovery chaos campaigns (see docs/TESTING.md).
+
+The quick variant runs in tier-1 on every push: a capped campaign that
+still kills the session at real log/index injection points.  The full
+three-seed sweep over every injection point is marked ``chaos`` and runs
+in the dedicated CI job (or locally via ``pytest -m chaos``).
+"""
+
+import pytest
+
+from repro.testing import ChaosConfig, run_crash_recovery
+
+#: The CI seeds: 2 drives the longest log, 3 exercises amendments.
+CHAOS_SEEDS = (0, 2, 3)
+
+
+class TestQuickCampaign:
+    def test_capped_campaign_recovers_everywhere(self, tmp_path):
+        config = ChaosConfig(
+            seed=0,
+            duration=18.0,
+            history_duration=30.0,
+            max_log_points=6,
+            max_index_points=4,
+            n_sample_faults=4,
+        )
+        report = run_crash_recovery(config, workdir=tmp_path)
+        assert report.n_log_points == 6
+        assert report.n_byte_identical_recoveries == 6
+        assert report.n_index_points == 4
+        assert report.n_removal_points == 1
+        assert report.n_sample_faults == 4
+        assert report.n_oracle_checks > 0
+
+
+@pytest.mark.chaos
+@pytest.mark.slow
+class TestFullCampaign:
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_every_injection_point(self, seed, tmp_path):
+        report = run_crash_recovery(
+            ChaosConfig(seed=seed), workdir=tmp_path
+        )
+        # Every vertex-log write was killed and recovered byte-identically.
+        assert report.n_log_points == report.n_byte_identical_recoveries
+        assert report.n_log_points > 0
+        assert report.n_index_points > 0
+        assert report.n_removal_points == 1
+        assert report.n_sample_faults > 0
+        assert report.n_oracle_checks > 0
+
+    def test_amend_path_is_exercised(self, tmp_path):
+        """At least one campaign seed must crash inside ``log.amend`` —
+        otherwise the amendment recovery contract is untested."""
+        report = run_crash_recovery(
+            ChaosConfig(seed=3), workdir=tmp_path
+        )
+        assert any(site.startswith("log.amend#") for site in report.sites)

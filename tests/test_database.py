@@ -104,3 +104,21 @@ class TestPersistence:
         path.write_text('{"format": "something-else"}')
         with pytest.raises(ValueError):
             MotionDatabase.load(path)
+
+
+class TestRemovalEpoch:
+    def test_bumps_on_every_removal(self, db):
+        assert db.removal_epoch == 0
+        db.remove_stream("PA/S01")
+        assert db.removal_epoch == 1
+        db.remove_stream("PB/S00")
+        assert db.removal_epoch == 2
+
+    def test_failed_removal_does_not_bump(self, db):
+        with pytest.raises(KeyError):
+            db.remove_stream("PA/S99")
+        assert db.removal_epoch == 0
+
+    def test_additions_do_not_bump(self, db):
+        db.add_stream("PB", "S01", series=make_series(2))
+        assert db.removal_epoch == 0

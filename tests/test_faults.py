@@ -1,0 +1,107 @@
+"""Tests for the fault-injection machinery itself."""
+
+import pytest
+
+from repro.testing.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    SimulatedCrash,
+)
+
+
+class TestFaultPlan:
+    def test_duplicate_slot_rejected(self):
+        specs = [
+            FaultSpec("log.append", "crash", at=3),
+            FaultSpec("log.append", "torn_write", at=3),
+        ]
+        with pytest.raises(ValueError):
+            FaultPlan(specs)
+
+    def test_same_ordinal_different_sites_allowed(self):
+        plan = FaultPlan(
+            [
+                FaultSpec("log.append", "crash", at=3),
+                FaultSpec("index.catch_up", "crash", at=3),
+            ]
+        )
+        assert len(plan) == 2
+
+    def test_negative_ordinal_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("log.append", "crash", at=-1)
+
+    def test_crash_at(self):
+        plan = FaultPlan.crash_at("store.remove_stream", 5)
+        (spec,) = plan.specs
+        assert spec == FaultSpec("store.remove_stream", "crash", 5)
+
+    def test_seeded_is_replayable(self):
+        kwargs = dict(
+            seed=42,
+            site="online.observe",
+            kinds=("drop", "nan"),
+            n_faults=6,
+            horizon=100,
+        )
+        a, b = FaultPlan.seeded(**kwargs), FaultPlan.seeded(**kwargs)
+        assert a.specs == b.specs
+        assert len(a) == 6
+        assert all(0 <= s.at < 100 for s in a)
+        assert all(s.kind in ("drop", "nan") for s in a)
+        assert FaultPlan.seeded(**{**kwargs, "seed": 43}).specs != a.specs
+
+    def test_seeded_clamps_to_horizon(self):
+        plan = FaultPlan.seeded(
+            seed=0, site="x", kinds=("drop",), n_faults=50, horizon=4
+        )
+        assert len(plan) == 4
+        assert sorted(s.at for s in plan) == [0, 1, 2, 3]
+
+
+class TestFaultInjector:
+    def test_counts_arrivals_and_fires_on_ordinal(self):
+        plan = FaultPlan([FaultSpec("site", "drop", at=2)])
+        injector = FaultInjector(plan)
+        assert injector.fire("site") is None
+        assert injector.fire("site") is None
+        spec = injector.fire("site")
+        assert spec is not None and spec.at == 2
+        assert injector.fire("site") is None
+        assert injector.arrivals("site") == 4
+        assert injector.arrivals("other") == 0
+        assert injector.fired == [spec]
+        assert injector.exhausted
+
+    def test_crash_kind_raises(self):
+        injector = FaultInjector(FaultPlan.crash_at("site", 0))
+        with pytest.raises(SimulatedCrash) as exc:
+            injector.fire("site")
+        assert exc.value.spec.site == "site"
+        assert injector.fired  # journalled before the raise
+
+    def test_callback_runs_before_crash(self):
+        seen = []
+        injector = FaultInjector(
+            FaultPlan.crash_at("site", 0),
+            callbacks={"crash": lambda spec: seen.append(spec.at)},
+        )
+        with pytest.raises(SimulatedCrash):
+            injector.fire("site")
+        assert seen == [0]
+
+    def test_non_crash_kind_returned_for_site_to_interpret(self):
+        plan = FaultPlan([FaultSpec("site", "torn_write", at=0, payload=7.0)])
+        injector = FaultInjector(plan)
+        spec = injector.fire("site")
+        assert spec.kind == "torn_write"
+        assert spec.payload == 7.0
+
+    def test_each_spec_fires_once(self):
+        plan = FaultPlan([FaultSpec("site", "drop", at=0)])
+        injector = FaultInjector(plan)
+        assert injector.fire("site") is not None
+        for _ in range(5):
+            assert injector.fire("site") is None
+        assert len(injector.fired) == 1

@@ -126,3 +126,78 @@ class TestOnSegmentedStream:
                 amplitude = amp_monitor.update(vertex)
         assert rate is not None and 5.0 < rate < 40.0
         assert amplitude is not None and amplitude > 0.5
+
+
+class _ScriptedMonitor:
+    """Replays a fixed value sequence, one per update (edge-case probe)."""
+
+    def __init__(self, values):
+        self._values = iter(values)
+
+    def update(self, vertex):
+        return next(self._values)
+
+
+def _drive(alarm, values):
+    """Feed one synthetic vertex per scripted value; return the events."""
+    events = []
+    for i in range(len(values)):
+        event = alarm.update(Vertex(float(i), (0.0,), IN))
+        if event is not None:
+            events.append(event)
+    return events
+
+
+class TestThresholdAlarmHysteresisEdges:
+    def test_value_exactly_on_band_boundary_does_not_fire(self):
+        values = [10.0, 20.0, 15.0]
+        alarm = ThresholdAlarm(
+            _ScriptedMonitor(values), low=10.0, high=20.0, hysteresis=1.0
+        )
+        assert _drive(alarm, values) == []
+        assert not alarm.active
+
+    def test_value_just_outside_boundary_fires(self):
+        for values in ([9.999], [20.001]):
+            alarm = ThresholdAlarm(
+                _ScriptedMonitor(values), low=10.0, high=20.0
+            )
+            events = _drive(alarm, values)
+            assert [e.active for e in events] == [True]
+
+    def test_clears_exactly_at_hysteresis_margin(self):
+        # Active alarm: value == low + hysteresis is "well inside".
+        values = [5.0, 11.0]
+        alarm = ThresholdAlarm(
+            _ScriptedMonitor(values), low=10.0, high=20.0, hysteresis=1.0
+        )
+        events = _drive(alarm, values)
+        assert [e.active for e in events] == [True, False]
+        assert not alarm.active
+
+    def test_inside_band_but_within_margin_does_not_clear(self):
+        # 10.5 is back inside [10, 20] but not by the 1.0 margin: the
+        # alarm must hold (no chatter at the boundary).
+        values = [5.0, 10.5, 10.9]
+        alarm = ThresholdAlarm(
+            _ScriptedMonitor(values), low=10.0, high=20.0, hysteresis=1.0
+        )
+        events = _drive(alarm, values)
+        assert [e.active for e in events] == [True]
+        assert alarm.active
+
+    def test_rearms_after_recovery(self):
+        values = [5.0, 15.0, 25.0, 15.0, 5.0]
+        alarm = ThresholdAlarm(
+            _ScriptedMonitor(values), low=10.0, high=20.0, hysteresis=1.0
+        )
+        events = _drive(alarm, values)
+        assert [e.active for e in events] == [True, False, True, False, True]
+        assert alarm.active
+        assert [e.active for e in alarm.events] == [
+            True,
+            False,
+            True,
+            False,
+            True,
+        ]

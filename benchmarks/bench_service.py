@@ -1,0 +1,247 @@
+"""Session-service benchmark: shared vs per-session index catch-up.
+
+Serves N concurrent 30 Hz live sessions through the multi-tenant
+:class:`~repro.service.manager.SessionManager` (one shared matcher and
+signature index for the whole fleet) and compares against the pre-service
+deployment model — one fully independent
+:class:`~repro.core.online.OnlineAnalysisSession` per tenant, each
+paying to index the historical cohort separately.
+
+Measures, for the same interleaved frame schedule,
+
+* **shared serve** — the manager's tick loop (batched dispatch, shared
+  index catch-up) plus one latency-compensated prediction per tenant per
+  frame,
+* **solo serve** — the same frames and predictions through per-tenant
+  pipelines over per-tenant database copies,
+
+asserts the two produce **byte-identical** predictions (the service
+layer's isolation contract), and writes the machine-readable payload to
+``BENCH_service.json`` at the repo root, including the headline
+sessions/s-at-30-Hz capacity figure.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import json
+import platform
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.experiments import CohortConfig, build_cohort
+from repro.core.online import OnlineAnalysisSession, OnlineSessionConfig
+from repro.service.manager import SessionManager
+from repro.signals.respiratory import RespiratorySimulator, SessionConfig
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+LATENCY = 0.2  # seconds of look-ahead per served frame
+
+
+@dataclass(frozen=True)
+class Workload:
+    cohort: CohortConfig
+    n_tenants: int
+    live_duration: float
+
+
+FULL = Workload(
+    cohort=CohortConfig(
+        n_patients=8,
+        sessions_per_patient=3,
+        session_duration=120.0,
+        live_duration=60.0,
+        seed=1,
+    ),
+    n_tenants=6,
+    live_duration=40.0,
+)
+QUICK = Workload(
+    cohort=CohortConfig(
+        n_patients=4,
+        sessions_per_patient=2,
+        session_duration=60.0,
+        live_duration=40.0,
+        seed=1,
+    ),
+    n_tenants=3,
+    live_duration=20.0,
+)
+
+
+def build_workload(workload: Workload):
+    """Historical cohort + one fresh raw session per tenant."""
+    cohort = build_cohort(workload.cohort)
+    session_config = SessionConfig(duration=workload.live_duration)
+    raws = {}
+    for k, profile in enumerate(cohort.profiles[: workload.n_tenants]):
+        raws[profile.patient_id] = RespiratorySimulator(
+            profile, session_config
+        ).generate_session(9, seed=70 + k)
+    return cohort.db, raws
+
+
+def serve_shared(db, raws):
+    """All tenants through one SessionManager (timed)."""
+    manager = SessionManager(db)
+    by_stream = {}
+    for patient_id, raw in raws.items():
+        session = manager.open_session(
+            patient_id, "BENCH", config=OnlineSessionConfig()
+        )
+        by_stream[session.stream_id] = raw
+    times = next(iter(by_stream.values())).times
+    predictions = {sid: [] for sid in by_stream}
+
+    t0 = time.perf_counter()
+    for i, t in enumerate(times):
+        manager.tick(
+            float(t), {sid: raw.values[i] for sid, raw in by_stream.items()}
+        )
+        for sid in by_stream:
+            predictions[sid].append(manager.predict_ahead(sid, LATENCY))
+    elapsed = time.perf_counter() - t0
+
+    manager.close(keep_streams=False)
+    return elapsed, len(times), predictions
+
+
+def serve_solo(db, raws):
+    """Each tenant alone over its own database copy (timed).
+
+    The per-tenant deep copies model the pre-service deployment (one
+    process per room) and are *not* timed — only the serving loops are.
+    """
+    sessions = {}
+    for patient_id, raw in raws.items():
+        session = OnlineAnalysisSession(
+            copy.deepcopy(db), patient_id, "BENCH",
+            config=OnlineSessionConfig(),
+        )
+        sessions[session.stream_id] = (session, raw)
+    times = next(iter(raws.values())).times
+    predictions = {sid: [] for sid in sessions}
+
+    t0 = time.perf_counter()
+    for i, t in enumerate(times):
+        for sid, (session, raw) in sessions.items():
+            session.observe(float(t), raw.values[i])
+            predictions[sid].append(session.predict_ahead(LATENCY))
+    elapsed = time.perf_counter() - t0
+
+    for session, _ in sessions.values():
+        session.finish(keep_stream=False)
+    return elapsed, len(times), predictions
+
+
+def identical_predictions(a, b) -> bool:
+    if set(a) != set(b):
+        return False
+    for sid in a:
+        if len(a[sid]) != len(b[sid]):
+            return False
+        for x, y in zip(a[sid], b[sid]):
+            if (x is None) != (y is None):
+                return False
+            if x is not None and not np.array_equal(x, y):
+                return False
+    return True
+
+
+def run(quick: bool) -> dict:
+    workload = QUICK if quick else FULL
+    db, raws = build_workload(workload)
+    sample_rate = next(iter(raws.values())).sample_rate
+
+    t_shared, n_frames, p_shared = serve_shared(copy.deepcopy(db), raws)
+    t_solo, _, p_solo = serve_solo(db, raws)
+
+    identical = identical_predictions(p_shared, p_solo)
+    assert identical, "shared-index serving diverged from solo sessions"
+
+    n_tenants = len(raws)
+    frames_total = n_tenants * n_frames
+    n_served = sum(
+        sum(p is not None for p in series) for series in p_shared.values()
+    )
+    payload = {
+        "benchmark": "bench_service",
+        "mode": "quick" if quick else "full",
+        "python": platform.python_version(),
+        "workload": {
+            "n_patients": workload.cohort.n_patients,
+            "sessions_per_patient": workload.cohort.sessions_per_patient,
+            "n_historical_streams": db.n_streams,
+            "n_historical_vertices": db.n_vertices,
+            "n_tenants": n_tenants,
+            "live_duration_s": workload.live_duration,
+            "sample_rate_hz": sample_rate,
+            "n_frames_per_tenant": n_frames,
+            "n_predictions_served": n_served,
+        },
+        "timings_s": {
+            "shared_index_serve": t_shared,
+            "per_session_index_serve": t_solo,
+        },
+        "throughput": {
+            "shared_frames_per_s": frames_total / t_shared,
+            "solo_frames_per_s": frames_total / t_solo,
+            "shared_sessions_at_30hz": frames_total / t_shared / 30.0,
+            "solo_sessions_at_30hz": frames_total / t_solo / 30.0,
+        },
+        "speedup_shared_vs_solo": t_solo / t_shared,
+        "identical_predictions": identical,
+    }
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small cohort, three tenants (CI smoke run)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=OUTPUT,
+        help=f"where to write the JSON payload (default: {OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run(args.quick)
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+
+    workload = payload["workload"]
+    throughput = payload["throughput"]
+    print(
+        f"workload: {workload['n_tenants']} tenants x "
+        f"{workload['n_frames_per_tenant']} frames over "
+        f"{workload['n_historical_vertices']} historical vertices"
+    )
+    print(
+        f"shared index: {payload['timings_s']['shared_index_serve']:.2f} s "
+        f"({throughput['shared_sessions_at_30hz']:.0f} sessions @ 30 Hz)"
+    )
+    print(
+        f"  solo index: {payload['timings_s']['per_session_index_serve']:.2f} s "
+        f"({throughput['solo_sessions_at_30hz']:.0f} sessions @ 30 Hz)"
+    )
+    print(f"shared vs solo: {payload['speedup_shared_vs_solo']:.2f}x, "
+          f"identical predictions: {payload['identical_predictions']}")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -58,7 +58,18 @@ from .core.patient_distance import (
 )
 from .core.prediction import OnlinePredictor, Prediction
 from .core.stream_distance import StreamDistanceConfig, stream_distance
-from .database import MotionDatabase, StateSignatureIndex, StreamIngestor
+from .database import (
+    BACKEND_NAMES,
+    InMemoryBackend,
+    LoggedBackend,
+    MotionDatabase,
+    StateSignatureIndex,
+    StorageBackend,
+    StreamIngestor,
+    create_backend,
+)
+from .events import Event, EventBus
+from .service import Pipeline, PipelineBuilder, SessionManager
 from .signals import (
     PatientProfile,
     RawStream,
@@ -105,8 +116,19 @@ __all__ = [
     "silhouette_score",
     # database
     "MotionDatabase",
+    "StorageBackend",
+    "InMemoryBackend",
+    "LoggedBackend",
+    "BACKEND_NAMES",
+    "create_backend",
     "StreamIngestor",
     "StateSignatureIndex",
+    # events & service
+    "Event",
+    "EventBus",
+    "Pipeline",
+    "PipelineBuilder",
+    "SessionManager",
     # signals
     "PatientProfile",
     "generate_population",

@@ -16,13 +16,11 @@ from typing import Iterable
 import numpy as np
 
 from ..core.model import PLRSeries
-from ..core.prediction import OnlinePredictor
 from ..core.query import QueryConfig, fixed_query, generate_query
-from ..core.matching import SubsequenceMatcher
 from ..core.similarity import SimilarityParams
 from ..core.segmentation import OnlineSegmenter, SegmenterConfig
-from ..database.ingest import StreamIngestor
 from ..database.store import MotionDatabase
+from ..service.builder import PipelineBuilder
 from ..signals.respiratory import RawStream
 from .metrics import ErrorSummary, summarize_errors
 
@@ -167,19 +165,20 @@ def replay_session(
         Leave the segmented live stream in the database afterwards.
     """
     config = config or ReplayConfig()
-    ingestor = StreamIngestor(
-        db, raw.patient_id, session_id, config.segmenter
-    )
-    if config.prefilter_factory is not None:
-        ingestor.segmenter.prefilter = config.prefilter_factory()
-    matcher = SubsequenceMatcher(db, config.similarity, config.use_index)
-    predictor = OnlinePredictor(
+    builder = PipelineBuilder.from_replay_config(config)
+    pipeline = builder.build(
         db,
-        matcher,
-        min_matches=config.min_matches,
-        max_matches=config.max_matches,
-        anchor=config.anchor,
+        raw.patient_id,
+        session_id,
+        prefilter=(
+            config.prefilter_factory()
+            if config.prefilter_factory is not None
+            else None
+        ),
     )
+    ingestor = pipeline.ingestor
+    matcher = pipeline.matcher
+    predictor = pipeline.predictor
 
     pending: list[tuple[float, float, np.ndarray]] = []
     n_opportunities = 0

@@ -5,11 +5,14 @@ Small operational commands over the library::
     python -m repro simulate --patients 3 --sessions 2 --out cohort.json
     python -m repro inspect cohort.json
     python -m repro replay cohort.json --patient P000 --horizon 0.2
+    python -m repro serve-replay cohort.json --live 3 --latency 0.2
     python -m repro cluster cohort.json -k 3
 
 ``simulate`` builds a synthetic cohort database snapshot; ``inspect``
 summarises one; ``replay`` runs the online prediction pipeline for one
-patient's fresh session against it; ``cluster`` runs the offline
+patient's fresh session against it; ``serve-replay`` replays several
+patients *concurrently* through the multi-tenant session service (a
+smoke test of the service layer); ``cluster`` runs the offline
 Definition 3/4 + k-medoids analysis.
 """
 
@@ -25,10 +28,15 @@ __all__ = ["main", "build_parser"]
 
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Subsequence matching on structured time series data "
         "(SIGMOD 2005 reproduction).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -53,6 +61,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--duration", type=float, default=45.0)
     p_rep.add_argument("--horizon", type=float, default=0.2)
     p_rep.add_argument("--seed", type=int, default=99)
+
+    p_srv = sub.add_parser(
+        "serve-replay",
+        help="replay several patients concurrently through the "
+        "multi-tenant session service",
+    )
+    p_srv.add_argument("snapshot")
+    p_srv.add_argument("--live", type=int, default=3,
+                       help="number of concurrent live sessions")
+    p_srv.add_argument("--duration", type=float, default=30.0)
+    p_srv.add_argument("--latency", type=float, default=0.2,
+                       help="prediction look-ahead in seconds")
+    p_srv.add_argument("--seed", type=int, default=99)
 
     p_clu = sub.add_parser(
         "cluster", help="offline stream/patient clustering of a snapshot"
@@ -148,6 +169,69 @@ def _cmd_replay(args) -> int:
     return 0
 
 
+def _cmd_serve_replay(args) -> int:
+    from .database.store import MotionDatabase
+    from .service.manager import SessionManager
+    from .signals.patients import PatientProfile, traits_from_attributes
+    from .signals.respiratory import RespiratorySimulator, SessionConfig
+
+    db = MotionDatabase.load(args.snapshot)
+    candidates = [
+        p for p in db.iter_patients() if p.attributes is not None
+    ][: args.live]
+    if len(candidates) < args.live:
+        print(
+            f"error: snapshot has only {len(candidates)} patients with "
+            f"attributes, --live {args.live} requested",
+            file=sys.stderr,
+        )
+        return 2
+
+    # One fresh raw session per tenant; identical SessionConfig means one
+    # shared acquisition clock, so the manager can batch per tick.
+    session_config = SessionConfig(duration=args.duration)
+    raws = {}
+    for k, record in enumerate(candidates):
+        rng = np.random.default_rng(args.seed + k)
+        profile = PatientProfile(
+            record.attributes, traits_from_attributes(record.attributes, rng)
+        )
+        raws[record.patient_id] = RespiratorySimulator(
+            profile, session_config
+        ).generate_session(0, seed=args.seed + k)
+
+    manager = SessionManager(db)
+    by_stream = {}
+    for patient_id, raw in raws.items():
+        session = manager.open_session(patient_id, session_id="SERVE")
+        by_stream[session.stream_id] = raw
+
+    times = next(iter(by_stream.values())).times
+    n_predictions = {stream_id: 0 for stream_id in by_stream}
+    for i in range(len(times)):
+        t = float(times[i])
+        manager.tick(
+            t, {sid: raw.values[i] for sid, raw in by_stream.items()}
+        )
+        for stream_id in by_stream:
+            if manager.predict_ahead(stream_id, args.latency) is not None:
+                n_predictions[stream_id] += 1
+
+    for stream_id in by_stream:
+        session = manager.session(stream_id)
+        print(
+            f"{stream_id}: {len(session.ingestor.series)} vertices, "
+            f"{n_predictions[stream_id]}/{len(times)} frames predicted "
+            f"at {args.latency * 1000:.0f} ms"
+        )
+    manager.close(keep_streams=False)
+    print(
+        f"served {len(by_stream)} concurrent sessions over "
+        f"{db.n_streams} historical streams"
+    )
+    return 0
+
+
 def _cmd_cluster(args) -> int:
     from .core.clustering import cluster_members, kmedoids
     from .core.patient_distance import impute_infinite, patient_distance_matrix
@@ -166,6 +250,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "inspect": _cmd_inspect,
     "replay": _cmd_replay,
+    "serve-replay": _cmd_serve_replay,
     "cluster": _cmd_cluster,
 }
 

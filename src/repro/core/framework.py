@@ -25,14 +25,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..database.ingest import StreamIngestor
 from ..database.store import MotionDatabase
 from .fsm import FiniteStateAutomaton, respiratory_fsa
-from .matching import Match, SubsequenceMatcher
+from .matching import Match
 from .model import PLRSeries, Subsequence
-from .prediction import OnlinePredictor, Prediction
+from .prediction import Prediction
 from .query import QueryConfig, generate_query
-from .segmentation import OnlineSegmenter, SegmenterConfig
+from .segmentation import SegmenterConfig
 from .similarity import SimilarityParams
 
 __all__ = ["DomainSpec", "StructuredMotionAnalyzer"]
@@ -87,16 +86,22 @@ class StructuredMotionAnalyzer:
     def __init__(
         self, spec: DomainSpec, database: MotionDatabase | None = None
     ) -> None:
+        # Lazy import: repro.service imports core modules at package load.
+        from ..service.builder import PipelineBuilder
+
         self.spec = spec
         self.database = database if database is not None else MotionDatabase()
-        self.matcher = SubsequenceMatcher(self.database, spec.similarity)
-        self.predictor = OnlinePredictor(self.database, self.matcher)
+        self.builder = PipelineBuilder.from_domain(spec)
+        self.matcher = self.builder.build_matcher(self.database)
+        self.predictor = self.builder.build_predictor(
+            self.database, self.matcher
+        )
 
     # -- step 2: segmentation -----------------------------------------------
 
     def segment(self, times, values) -> PLRSeries:
         """Segment a complete raw signal offline under the domain's model."""
-        segmenter = OnlineSegmenter(self.spec.segmenter, self.spec.fsa.copy())
+        segmenter = self.builder.build_segmenter()
         segmenter.extend(np.asarray(times, dtype=float), np.asarray(values))
         segmenter.finish()
         return segmenter.series
@@ -111,13 +116,8 @@ class StructuredMotionAnalyzer:
         """
         if source_id not in self.database.patient_ids:
             self.database.add_patient(source_id)
-        ingestor = StreamIngestor(
-            self.database,
-            source_id,
-            session_id,
-            self.spec.segmenter,
-            metadata={"domain": self.spec.name},
-            fsa=self.spec.fsa.copy(),
+        ingestor = self.builder.build_ingestor(
+            self.database, source_id, session_id
         )
         ingestor.extend(np.asarray(times, dtype=float), np.asarray(values))
         ingestor.finish()

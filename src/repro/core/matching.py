@@ -116,6 +116,7 @@ class SubsequenceMatcher:
         threshold: float | None = None,
         max_matches: int | None = None,
         restrict_patients: Iterable[str] | None = None,
+        exclude_streams: Iterable[str] | None = None,
         params: SimilarityParams | None = None,
     ) -> list[Match]:
         """Similar subsequences for ``query``, closest first.
@@ -140,6 +141,13 @@ class SubsequenceMatcher:
         restrict_patients:
             When given, only streams of these patients are searched (the
             Figure 8a "prediction with clustering" mode).
+        exclude_streams:
+            Streams whose windows are never admissible.  The session
+            service masks the *other live tenants* this way: their
+            futures have not happened yet, and excluding them keeps each
+            tenant's retrieval byte-identical to running alone (the
+            ranking is deterministic, so removing foreign candidates
+            yields exactly the solo result).
         params:
             Per-call parameter override (ablation sweeps).
         """
@@ -152,6 +160,13 @@ class SubsequenceMatcher:
             return []
 
         mask = self._admissible(candidates, query, query_stream_id)
+        if exclude_streams is not None:
+            excluded = {str(s) for s in exclude_streams}
+            excluded.discard(str(query_stream_id))
+            if excluded:
+                mask &= np.asarray(
+                    [str(sid) not in excluded for sid in candidates.stream_ids]
+                )
         if restrict_patients is not None:
             allowed = set(restrict_patients)
             patient_of = self._patient_lookup(candidates.stream_ids)

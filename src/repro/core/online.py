@@ -11,20 +11,26 @@ This is the pattern a gating/tracking controller needs (predict at the
 imaging rate, 30 Hz, under a fixed system latency), with per-sample cost
 dominated by a weighted average over the retrieved matches — microseconds,
 far below the paper's 30 ms budget.
+
+Component wiring goes through
+:class:`~repro.service.builder.PipelineBuilder`; under a
+:class:`~repro.service.manager.SessionManager` the session instead
+*shares* the manager's matcher/index (``matcher=``) and masks the other
+live tenants' streams out of its retrievals (``exclude_streams=``), so
+multi-tenant results stay byte-identical to running alone.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-from ..database.ingest import StreamIngestor
 from ..database.store import MotionDatabase
+from ..events import EventBus
 from .matching import Match, SubsequenceMatcher
 from .model import Subsequence, Vertex
-from .prediction import OnlinePredictor
 from .query import QueryConfig, generate_query
 from .segmentation import SegmenterConfig
 from .similarity import SimilarityParams
@@ -82,6 +88,20 @@ class OnlineAnalysisSession:
         ``"online.observe"`` site fires once per raw sample and may
         drop, duplicate, reorder or NaN-corrupt it; the injector is also
         forwarded to the matcher's signature index.
+    matcher:
+        Optional shared matcher (the session service's shared signature
+        index); the session builds its own when omitted.  Per-session
+        similarity parameters are passed through explicitly on every
+        call, so sharing is safe across differently-configured tenants.
+    events:
+        Optional session :class:`~repro.events.EventBus`; the session
+        publishes ``query_refreshed`` and ``prediction_served``, and its
+        ingestor publishes ``vertex_committed`` / ``vertex_amended``.
+    exclude_streams:
+        Streams masked out of every retrieval — an iterable, or a
+        zero-argument callable returning one (the session service passes
+        the live-tenant set this way so it is re-evaluated per lookup).
+        The session's own stream is never excluded.
 
     Robustness
     ----------
@@ -103,25 +123,33 @@ class OnlineAnalysisSession:
         prefilter=None,
         vertex_log=None,
         injector=None,
+        matcher: SubsequenceMatcher | None = None,
+        events: EventBus | None = None,
+        exclude_streams: Iterable[str] | Callable[[], Iterable[str]] | None = None,
     ) -> None:
+        # Lazy import: repro.service imports this module at package load.
+        from ..service.builder import PipelineBuilder
+
         self.config = config or OnlineSessionConfig()
         self.db = db
         self.injector = injector
-        self.ingestor = StreamIngestor(
+        self.events = events
+        self._exclude_streams = exclude_streams
+        builder = PipelineBuilder.from_session_config(self.config)
+        self.ingestor = builder.build_ingestor(
             db,
             patient_id,
             session_id,
-            self.config.segmenter,
             vertex_log=vertex_log,
+            events=events,
+            prefilter=prefilter,
         )
-        if prefilter is not None:
-            self.ingestor.segmenter.prefilter = prefilter
-        self.matcher = SubsequenceMatcher(
-            db, self.config.similarity, injector=injector
+        self.matcher = (
+            matcher
+            if matcher is not None
+            else builder.build_matcher(db, injector=injector)
         )
-        self.predictor = OnlinePredictor(
-            db, self.matcher, min_matches=self.config.min_matches
-        )
+        self.predictor = builder.build_predictor(db, self.matcher)
         self._query: Subsequence | None = None
         self._matches: list[Match] = []
         self._now: float | None = None
@@ -144,6 +172,16 @@ class OnlineAnalysisSession:
     def matches(self) -> list[Match]:
         """Matches of the current query (refreshed at each vertex)."""
         return list(self._matches)
+
+    def _excluded(self) -> list[str] | None:
+        """The retrieval exclusion set, resolved per lookup."""
+        exclude = self._exclude_streams
+        if exclude is None:
+            return None
+        if callable(exclude):
+            exclude = exclude()
+        excluded = [sid for sid in exclude if sid != self.stream_id]
+        return excluded or None
 
     def observe(
         self, t: float, position: Sequence[float] | float
@@ -197,9 +235,20 @@ class OnlineAnalysisSession:
                     self.stream_id,
                     max_matches=self.config.max_matches,
                     restrict_patients=self.config.restrict_patients,
+                    exclude_streams=self._excluded(),
+                    params=self.config.similarity,
                 )
             else:
                 self._matches = []
+            if self.events is not None:
+                self.events.publish(
+                    "query_refreshed",
+                    stream_id=self.stream_id,
+                    n_vertices=(
+                        self._query.n_vertices if self._query is not None else 0
+                    ),
+                    n_matches=len(self._matches),
+                )
         return committed
 
     def predict_at(self, target_time: float) -> np.ndarray | None:
@@ -218,7 +267,19 @@ class OnlineAnalysisSession:
         usable = self.predictor.with_known_future(self._matches, horizon)
         if len(usable) < self.config.min_matches:
             return None
-        return self.predictor.combine(self._query, usable, horizon)
+        position = self.predictor.combine(
+            self._query, usable, horizon, params=self.config.similarity
+        )
+        if self.events is not None:
+            self.events.publish(
+                "prediction_served",
+                stream_id=self.stream_id,
+                time=target_time,
+                horizon=horizon,
+                position=position,
+                n_matches=len(usable),
+            )
+        return position
 
     def predict_ahead(self, latency: float) -> np.ndarray | None:
         """Predicted position ``latency`` seconds after the latest sample.

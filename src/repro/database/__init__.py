@@ -1,10 +1,19 @@
 """Hierarchical motion-stream database substrate.
 
 Implements the paper's Section 3.2 data model: patients own session
-streams, streams are PLR vertex lists.  Includes streaming ingestion and
-the state-signature index (the paper's future-work indexing extension).
+streams, streams are PLR vertex lists.  Includes pluggable storage
+backends (volatile in-memory and durable vertex-logged), streaming
+ingestion and the state-signature index (the paper's future-work
+indexing extension).
 """
 
+from .backend import (
+    BACKEND_NAMES,
+    InMemoryBackend,
+    LoggedBackend,
+    StorageBackend,
+    create_backend,
+)
 from .index import CandidateSet, StateSignatureIndex
 from .ingest import StreamIngestor
 from .log import VertexLogWriter, read_vertex_log
@@ -13,6 +22,11 @@ from .store import MotionDatabase
 
 __all__ = [
     "MotionDatabase",
+    "StorageBackend",
+    "InMemoryBackend",
+    "LoggedBackend",
+    "BACKEND_NAMES",
+    "create_backend",
     "PatientRecord",
     "StreamRecord",
     "StreamIngestor",

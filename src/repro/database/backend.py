@@ -1,0 +1,496 @@
+"""Pluggable storage backends for the motion-stream database.
+
+:class:`~repro.database.store.MotionDatabase` is a thin facade; the
+actual record keeping lives behind the :class:`StorageBackend` protocol
+so retrieval, the signature index and the service layer are all
+storage-agnostic (the Generic Subsequence Matching Framework argument:
+stable interfaces between storage, distance and retrieval).
+
+Two implementations ship:
+
+* :class:`InMemoryBackend` — the original dict-backed hierarchy; fast,
+  volatile, the default.
+* :class:`LoggedBackend` — durable: every stream is journalled to an
+  append-only vertex log (reusing
+  :class:`~repro.database.log.VertexLogWriter` /
+  :func:`~repro.database.log.read_vertex_log`) plus an atomically
+  rewritten JSON manifest for patients/stream identity, so a database
+  directory can be **reopened** after a crash and replayed back to the
+  exact committed state (torn tails are healed on reopen).
+
+Every mutation is published on the backend's
+:class:`~repro.events.EventBus` (``patient_added``, ``stream_added``,
+``stream_removed``), which is how the signature index learns about
+removals instead of being poked manually.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from ..core.model import PLRSeries, Vertex
+from ..events import EventBus
+from ..signals.patients import PatientAttributes
+from .log import VertexLogWriter, read_vertex_log
+from .records import PatientRecord, StreamRecord
+
+__all__ = [
+    "StorageBackend",
+    "InMemoryBackend",
+    "LoggedBackend",
+    "BACKEND_NAMES",
+    "create_backend",
+    "atomic_write_text",
+]
+
+_MANIFEST_FORMAT = "repro.loggeddb/v1"
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Write ``text`` to ``path`` crash-safely.
+
+    The payload goes to a temporary file in the *target directory* (same
+    filesystem, so the final rename cannot cross devices) and is moved
+    into place with :func:`os.replace` — readers see either the old
+    complete file or the new complete file, never a torn prefix.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def _attributes_payload(attributes: PatientAttributes | None) -> dict | None:
+    if attributes is None:
+        return None
+    return {
+        "patient_id": attributes.patient_id,
+        "age": attributes.age,
+        "sex": attributes.sex,
+        "tumor_site": attributes.tumor_site,
+        "pathology": attributes.pathology,
+        "tumor_type": attributes.tumor_type,
+    }
+
+
+class StorageBackend(ABC):
+    """The storage contract the :class:`MotionDatabase` facade needs.
+
+    Concrete backends own the patient/stream records, the removal-epoch
+    counter and an :class:`~repro.events.EventBus` publishing
+    ``patient_added`` / ``stream_added`` / ``stream_removed`` mutation
+    events.  Vertex *commits* flow through :meth:`commit_vertices` /
+    :meth:`amend_vertex` — no-ops for volatile backends (the live series
+    object is shared with the segmenter), journal appends for durable
+    ones.
+    """
+
+    events: EventBus
+    injector: object | None
+
+    # -- writes ---------------------------------------------------------------
+
+    @abstractmethod
+    def add_patient(
+        self, patient_id: str, attributes: PatientAttributes | None = None
+    ) -> PatientRecord:
+        """Create a patient record; the id must be new."""
+
+    @abstractmethod
+    def add_stream(
+        self,
+        patient_id: str,
+        session_id: str,
+        series: PLRSeries | None = None,
+        stream_id: str | None = None,
+        metadata: dict | None = None,
+    ) -> StreamRecord:
+        """Attach a stream to an existing patient."""
+
+    @abstractmethod
+    def remove_stream(self, stream_id: str) -> None:
+        """Delete a stream record (atomic with respect to crashes)."""
+
+    def commit_vertices(
+        self, stream_id: str, vertices: Iterable[Vertex]
+    ) -> None:
+        """Journal vertices committed to a live stream (durability hook)."""
+
+    def amend_vertex(self, stream_id: str, vertex: Vertex) -> None:
+        """Journal a re-label of a live stream's most recent vertex."""
+
+    def close(self) -> None:
+        """Release any resources (open journal files)."""
+
+    # -- reads ----------------------------------------------------------------
+
+    @abstractmethod
+    def patient(self, patient_id: str) -> PatientRecord:
+        """The record for ``patient_id`` (KeyError when unknown)."""
+
+    @abstractmethod
+    def stream(self, stream_id: str) -> StreamRecord:
+        """The record for ``stream_id`` (KeyError when unknown)."""
+
+    @abstractmethod
+    def __contains__(self, stream_id: str) -> bool: ...
+
+    @abstractmethod
+    def iter_patients(self) -> Iterator[PatientRecord]:
+        """Patient records in insertion order."""
+
+    @abstractmethod
+    def iter_streams(self) -> Iterator[StreamRecord]:
+        """Stream records in insertion order."""
+
+    @property
+    @abstractmethod
+    def patient_ids(self) -> tuple[str, ...]: ...
+
+    @property
+    @abstractmethod
+    def stream_ids(self) -> tuple[str, ...]: ...
+
+    @property
+    @abstractmethod
+    def removal_epoch(self) -> int:
+        """Counter bumped on every stream removal (index invalidation)."""
+
+
+class InMemoryBackend(StorageBackend):
+    """Dict-backed hierarchy: patients -> session streams -> PLR.
+
+    Parameters
+    ----------
+    injector:
+        Optional fault injector (chaos tests only).  The
+        ``"store.remove_stream"`` site fires at the top of
+        :meth:`remove_stream`, *before* any mutation, so a simulated
+        crash there leaves the store untouched — removal is atomic with
+        respect to injected crashes.
+    """
+
+    def __init__(self, injector=None) -> None:
+        self._patients: dict[str, PatientRecord] = {}
+        self._streams: dict[str, StreamRecord] = {}
+        self._removal_epoch = 0
+        self.injector = injector
+        self.events = EventBus()
+
+    # -- writes ---------------------------------------------------------------
+
+    def add_patient(
+        self, patient_id: str, attributes: PatientAttributes | None = None
+    ) -> PatientRecord:
+        if patient_id in self._patients:
+            raise KeyError(f"patient {patient_id!r} already exists")
+        record = PatientRecord(patient_id, attributes)
+        self._patients[patient_id] = record
+        self.events.publish("patient_added", patient_id=patient_id)
+        return record
+
+    def add_stream(
+        self,
+        patient_id: str,
+        session_id: str,
+        series: PLRSeries | None = None,
+        stream_id: str | None = None,
+        metadata: dict | None = None,
+    ) -> StreamRecord:
+        patient = self._patients.get(patient_id)
+        if patient is None:
+            raise KeyError(f"unknown patient {patient_id!r}")
+        stream_id = stream_id or f"{patient_id}/{session_id}"
+        if stream_id in self._streams:
+            raise KeyError(f"stream {stream_id!r} already exists")
+        record = StreamRecord(
+            stream_id=stream_id,
+            patient_id=patient_id,
+            session_id=session_id,
+            series=series if series is not None else PLRSeries(),
+            metadata=metadata or {},
+        )
+        patient.streams[stream_id] = record
+        self._streams[stream_id] = record
+        self.events.publish(
+            "stream_added", stream_id=stream_id, patient_id=patient_id
+        )
+        return record
+
+    def remove_stream(self, stream_id: str) -> None:
+        """Delete a stream record.
+
+        The removal (both dict pops and the epoch bump) happens entirely
+        after the injection point, so a simulated crash never leaves the
+        store half-mutated.
+        """
+        if self.injector is not None:
+            self.injector.fire("store.remove_stream")
+        record = self._streams.pop(stream_id, None)
+        if record is None:
+            raise KeyError(f"unknown stream {stream_id!r}")
+        del self._patients[record.patient_id].streams[stream_id]
+        self._removal_epoch += 1
+        self.events.publish(
+            "stream_removed",
+            stream_id=stream_id,
+            patient_id=record.patient_id,
+        )
+
+    # -- reads ----------------------------------------------------------------
+
+    def patient(self, patient_id: str) -> PatientRecord:
+        try:
+            return self._patients[patient_id]
+        except KeyError:
+            raise KeyError(f"unknown patient {patient_id!r}") from None
+
+    def stream(self, stream_id: str) -> StreamRecord:
+        try:
+            return self._streams[stream_id]
+        except KeyError:
+            raise KeyError(f"unknown stream {stream_id!r}") from None
+
+    def __contains__(self, stream_id: str) -> bool:
+        return stream_id in self._streams
+
+    def iter_patients(self) -> Iterator[PatientRecord]:
+        return iter(self._patients.values())
+
+    def iter_streams(self) -> Iterator[StreamRecord]:
+        return iter(self._streams.values())
+
+    @property
+    def patient_ids(self) -> tuple[str, ...]:
+        return tuple(self._patients)
+
+    @property
+    def stream_ids(self) -> tuple[str, ...]:
+        return tuple(self._streams)
+
+    @property
+    def removal_epoch(self) -> int:
+        return self._removal_epoch
+
+
+class LoggedBackend(InMemoryBackend):
+    """Durable backend: in-memory reads, vertex-log + manifest writes.
+
+    Layout of ``directory``::
+
+        manifest.json          # patients + stream identity (atomic rewrite)
+        stream-00000.jsonl     # one vertex log per stream
+        stream-00001.jsonl
+
+    * ``add_patient`` / ``add_stream`` / ``remove_stream`` rewrite the
+      manifest through a temp-file + :func:`os.replace` dance, so a
+      crash never leaves a torn manifest.
+    * ``add_stream`` journals any pre-existing vertices of the series,
+      then keeps the log open; live commits arrive through
+      :meth:`commit_vertices` / :meth:`amend_vertex` (the ingestor's
+      event-bus path) and are flushed per record.
+    * Constructing a ``LoggedBackend`` over a directory that already
+      holds a manifest **reopens** it: logs are replayed via
+      :func:`read_vertex_log`, a torn final record (crash mid-write) is
+      healed by rewriting the clean prefix, and the logs are reopened
+      for further appends.
+
+    Parameters
+    ----------
+    directory:
+        The database directory (created if missing).
+    injector:
+        Optional fault injector, forwarded to the reopened log writers
+        (chaos tests only).
+    """
+
+    def __init__(self, directory: str | Path, injector=None) -> None:
+        super().__init__(injector)
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._writers: dict[str, VertexLogWriter] = {}
+        self._files: dict[str, str] = {}
+        self._counter = 0
+        if self._manifest_path.exists():
+            self._reopen()
+
+    @property
+    def _manifest_path(self) -> Path:
+        return self.directory / "manifest.json"
+
+    # -- manifest -------------------------------------------------------------
+
+    def _write_manifest(self) -> None:
+        payload = {
+            "format": _MANIFEST_FORMAT,
+            "counter": self._counter,
+            "patients": [
+                {
+                    "patient_id": patient.patient_id,
+                    "attributes": _attributes_payload(patient.attributes),
+                }
+                for patient in self.iter_patients()
+            ],
+            "streams": [
+                {
+                    "stream_id": record.stream_id,
+                    "patient_id": record.patient_id,
+                    "session_id": record.session_id,
+                    "metadata": record.metadata,
+                    "file": self._files[record.stream_id],
+                }
+                for record in self.iter_streams()
+            ],
+        }
+        atomic_write_text(self._manifest_path, json.dumps(payload))
+
+    def _reopen(self) -> None:
+        """Rebuild the in-memory state from the manifest and the logs."""
+        payload = json.loads(self._manifest_path.read_text())
+        if payload.get("format") != _MANIFEST_FORMAT:
+            raise ValueError("not a repro logged-database manifest")
+        self._counter = int(payload.get("counter", 0))
+        for patient_payload in payload["patients"]:
+            attrs_payload = patient_payload.get("attributes")
+            attributes = (
+                PatientAttributes(**attrs_payload) if attrs_payload else None
+            )
+            super().add_patient(patient_payload["patient_id"], attributes)
+        for stream_payload in payload["streams"]:
+            stream_id = stream_payload["stream_id"]
+            file_name = stream_payload["file"]
+            path = self.directory / file_name
+            recovered = read_vertex_log(path)
+            if recovered.truncated:
+                self._heal_torn_log(path, recovered.header, recovered.series)
+            super().add_stream(
+                patient_id=stream_payload["patient_id"],
+                session_id=stream_payload["session_id"],
+                series=recovered.series,
+                stream_id=stream_id,
+                metadata=stream_payload.get("metadata", {}),
+            )
+            self._files[stream_id] = file_name
+            self._writers[stream_id] = VertexLogWriter(
+                path, injector=self.injector, append=True
+            )
+
+    @staticmethod
+    def _heal_torn_log(
+        path: Path, header: dict, series: PLRSeries
+    ) -> None:
+        """Rewrite a crash-torn log as its cleanly recovered prefix."""
+        lines = [json.dumps(header)]
+        for vertex in series:
+            lines.append(
+                json.dumps(
+                    {
+                        "t": vertex.time,
+                        "p": list(vertex.position),
+                        "s": int(vertex.state),
+                    }
+                )
+            )
+        atomic_write_text(path, "\n".join(lines) + "\n")
+
+    # -- writes ---------------------------------------------------------------
+
+    def add_patient(
+        self, patient_id: str, attributes: PatientAttributes | None = None
+    ) -> PatientRecord:
+        record = super().add_patient(patient_id, attributes)
+        self._write_manifest()
+        return record
+
+    def add_stream(
+        self,
+        patient_id: str,
+        session_id: str,
+        series: PLRSeries | None = None,
+        stream_id: str | None = None,
+        metadata: dict | None = None,
+    ) -> StreamRecord:
+        record = super().add_stream(
+            patient_id, session_id, series, stream_id, metadata
+        )
+        file_name = f"stream-{self._counter:05d}.jsonl"
+        self._counter += 1
+        self._files[record.stream_id] = file_name
+        writer = VertexLogWriter(
+            self.directory / file_name,
+            stream_id=record.stream_id,
+            patient_id=record.patient_id,
+            injector=self.injector,
+        )
+        self._writers[record.stream_id] = writer
+        if len(record.series):
+            writer.extend(record.series)
+        self._write_manifest()
+        return record
+
+    def remove_stream(self, stream_id: str) -> None:
+        super().remove_stream(stream_id)
+        writer = self._writers.pop(stream_id, None)
+        if writer is not None:
+            writer.close()
+        file_name = self._files.pop(stream_id, None)
+        if file_name is not None:
+            try:
+                (self.directory / file_name).unlink()
+            except OSError:
+                pass  # the manifest no longer references it
+        self._write_manifest()
+
+    def commit_vertices(
+        self, stream_id: str, vertices: Iterable[Vertex]
+    ) -> None:
+        writer = self._writers.get(stream_id)
+        if writer is not None:
+            writer.extend(vertices)
+
+    def amend_vertex(self, stream_id: str, vertex: Vertex) -> None:
+        writer = self._writers.get(stream_id)
+        if writer is not None:
+            writer.amend(vertex)
+
+    def close(self) -> None:
+        for writer in self._writers.values():
+            writer.close()
+        self._writers.clear()
+
+
+#: Registry of constructible backend names (CI parametrises over these).
+BACKEND_NAMES = ("in_memory", "logged")
+
+
+def create_backend(
+    name: str, directory: str | Path | None = None, injector=None
+) -> StorageBackend:
+    """Build a backend by registry name.
+
+    ``"in_memory"`` ignores ``directory``; ``"logged"`` requires it.
+    """
+    if name == "in_memory":
+        return InMemoryBackend(injector)
+    if name == "logged":
+        if directory is None:
+            raise ValueError("the logged backend needs a directory")
+        return LoggedBackend(directory, injector)
+    raise ValueError(f"unknown backend {name!r} (choose from {BACKEND_NAMES})")

@@ -419,6 +419,31 @@ class StateSignatureIndex:
         self.injector = injector
         self._by_length: dict[int, _LengthIndex] = {}
         self._removal_epoch = database.removal_epoch
+        events = getattr(database, "events", None)
+        if events is not None:
+            # Weak subscription: the database's long-lived bus must not
+            # keep a short-lived (e.g. per-replay) index alive.
+            events.subscribe(
+                "stream_removed", self._on_stream_removed, weak=True
+            )
+
+    def _on_stream_removed(self, event) -> None:
+        """Backend mutation event: drop length indexes holding the stream.
+
+        This is the push-path counterpart of :meth:`_check_removals`,
+        delivered synchronously by the backend's event bus at removal
+        time; the epoch poll stays as a fallback for indexes wired to a
+        database whose bus was reset (e.g. after ``copy.deepcopy``).
+        """
+        stream_id = event["stream_id"]
+        stale = [
+            n
+            for n, length_index in self._by_length.items()
+            if stream_id in length_index.indexed_streams
+        ]
+        for n in stale:
+            del self._by_length[n]
+        self._removal_epoch = self.database.removal_epoch
 
     def candidates(self, signature) -> CandidateSet | None:
         """All windows whose segment states equal ``signature``.

@@ -5,6 +5,14 @@ the database stream record's series, so every committed vertex is visible
 to matchers and the signature index immediately — the paper's online
 scenario where the motion signal "is analyzed immediately for treatment
 and also saved in a database for future study".
+
+Commit fan-out happens here, in a fixed order per commit: first the
+database's durability hook (a no-op for the in-memory backend, a journal
+append for the logged one), then the directly attached vertex log (if
+any), then a ``vertex_committed`` / ``vertex_amended`` event on the
+session bus — so subscribers like the chaos harness's log writer observe
+commits at exactly the execution point the hard-wired call used to
+occupy, and injected crashes propagate identically.
 """
 
 from __future__ import annotations
@@ -15,6 +23,7 @@ import numpy as np
 
 from ..core.model import PLRSeries, Vertex
 from ..core.segmentation import OnlineSegmenter, SegmenterConfig
+from ..events import EventBus
 from .store import MotionDatabase
 
 __all__ = ["StreamIngestor"]
@@ -40,6 +49,10 @@ class StreamIngestor:
         committed vertex is appended to it, and every gate re-label of an
         already-committed vertex is journalled as an amendment, so crash
         replay reproduces the live series exactly.
+    events:
+        Optional session :class:`~repro.events.EventBus`; commits publish
+        ``vertex_committed`` (``stream_id``, ``vertices``) and gate
+        re-labels publish ``vertex_amended`` (``stream_id``, ``vertex``).
     """
 
     def __init__(
@@ -51,14 +64,13 @@ class StreamIngestor:
         metadata: dict | None = None,
         fsa=None,
         vertex_log=None,
+        events: EventBus | None = None,
     ) -> None:
         self.database = database
+        self.events = events
         self.segmenter = OnlineSegmenter(config, fsa)
         self.vertex_log = vertex_log
-        if vertex_log is not None:
-            amend = getattr(vertex_log, "amend", None)
-            if amend is not None:
-                self.segmenter.on_amend = amend
+        self.segmenter.on_amend = self._on_amend
         self.record = database.add_stream(
             patient_id=patient_id,
             session_id=session_id,
@@ -76,13 +88,35 @@ class StreamIngestor:
         """The live PLR (shared with the stream record)."""
         return self.segmenter.series
 
+    def _on_commit(self, committed: list[Vertex]) -> None:
+        """Fan a batch of committed vertices out to every sink, in order."""
+        self.database.commit_vertices(self.stream_id, committed)
+        if self.vertex_log is not None:
+            self.vertex_log.extend(committed)
+        if self.events is not None:
+            self.events.publish(
+                "vertex_committed",
+                stream_id=self.stream_id,
+                vertices=tuple(committed),
+            )
+
+    def _on_amend(self, vertex: Vertex) -> None:
+        """Segmenter gate re-label of the most recently committed vertex."""
+        self.database.amend_vertex(self.stream_id, vertex)
+        if self.vertex_log is not None:
+            self.vertex_log.amend(vertex)
+        if self.events is not None:
+            self.events.publish(
+                "vertex_amended", stream_id=self.stream_id, vertex=vertex
+            )
+
     def add_point(
         self, t: float, position: Sequence[float] | float
     ) -> list[Vertex]:
         """Ingest one raw sample; return vertices committed by it."""
         committed = self.segmenter.add_point(t, position)
-        if self.vertex_log is not None and committed:
-            self.vertex_log.extend(committed)
+        if committed:
+            self._on_commit(committed)
         return committed
 
     def extend(self, times: Sequence[float], values: np.ndarray) -> list[Vertex]:
@@ -98,6 +132,6 @@ class StreamIngestor:
     def finish(self) -> list[Vertex]:
         """Close the trailing open segment at end of session."""
         closed = self.segmenter.finish()
-        if self.vertex_log is not None and closed:
-            self.vertex_log.extend(closed)
+        if closed:
+            self._on_commit(closed)
         return closed

@@ -70,7 +70,8 @@ class VertexLogWriter:
     Parameters
     ----------
     path:
-        Log file path (created/truncated).
+        Log file path (created/truncated, or appended to with
+        ``append=True``).
     stream_id / patient_id:
         Identity written to the header for recovery bookkeeping.
     injector:
@@ -78,6 +79,10 @@ class VertexLogWriter:
         ``"log.append"`` and ``"log.amend"`` fire per record and may tear
         the write (``torn_write``), lose it entirely (``fsync_loss``) or
         crash after it is durable (``crash``).
+    append:
+        Reopen an existing log for further appends instead of starting a
+        fresh one; the header must already be on disk (the
+        :class:`~repro.database.backend.LoggedBackend` reopen path).
     """
 
     def __init__(
@@ -86,17 +91,19 @@ class VertexLogWriter:
         stream_id: str = "",
         patient_id: str = "",
         injector=None,
+        append: bool = False,
     ) -> None:
         self.path = Path(path)
         self.injector = injector
-        self._handle: IO[str] | None = self.path.open("w")
-        header = {
-            "format": _FORMAT,
-            "stream_id": stream_id,
-            "patient_id": patient_id,
-        }
-        self._handle.write(json.dumps(header) + "\n")
-        self._handle.flush()
+        self._handle: IO[str] | None = self.path.open("a" if append else "w")
+        if not append:
+            header = {
+                "format": _FORMAT,
+                "stream_id": stream_id,
+                "patient_id": patient_id,
+            }
+            self._handle.write(json.dumps(header) + "\n")
+            self._handle.flush()
         self.n_written = 0
         self.n_amended = 0
 

@@ -1,44 +1,76 @@
 """The hierarchical motion-stream database (Section 3.2).
 
-:class:`MotionDatabase` stores patient records, each holding session
-streams of PLR vertices.  It answers the provenance question Definition 2
+:class:`MotionDatabase` answers the provenance question Definition 2
 needs (is a candidate from the query's own session, the same patient, or
-another patient?), iterates streams for the offline analyses, and persists
-to a portable JSON snapshot.
+another patient?), iterates streams for the offline analyses, and
+persists to a portable JSON snapshot.
+
+Record keeping itself lives behind a pluggable
+:class:`~repro.database.backend.StorageBackend`: the facade delegates
+every read and mutation, so the matcher, index and service layer are
+storage-agnostic and the same database API runs volatile
+(:class:`~repro.database.backend.InMemoryBackend`, the default) or
+durable (:class:`~repro.database.backend.LoggedBackend`).
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from ..core.model import BreathingState, PLRSeries, Vertex
 from ..core.similarity import SourceRelation
+from ..events import EventBus
 from ..signals.patients import PatientAttributes
+from .backend import InMemoryBackend, StorageBackend, atomic_write_text
 from .records import PatientRecord, StreamRecord
 
 __all__ = ["MotionDatabase"]
 
 
 class MotionDatabase:
-    """In-memory hierarchical store: patients -> session streams -> PLR.
+    """Hierarchical store facade: patients -> session streams -> PLR.
 
     Parameters
     ----------
     injector:
-        Optional fault injector (chaos tests only).  The
-        ``"store.remove_stream"`` site fires at the top of
-        :meth:`remove_stream`, *before* any mutation, so a simulated
-        crash there leaves the store untouched — removal is atomic with
-        respect to injected crashes.
+        Optional fault injector (chaos tests only), forwarded to the
+        backend; see
+        :meth:`~repro.database.backend.InMemoryBackend.remove_stream`
+        for the atomicity contract.
+    backend:
+        The storage implementation.  Defaults to a fresh
+        :class:`~repro.database.backend.InMemoryBackend`.
     """
 
-    def __init__(self, injector=None) -> None:
-        self._patients: dict[str, PatientRecord] = {}
-        self._streams: dict[str, StreamRecord] = {}
-        self._removal_epoch = 0
-        self.injector = injector
+    def __init__(
+        self, injector=None, backend: StorageBackend | None = None
+    ) -> None:
+        if backend is None:
+            backend = InMemoryBackend(injector)
+        elif injector is not None:
+            backend.injector = injector
+        self._backend = backend
+
+    @property
+    def backend(self) -> StorageBackend:
+        """The storage implementation behind this facade."""
+        return self._backend
+
+    @property
+    def events(self) -> EventBus:
+        """The backend's mutation-event bus (see :mod:`repro.events`)."""
+        return self._backend.events
+
+    @property
+    def injector(self):
+        """The backend's fault injector (chaos tests only)."""
+        return self._backend.injector
+
+    @injector.setter
+    def injector(self, injector) -> None:
+        self._backend.injector = injector
 
     # -- writes ---------------------------------------------------------------
 
@@ -48,11 +80,7 @@ class MotionDatabase:
         attributes: PatientAttributes | None = None,
     ) -> PatientRecord:
         """Create a patient record; id must be new."""
-        if patient_id in self._patients:
-            raise KeyError(f"patient {patient_id!r} already exists")
-        record = PatientRecord(patient_id, attributes)
-        self._patients[patient_id] = record
-        return record
+        return self._backend.add_patient(patient_id, attributes)
 
     def add_stream(
         self,
@@ -79,56 +107,45 @@ class MotionDatabase:
         metadata:
             Free-form annotations stored on the record.
         """
-        patient = self._patients.get(patient_id)
-        if patient is None:
-            raise KeyError(f"unknown patient {patient_id!r}")
-        stream_id = stream_id or f"{patient_id}/{session_id}"
-        if stream_id in self._streams:
-            raise KeyError(f"stream {stream_id!r} already exists")
-        record = StreamRecord(
-            stream_id=stream_id,
-            patient_id=patient_id,
-            session_id=session_id,
-            series=series if series is not None else PLRSeries(),
-            metadata=metadata or {},
+        return self._backend.add_stream(
+            patient_id, session_id, series, stream_id, metadata
         )
-        patient.streams[stream_id] = record
-        self._streams[stream_id] = record
-        return record
 
     def remove_stream(self, stream_id: str) -> None:
-        """Delete a stream record.
+        """Delete a stream record (atomic with respect to crashes)."""
+        self._backend.remove_stream(stream_id)
 
-        The removal (both dict pops and the epoch bump) happens entirely
-        after the injection point, so a simulated crash never leaves the
-        store half-mutated.
+    def commit_vertices(
+        self, stream_id: str, vertices: Iterable[Vertex]
+    ) -> None:
+        """Journal vertices committed to a live stream (durability hook).
+
+        No-op on volatile backends — the live series object is already
+        shared with the segmenter; durable backends append to the
+        stream's vertex log.
         """
-        if self.injector is not None:
-            self.injector.fire("store.remove_stream")
-        record = self._streams.pop(stream_id, None)
-        if record is None:
-            raise KeyError(f"unknown stream {stream_id!r}")
-        del self._patients[record.patient_id].streams[stream_id]
-        self._removal_epoch += 1
+        self._backend.commit_vertices(stream_id, vertices)
+
+    def amend_vertex(self, stream_id: str, vertex: Vertex) -> None:
+        """Journal a re-label of a live stream's most recent vertex."""
+        self._backend.amend_vertex(stream_id, vertex)
+
+    def close(self) -> None:
+        """Release backend resources (open journal files)."""
+        self._backend.close()
 
     # -- reads ----------------------------------------------------------------
 
     def patient(self, patient_id: str) -> PatientRecord:
         """The patient record for ``patient_id``."""
-        try:
-            return self._patients[patient_id]
-        except KeyError:
-            raise KeyError(f"unknown patient {patient_id!r}") from None
+        return self._backend.patient(patient_id)
 
     def stream(self, stream_id: str) -> StreamRecord:
         """The stream record for ``stream_id``."""
-        try:
-            return self._streams[stream_id]
-        except KeyError:
-            raise KeyError(f"unknown stream {stream_id!r}") from None
+        return self._backend.stream(stream_id)
 
     def __contains__(self, stream_id: str) -> bool:
-        return stream_id in self._streams
+        return stream_id in self._backend
 
     @property
     def removal_epoch(self) -> int:
@@ -138,40 +155,40 @@ class MotionDatabase:
         removals in O(1) instead of re-validating stream membership on
         every lookup; appends and additions never bump it.
         """
-        return self._removal_epoch
+        return self._backend.removal_epoch
 
     @property
     def patient_ids(self) -> tuple[str, ...]:
         """All patient identifiers, in insertion order."""
-        return tuple(self._patients)
+        return self._backend.patient_ids
 
     @property
     def stream_ids(self) -> tuple[str, ...]:
         """All stream identifiers, in insertion order."""
-        return tuple(self._streams)
+        return self._backend.stream_ids
 
     @property
     def n_patients(self) -> int:
         """Number of patient records."""
-        return len(self._patients)
+        return len(self._backend.patient_ids)
 
     @property
     def n_streams(self) -> int:
         """Number of stream records."""
-        return len(self._streams)
+        return len(self._backend.stream_ids)
 
     @property
     def n_vertices(self) -> int:
         """Total committed PLR vertices across all streams."""
-        return sum(s.n_vertices for s in self._streams.values())
+        return sum(s.n_vertices for s in self._backend.iter_streams())
 
     def iter_patients(self) -> Iterator[PatientRecord]:
         """Iterate patient records in insertion order."""
-        return iter(self._patients.values())
+        return self._backend.iter_patients()
 
     def iter_streams(self) -> Iterator[StreamRecord]:
         """Iterate stream records in insertion order."""
-        return iter(self._streams.values())
+        return self._backend.iter_streams()
 
     def relation(
         self, query_stream_id: str, candidate_stream_id: str
@@ -195,23 +212,40 @@ class MotionDatabase:
     # -- persistence ------------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
-        """Write a JSON snapshot of the whole database."""
+        """Write a JSON snapshot of the whole database.
+
+        The snapshot lands via a temp file in the target directory plus
+        :func:`os.replace`, so a crash mid-save can never leave a torn
+        JSON file where a previous good snapshot lived.
+        """
         payload = {
             "format": "repro.motiondb/v1",
             "patients": [
                 self._patient_payload(patient)
-                for patient in self._patients.values()
+                for patient in self.iter_patients()
             ],
         }
-        Path(path).write_text(json.dumps(payload))
+        atomic_write_text(path, json.dumps(payload))
 
     @classmethod
-    def load(cls, path: str | Path) -> "MotionDatabase":
-        """Rebuild a database from a :meth:`save` snapshot."""
+    def load(
+        cls, path: str | Path, backend: StorageBackend | None = None
+    ) -> "MotionDatabase":
+        """Rebuild a database from a :meth:`save` snapshot.
+
+        Parameters
+        ----------
+        path:
+            The snapshot file.
+        backend:
+            Optional storage backend to load the snapshot *into* (e.g. a
+            fresh :class:`~repro.database.backend.LoggedBackend`
+            directory); defaults to in-memory.
+        """
         payload = json.loads(Path(path).read_text())
         if payload.get("format") != "repro.motiondb/v1":
             raise ValueError("not a repro motion database snapshot")
-        db = cls()
+        db = cls(backend=backend)
         for patient_payload in payload["patients"]:
             attrs_payload = patient_payload.get("attributes")
             attributes = (

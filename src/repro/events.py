@@ -1,0 +1,121 @@
+"""A minimal synchronous event bus.
+
+Two layers of the system decouple through publish/subscribe instead of
+hard wiring:
+
+* the **storage backend** publishes mutation events (``patient_added``,
+  ``stream_added``, ``stream_removed``) that derived structures — in
+  particular the state-signature index — subscribe to, and
+* the **service layer** publishes session-lifecycle events
+  (``vertex_committed``, ``vertex_amended``, ``query_refreshed``,
+  ``prediction_served``, ``alarm``, ``session_opened``,
+  ``session_closed``) that vertex logs, monitors and gating controllers
+  subscribe to.
+
+Delivery is synchronous and in subscription order, so a subscriber that
+raises (e.g. a chaos-test fault tearing a vertex-log write) propagates
+its exception through the publishing call exactly like the previously
+hard-wired call did — crash semantics are preserved by construction.
+
+``copy.deepcopy`` of an object graph holding a bus yields a bus with
+**no subscribers**: subscriptions are runtime wiring between live
+components, not data, and cloning a database must not leave callbacks
+pointing at the original's matchers or log writers.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+__all__ = ["Event", "EventBus"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One published event: a kind tag plus a payload mapping."""
+
+    kind: str
+    data: Mapping[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.data[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Payload field access with a default."""
+        return self.data.get(key, default)
+
+
+class EventBus:
+    """Synchronous publish/subscribe fan-out keyed by event kind."""
+
+    def __init__(self) -> None:
+        self._subscribers: dict[str, list] = {}
+
+    def subscribe(
+        self,
+        kind: str,
+        callback: Callable[[Event], Any],
+        weak: bool = False,
+    ) -> Callable[[Event], Any]:
+        """Register ``callback`` for events of ``kind``; returns it.
+
+        With ``weak=True`` a bound method is held through
+        :class:`weakref.WeakMethod`, so a long-lived bus (a database's)
+        does not keep short-lived subscribers (a per-replay index)
+        alive; dead entries are pruned on publish.
+        """
+        entry = callback
+        if weak and hasattr(callback, "__self__"):
+            entry = weakref.WeakMethod(callback)
+        self._subscribers.setdefault(kind, []).append(entry)
+        return callback
+
+    def unsubscribe(self, kind: str, callback: Callable[[Event], Any]) -> None:
+        """Remove a subscription (both strong and weak entries)."""
+        entries = self._subscribers.get(kind, [])
+        self._subscribers[kind] = [
+            entry
+            for entry in entries
+            if entry is not callback
+            and not (
+                isinstance(entry, weakref.WeakMethod)
+                and entry() == callback
+            )
+        ]
+
+    def has_subscribers(self, kind: str) -> bool:
+        """Whether any live subscriber listens for ``kind`` (O(1)-ish)."""
+        return bool(self._subscribers.get(kind))
+
+    def publish(self, kind: str, **data: Any) -> Event | None:
+        """Deliver an event to every subscriber, in subscription order.
+
+        Returns the delivered :class:`Event`, or ``None`` when nobody
+        listens (the event object is then never built — publishing on a
+        quiet bus costs one dict lookup).  Subscriber exceptions
+        propagate to the publisher.
+        """
+        entries = self._subscribers.get(kind)
+        if not entries:
+            return None
+        event = Event(kind, data)
+        dead = []
+        for entry in tuple(entries):
+            callback = entry() if isinstance(entry, weakref.WeakMethod) else entry
+            if callback is None:
+                dead.append(entry)  # weak subscriber was collected
+                continue
+            callback(event)
+        for entry in dead:
+            try:
+                entries.remove(entry)
+            except ValueError:
+                pass  # already pruned by a reentrant publish
+        return event
+
+    def __deepcopy__(self, memo: dict) -> "EventBus":
+        # Subscriptions are runtime wiring, not data: a deep-copied
+        # object graph starts with a quiet bus.
+        return EventBus()

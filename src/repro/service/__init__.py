@@ -1,0 +1,29 @@
+"""Session service layer: pipeline assembly and multi-tenant hosting.
+
+* :class:`~repro.service.builder.PipelineBuilder` — the one place that
+  turns config objects into ingestor + matcher + predictor stacks.
+* :class:`~repro.service.manager.SessionManager` — N concurrent live
+  sessions over one shared database + signature index, with per-tenant
+  isolation and a shared event bus.
+* :mod:`~repro.service.wiring` — standard bus subscribers (vertex log,
+  monitors, alarms, gating).
+"""
+
+from .builder import Pipeline, PipelineBuilder
+from .manager import SessionManager
+from .wiring import (
+    GatingRecorder,
+    attach_alarm,
+    attach_monitor,
+    attach_vertex_log,
+)
+
+__all__ = [
+    "Pipeline",
+    "PipelineBuilder",
+    "SessionManager",
+    "attach_vertex_log",
+    "attach_monitor",
+    "attach_alarm",
+    "GatingRecorder",
+]

@@ -1,0 +1,186 @@
+"""Multi-tenant session service: N live sessions, one database + index.
+
+The ROADMAP north star is a production-scale system serving many
+concurrent treatment rooms.  :class:`SessionManager` hosts any number of
+live :class:`~repro.core.online.OnlineAnalysisSession` tenants over one
+shared :class:`~repro.database.store.MotionDatabase` and **one shared
+matcher/signature index** — catch-up work done for one tenant's query is
+immediately reused by every other tenant, instead of each session paying
+to index the whole fleet's streams separately.
+
+Isolation contract: each tenant's retrieval **excludes the other live
+streams** (their futures have not happened yet, and a tenant must not
+couple to concurrent strangers), so matches and predictions are
+byte-identical to running that session alone against the same historical
+database.  Per-session similarity parameters are honoured by passing
+them explicitly through the shared matcher on every call.
+
+All sessions share the manager's :class:`~repro.events.EventBus`;
+subscribers (vertex logs, monitors, alarms, gating — see
+:mod:`repro.service.wiring`) filter by ``stream_id``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from ..core.matching import SubsequenceMatcher
+from ..core.model import Vertex
+from ..core.online import OnlineAnalysisSession, OnlineSessionConfig
+from ..database.store import MotionDatabase
+from ..events import EventBus
+from .builder import PipelineBuilder
+
+__all__ = ["SessionManager"]
+
+
+class SessionManager:
+    """Hosts concurrent live analysis sessions over a shared database.
+
+    Parameters
+    ----------
+    database:
+        The shared store (historical streams plus every tenant's live
+        stream); a fresh in-memory one is created if omitted.
+    builder:
+        Pipeline factory supplying the shared matcher and the default
+        session parameters.
+    events:
+        The shared session bus; a fresh one is created if omitted.
+    injector:
+        Optional fault injector (chaos tests only), forwarded to the
+        shared signature index.
+    """
+
+    def __init__(
+        self,
+        database: MotionDatabase | None = None,
+        builder: PipelineBuilder | None = None,
+        events: EventBus | None = None,
+        injector=None,
+    ) -> None:
+        self.database = database if database is not None else MotionDatabase()
+        self.builder = builder if builder is not None else PipelineBuilder()
+        self.events = events if events is not None else EventBus()
+        self.matcher: SubsequenceMatcher = self.builder.build_matcher(
+            self.database, injector=injector
+        )
+        self._sessions: dict[str, OnlineAnalysisSession] = {}
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def default_config(self) -> OnlineSessionConfig:
+        """The per-session config derived from the manager's builder."""
+        return OnlineSessionConfig(
+            similarity=self.builder.similarity,
+            query=self.builder.query,
+            segmenter=self.builder.segmenter,
+            min_matches=self.builder.min_matches,
+            max_matches=self.builder.max_matches,
+        )
+
+    def open_session(
+        self,
+        patient_id: str,
+        session_id: str = "LIVE",
+        config: OnlineSessionConfig | None = None,
+        vertex_log=None,
+        prefilter=None,
+    ) -> OnlineAnalysisSession:
+        """Start a live session for a patient; returns the session.
+
+        The patient is registered on first use.  The session shares the
+        manager's matcher (and signature index) but excludes every other
+        live tenant's stream from its retrievals.
+        """
+        if patient_id not in self.database.patient_ids:
+            self.database.add_patient(patient_id)
+        session = OnlineAnalysisSession(
+            self.database,
+            patient_id,
+            session_id,
+            config=config if config is not None else self.default_config(),
+            prefilter=prefilter,
+            vertex_log=vertex_log,
+            matcher=self.matcher,
+            events=self.events,
+            exclude_streams=self.live_stream_ids,
+        )
+        self._sessions[session.stream_id] = session
+        self.events.publish(
+            "session_opened",
+            stream_id=session.stream_id,
+            patient_id=patient_id,
+        )
+        return session
+
+    def close_session(
+        self, stream_id: str, keep_stream: bool = True
+    ) -> list[Vertex]:
+        """Finish one session; optionally drop its stream from the store."""
+        session = self._sessions.pop(stream_id)
+        closed = session.finish(keep_stream=keep_stream)
+        self.events.publish("session_closed", stream_id=stream_id)
+        return closed
+
+    def close(self, keep_streams: bool = True) -> None:
+        """Finish every session and release backend resources."""
+        for stream_id in list(self._sessions):
+            self.close_session(stream_id, keep_stream=keep_streams)
+        self.database.close()
+
+    def __enter__(self) -> "SessionManager":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def observe(
+        self, stream_id: str, t: float, position: Sequence[float] | float
+    ) -> list[Vertex]:
+        """Route one raw sample to one tenant."""
+        return self._sessions[stream_id].observe(t, position)
+
+    def tick(
+        self, t: float, samples: Mapping[str, Sequence[float] | float]
+    ) -> dict[str, list[Vertex]]:
+        """Dispatch one acquisition tick's samples to their tenants.
+
+        ``samples`` maps live stream ids to that tick's raw positions;
+        sessions are served in open order (deterministic), and the
+        committed vertices are returned per stream.
+        """
+        committed: dict[str, list[Vertex]] = {}
+        for stream_id, session in list(self._sessions.items()):
+            if stream_id in samples:
+                committed[stream_id] = session.observe(t, samples[stream_id])
+        return committed
+
+    def predict_ahead(self, stream_id: str, latency: float):
+        """One tenant's latency-compensated prediction (or ``None``)."""
+        return self._sessions[stream_id].predict_ahead(latency)
+
+    def predict_at(self, stream_id: str, target_time: float):
+        """One tenant's prediction at an absolute time (or ``None``)."""
+        return self._sessions[stream_id].predict_at(target_time)
+
+    # -- introspection ----------------------------------------------------------
+
+    def live_stream_ids(self) -> tuple[str, ...]:
+        """Stream ids of every open session (the tenant exclusion set)."""
+        return tuple(self._sessions)
+
+    def session(self, stream_id: str) -> OnlineAnalysisSession:
+        """The live session owning ``stream_id``."""
+        return self._sessions[stream_id]
+
+    def sessions(self) -> Iterable[OnlineAnalysisSession]:
+        """The live sessions, in open order."""
+        return tuple(self._sessions.values())
+
+    @property
+    def n_sessions(self) -> int:
+        """Number of open sessions."""
+        return len(self._sessions)

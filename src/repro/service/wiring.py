@@ -1,0 +1,141 @@
+"""Event-bus subscribers: vertex logs, monitors, alarms, gating.
+
+The session layer publishes its lifecycle on an
+:class:`~repro.events.EventBus` (``vertex_committed`` /
+``vertex_amended`` / ``query_refreshed`` / ``prediction_served`` /
+``alarm`` / ``session_opened`` / ``session_closed``).  This module holds
+the standard subscribers that used to be hard-wired into the pipeline:
+the write-ahead vertex log, the clinical monitors, threshold alarms (the
+``alarm`` re-publisher) and a gating recorder over served predictions.
+
+Delivery is synchronous and in subscription order (see
+:mod:`repro.events`), so attaching the vertex log *first* keeps the log
+write at exactly the execution point the hard-wired call occupied — the
+chaos suite's crash-at-every-write contracts hold unchanged.
+
+Every ``attach_*`` helper takes an optional ``stream_id`` filter so one
+bus can serve many concurrent tenants while each subscriber follows a
+single stream.
+"""
+
+from __future__ import annotations
+
+from ..events import Event, EventBus
+
+__all__ = [
+    "attach_vertex_log",
+    "attach_monitor",
+    "attach_alarm",
+    "GatingRecorder",
+]
+
+
+def _follows(event: Event, stream_id: str | None) -> bool:
+    return stream_id is None or event.get("stream_id") == stream_id
+
+
+def attach_vertex_log(
+    events: EventBus, writer, stream_id: str | None = None
+) -> tuple:
+    """Journal one stream's commits and amendments through the bus.
+
+    ``writer`` is any object with ``extend(vertices)`` and
+    ``amend(vertex)`` (a :class:`~repro.database.log.VertexLogWriter`).
+    Returns the two subscriber callables, usable with
+    :meth:`~repro.events.EventBus.unsubscribe`.
+    """
+
+    def on_commit(event: Event) -> None:
+        if _follows(event, stream_id):
+            writer.extend(event["vertices"])
+
+    def on_amend(event: Event) -> None:
+        if _follows(event, stream_id):
+            writer.amend(event["vertex"])
+
+    events.subscribe("vertex_committed", on_commit)
+    events.subscribe("vertex_amended", on_amend)
+    return on_commit, on_amend
+
+
+def attach_monitor(events: EventBus, monitor, stream_id: str | None = None):
+    """Feed committed vertices to a clinical monitor.
+
+    ``monitor`` is any object with ``update(vertex)`` (see
+    :mod:`repro.analysis.monitors`).  Returns the subscriber callable.
+    """
+
+    def on_commit(event: Event) -> None:
+        if _follows(event, stream_id):
+            for vertex in event["vertices"]:
+                monitor.update(vertex)
+
+    return events.subscribe("vertex_committed", on_commit)
+
+
+def attach_alarm(events: EventBus, alarm, stream_id: str | None = None):
+    """Drive a threshold alarm from commits; re-publish its transitions.
+
+    ``alarm`` is a :class:`~repro.analysis.monitors.ThresholdAlarm` (or
+    anything whose ``update(vertex)`` returns a truthy transition event
+    with ``time`` / ``active`` / ``value``).  Each transition is
+    re-published on the bus as an ``alarm`` event, so consoles subscribe
+    to the bus rather than poll the alarm.  Returns the subscriber.
+    """
+
+    def on_commit(event: Event) -> None:
+        if not _follows(event, stream_id):
+            return
+        for vertex in event["vertices"]:
+            transition = alarm.update(vertex)
+            if transition is not None:
+                events.publish(
+                    "alarm",
+                    stream_id=event.get("stream_id"),
+                    time=transition.time,
+                    active=transition.active,
+                    value=transition.value,
+                )
+
+    return events.subscribe("vertex_committed", on_commit)
+
+
+class GatingRecorder:
+    """Beam-on decisions derived from served predictions.
+
+    Subscribes to ``prediction_served`` and records, per prediction,
+    whether the predicted primary-axis position falls inside the gating
+    window — the decision stream
+    :func:`~repro.gating.gating.simulate_gating` scores offline.
+
+    Parameters
+    ----------
+    events:
+        The session bus.
+    window:
+        A :class:`~repro.gating.gating.GatingWindow`.
+    stream_id:
+        Optional tenant filter.
+    """
+
+    def __init__(
+        self, events: EventBus, window, stream_id: str | None = None
+    ) -> None:
+        self.window = window
+        self.stream_id = stream_id
+        self.decisions: list[tuple[float, bool, float]] = []
+        events.subscribe("prediction_served", self._on_prediction)
+
+    def _on_prediction(self, event: Event) -> None:
+        if not _follows(event, self.stream_id):
+            return
+        primary = float(event["position"][0])
+        beam_on = self.window.low <= primary <= self.window.high
+        self.decisions.append((float(event["time"]), beam_on, primary))
+
+    @property
+    def duty_cycle(self) -> float:
+        """Fraction of served predictions with the beam on."""
+        if not self.decisions:
+            return float("nan")
+        return sum(on for _, on, _ in self.decisions) / len(self.decisions)

@@ -54,6 +54,8 @@ from ..core.query import generate_query
 from ..core.segmentation import segment_signal
 from ..database.log import VertexLogWriter, read_vertex_log
 from ..database.store import MotionDatabase
+from ..events import EventBus
+from ..service.wiring import attach_vertex_log
 from ..signals.patients import generate_population
 from ..signals.respiratory import RespiratorySimulator, SessionConfig
 from .faults import FaultInjector, FaultPlan, FaultSpec, SimulatedCrash
@@ -198,26 +200,31 @@ def _run_session(
     commit, keyed by the byte fingerprint of the live series at that
     instant.  (Commit-time only: the query is a pure function of the
     series there, so a fingerprint hit pins down the query too.)
+
+    The vertex log is not hard-wired into the session: it subscribes to
+    the session bus's ``vertex_committed`` / ``vertex_amended`` events.
+    Delivery is synchronous, so injected crashes inside the log writer
+    still propagate from exactly the same execution points.
     """
     db = copy.deepcopy(history)
     db.injector = injector
     patient_id = _live_patient_id(config)
-    writer = (
-        None
-        if log_path is None
-        else VertexLogWriter(
+    events = None
+    if log_path is not None:
+        writer = VertexLogWriter(
             log_path,
             stream_id=f"{patient_id}/{_LIVE_SESSION_ID}",
             patient_id=patient_id,
             injector=injector,
         )
-    )
+        events = EventBus()
+        attach_vertex_log(events, writer)
     session = OnlineAnalysisSession(
         db,
         patient_id,
         _LIVE_SESSION_ID,
         OnlineSessionConfig(),
-        vertex_log=writer,
+        events=events,
         injector=injector,
     )
     times, values = samples

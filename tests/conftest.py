@@ -1,11 +1,24 @@
-"""Shared fixtures: tiny deterministic series, streams and cohorts."""
+"""Shared fixtures: tiny deterministic series, streams and cohorts.
+
+The suite runs against a storage backend chosen by the
+``REPRO_TEST_BACKEND`` environment variable (``in_memory`` by default,
+``logged`` in the durable CI leg) — tests that construct databases
+through :func:`make_database` / the ``make_database`` fixture exercise
+whichever backend is under test.
+"""
 
 from __future__ import annotations
+
+import itertools
+import os
+import tempfile
 
 import numpy as np
 import pytest
 
 from repro.core.model import BreathingState, PLRSeries, Vertex
+from repro.database.backend import create_backend
+from repro.database.store import MotionDatabase
 from repro.signals.patients import generate_population
 from repro.signals.respiratory import RespiratorySimulator, SessionConfig
 
@@ -13,6 +26,35 @@ EX = BreathingState.EX
 EOE = BreathingState.EOE
 IN = BreathingState.IN
 IRR = BreathingState.IRR
+
+#: The storage backend the suite runs against (CI matrixes over these).
+TEST_BACKEND = os.environ.get("REPRO_TEST_BACKEND", "in_memory")
+
+_db_counter = itertools.count()
+
+
+def make_test_database() -> MotionDatabase:
+    """A fresh database over the backend under test.
+
+    For the logged backend each database gets its own temporary
+    directory, cleaned up when the interpreter exits (hypothesis-driven
+    tests cannot use function-scoped ``tmp_path``).
+    """
+    directory = None
+    if TEST_BACKEND == "logged":
+        tmp = tempfile.TemporaryDirectory(
+            prefix=f"repro-db-{next(_db_counter)}-"
+        )
+        db = MotionDatabase(backend=create_backend(TEST_BACKEND, tmp.name))
+        db._test_tmpdir = tmp  # tie the directory's lifetime to the db
+        return db
+    return MotionDatabase(backend=create_backend(TEST_BACKEND, directory))
+
+
+@pytest.fixture
+def make_database():
+    """Factory fixture: fresh databases over the backend under test."""
+    return make_test_database
 
 
 def make_series(cycles: int = 4, amplitude: float = 10.0,

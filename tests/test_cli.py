@@ -25,6 +25,18 @@ class TestParser:
         args = build_parser().parse_args(["simulate", "--out", "x.json"])
         assert args.patients == 3 and args.sessions == 2
 
+    def test_version(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+    def test_serve_replay_defaults(self):
+        args = build_parser().parse_args(["serve-replay", "x.json"])
+        assert args.live == 3 and args.latency == 0.2
+
 
 class TestCommands:
     def test_simulate_writes_snapshot(self, snapshot):
@@ -52,3 +64,17 @@ class TestCommands:
         assert main(["cluster", str(snapshot), "-k", "2"]) == 0
         out = capsys.readouterr().out
         assert "cluster 0" in out
+
+    def test_serve_replay(self, snapshot, capsys):
+        code = main([
+            "serve-replay", str(snapshot), "--live", "2",
+            "--duration", "20", "--latency", "0.2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served 2 concurrent sessions" in out
+        assert "frames predicted at 200 ms" in out
+
+    def test_serve_replay_too_few_patients(self, snapshot, capsys):
+        assert main(["serve-replay", str(snapshot), "--live", "9"]) == 2
+        assert "only 2 patients" in capsys.readouterr().err

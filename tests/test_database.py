@@ -7,12 +7,12 @@ from repro.core.similarity import SourceRelation
 from repro.database.store import MotionDatabase
 from repro.signals.patients import PatientAttributes
 
-from conftest import make_series
+from conftest import make_series, make_test_database
 
 
 @pytest.fixture
 def db():
-    database = MotionDatabase()
+    database = make_test_database()
     attrs = PatientAttributes("PA", 60, "F", "lung_lower", "none")
     database.add_patient("PA", attrs)
     database.add_patient("PB")

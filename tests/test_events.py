@@ -1,0 +1,122 @@
+"""Tests for the synchronous event bus."""
+
+import copy
+import gc
+
+import pytest
+
+from repro.events import Event, EventBus
+
+
+class TestEvent:
+    def test_getitem_and_get(self):
+        event = Event("kind", {"a": 1})
+        assert event["a"] == 1
+        assert event.get("a") == 1
+        assert event.get("b") is None
+        assert event.get("b", 7) == 7
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            Event("kind", {})["a"]
+
+
+class TestEventBus:
+    def test_publish_without_subscribers_returns_none(self):
+        bus = EventBus()
+        assert bus.publish("quiet", x=1) is None
+
+    def test_delivery_carries_payload(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("tick", seen.append)
+        event = bus.publish("tick", n=3)
+        assert event is not None and event["n"] == 3
+        assert len(seen) == 1 and seen[0]["n"] == 3
+
+    def test_delivery_in_subscription_order(self):
+        bus = EventBus()
+        order = []
+        bus.subscribe("tick", lambda e: order.append("first"))
+        bus.subscribe("tick", lambda e: order.append("second"))
+        bus.publish("tick")
+        assert order == ["first", "second"]
+
+    def test_kinds_are_isolated(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("a", seen.append)
+        bus.publish("b", x=1)
+        assert seen == []
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        callback = bus.subscribe("tick", seen.append)
+        bus.unsubscribe("tick", callback)
+        bus.publish("tick")
+        assert seen == []
+        assert not bus.has_subscribers("tick")
+
+    def test_has_subscribers(self):
+        bus = EventBus()
+        assert not bus.has_subscribers("tick")
+        bus.subscribe("tick", lambda e: None)
+        assert bus.has_subscribers("tick")
+
+    def test_subscriber_exception_propagates(self):
+        # Crash semantics: a raising subscriber (e.g. a chaos fault in a
+        # vertex-log write) must surface through the publishing call.
+        bus = EventBus()
+
+        def boom(event):
+            raise RuntimeError("torn write")
+
+        bus.subscribe("commit", boom)
+        with pytest.raises(RuntimeError):
+            bus.publish("commit")
+
+    def test_weak_subscription_dies_with_subscriber(self):
+        bus = EventBus()
+
+        class Listener:
+            def __init__(self):
+                self.seen = []
+
+            def on_event(self, event):
+                self.seen.append(event)
+
+        listener = Listener()
+        bus.subscribe("tick", listener.on_event, weak=True)
+        bus.publish("tick")
+        assert len(listener.seen) == 1
+        del listener
+        gc.collect()
+        # The dead entry is pruned on the next publish.
+        assert bus.publish("tick") is not None
+        bus.publish("tick")
+
+    def test_weak_unsubscribe(self):
+        bus = EventBus()
+
+        class Listener:
+            def __init__(self):
+                self.seen = []
+
+            def on_event(self, event):
+                self.seen.append(event)
+
+        listener = Listener()
+        bus.subscribe("tick", listener.on_event, weak=True)
+        bus.unsubscribe("tick", listener.on_event)
+        bus.publish("tick")
+        assert listener.seen == []
+
+    def test_deepcopy_yields_quiet_bus(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("tick", seen.append)
+        clone = copy.deepcopy(bus)
+        clone.publish("tick")
+        assert seen == []
+        assert not clone.has_subscribers("tick")

@@ -1,5 +1,7 @@
 """Tests for the Section 6 generalised framework and its domains."""
 
+import math
+
 import numpy as np
 import pytest
 
@@ -86,6 +88,46 @@ def test_domain_segmentation_follows_its_automaton(
         for a, b in zip(regular[2:], regular[3:])
     )
     assert violations <= max(2, len(regular) // 10)
+
+
+@pytest.mark.parametrize(
+    "spec_factory,generator,kwargs",
+    [
+        (heartbeat_spec, heartbeat_signal, {"duration": 40.0}),
+        (robot_arm_spec, robot_arm_signal, {"duration": 90.0}),
+        (tide_spec, tide_signal, {"duration_hours": 160.0}),
+    ],
+)
+def test_domain_retrieval_agrees_with_oracle(spec_factory, generator, kwargs):
+    """Every built-in domain, end to end, against the reference matcher.
+
+    Two sessions are ingested through the domain's pipeline (built by
+    :class:`~repro.service.PipelineBuilder`), the dynamic query is drawn
+    from the second, and the production engine's retrieval under the
+    domain's similarity parameters must agree exactly with the naive
+    O(n·m) oracle.
+    """
+    from repro.testing.oracle import check_equivalence, reference_matches
+
+    spec = spec_factory()
+    analyzer = StructuredMotionAnalyzer(spec)
+    for k in range(2):
+        t, x = generator(seed=k, **kwargs)
+        analyzer.ingest("src-1", f"run{k}", t, x)
+    query = analyzer.query_for("src-1/run1")
+    assert query is not None, "domain produced no stable query"
+    # An unbounded threshold keeps the check about *agreement* rather
+    # than each domain's recall at its default operating point.
+    engine = analyzer.find_matches(query, "src-1/run1", threshold=math.inf)
+    assert engine, "domain retrieval found nothing"
+    oracle = reference_matches(
+        analyzer.database,
+        query,
+        "src-1/run1",
+        threshold=math.inf,
+        params=spec.similarity,
+    )
+    check_equivalence(engine, oracle)
 
 
 class TestAnalyzerPipeline:

@@ -17,7 +17,6 @@ from repro.core.matching import Match, SubsequenceMatcher
 from repro.core.model import BreathingState, PLRSeries, Vertex
 from repro.core.segmentation import segment_signal
 from repro.core.similarity import SimilarityParams, SourceRelation
-from repro.database.store import MotionDatabase
 from repro.testing.oracle import (
     EquivalenceError,
     check_equivalence,
@@ -27,6 +26,7 @@ from repro.testing.oracle import (
     reference_segment,
 )
 
+from conftest import make_test_database
 from tests_support import clean_cycles
 
 
@@ -74,7 +74,9 @@ def _scenario(draw):
 
 
 def _build_db(streams):
-    db = MotionDatabase()
+    # Runs on the storage backend selected by REPRO_TEST_BACKEND, so the
+    # equivalence property doubles as a backend-correctness check.
+    db = make_test_database()
     for i, (times, positions, states) in enumerate(streams):
         patient = f"P{i % 2}"  # two patients: exercises source relations
         if patient not in db.patient_ids:

@@ -1,0 +1,394 @@
+"""Tests for the service layer: builder, session manager, bus wiring.
+
+The centrepiece is the multi-tenancy isolation contract: a
+:class:`~repro.service.manager.SessionManager` hosting several concurrent
+live sessions must produce **byte-identical** matches and predictions to
+running each session alone against the same historical database.
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.analysis.monitors import ThresholdAlarm
+from repro.core.model import BreathingState, Vertex
+from repro.core.online import OnlineAnalysisSession, OnlineSessionConfig
+from repro.core.similarity import SimilarityParams
+from repro.database.store import MotionDatabase
+from repro.events import EventBus
+from repro.gating.gating import GatingWindow
+from repro.service import (
+    GatingRecorder,
+    PipelineBuilder,
+    SessionManager,
+    attach_alarm,
+    attach_monitor,
+    attach_vertex_log,
+)
+from repro.signals.respiratory import RespiratorySimulator, SessionConfig
+
+from conftest import make_series
+
+N_TENANTS = 3
+LIVE_DURATION = 20.0
+LATENCY = 0.2
+
+
+# -- builder -------------------------------------------------------------------
+
+
+class TestPipelineBuilder:
+    def test_from_session_config(self):
+        config = OnlineSessionConfig(
+            similarity=SimilarityParams(distance_threshold=3.5),
+            min_matches=4,
+            max_matches=9,
+        )
+        builder = PipelineBuilder.from_session_config(config)
+        assert builder.similarity.distance_threshold == 3.5
+        assert builder.min_matches == 4 and builder.max_matches == 9
+
+    def test_matcher_uses_builder_params(self):
+        params = SimilarityParams(distance_threshold=1.25)
+        builder = PipelineBuilder(similarity=params, use_index=False)
+        matcher = builder.build_matcher(MotionDatabase())
+        assert matcher.params is params
+        assert matcher.use_index is False
+
+    def test_predictor_uses_builder_params(self):
+        db = MotionDatabase()
+        builder = PipelineBuilder(min_matches=5, max_matches=7)
+        predictor = builder.build_predictor(db, builder.build_matcher(db))
+        assert predictor.min_matches == 5 and predictor.max_matches == 7
+
+    def test_build_full_pipeline(self):
+        db = MotionDatabase()
+        db.add_patient("PA")
+        pipeline = PipelineBuilder().build(db, "PA", "LIVE")
+        assert pipeline.ingestor is not None
+        assert pipeline.ingestor.stream_id == "PA/LIVE"
+        assert "PA/LIVE" in db
+        assert pipeline.matcher is not None and pipeline.predictor is not None
+
+    def test_build_without_patient_has_no_ingestor(self):
+        pipeline = PipelineBuilder().build(MotionDatabase())
+        assert pipeline.ingestor is None
+
+    def test_make_query(self, regular_series):
+        query = PipelineBuilder().make_query(regular_series)
+        assert query is not None and query.n_vertices >= 4
+
+    def test_from_domain_stamps_metadata(self):
+        from repro.signals.domains import robot_arm_spec
+
+        spec = robot_arm_spec()
+        builder = PipelineBuilder.from_domain(spec)
+        db = MotionDatabase()
+        db.add_patient("arm")
+        ingestor = builder.build_ingestor(db, "arm", "run0")
+        assert db.stream(ingestor.stream_id).metadata == {
+            "domain": "robot_arm"
+        }
+        # Each ingestor gets a *fresh* automaton (they are stateful).
+        other = builder.build_ingestor(db, "arm", "run1")
+        assert ingestor.segmenter.fsa is not other.segmenter.fsa
+
+
+# -- multi-tenant byte-identity ------------------------------------------------
+
+
+def _live_raws(cohort):
+    """One fresh raw session per tenant, on a shared acquisition clock."""
+    session_config = SessionConfig(duration=LIVE_DURATION)
+    raws = {}
+    for k, profile in enumerate(cohort.profiles[:N_TENANTS]):
+        raws[profile.patient_id] = RespiratorySimulator(
+            profile, session_config
+        ).generate_session(9, seed=40 + k)
+    return raws
+
+
+def _solo_trace(db, raw):
+    """Run one session alone; record every prediction plus final matches."""
+    session = OnlineAnalysisSession(
+        db, raw.patient_id, "MT", config=OnlineSessionConfig()
+    )
+    predictions = []
+    for t, position in raw.iter_points():
+        session.observe(t, position)
+        predictions.append(session.predict_ahead(LATENCY))
+    matches = [(m.stream_id, m.start, m.distance) for m in session.matches]
+    session.finish(keep_stream=False)
+    return predictions, matches
+
+
+def _assert_same_predictions(solo, served):
+    assert len(solo) == len(served)
+    for a, b in zip(solo, served):
+        if a is None or b is None:
+            assert a is None and b is None
+        else:
+            # Byte-identical: same floats, not merely close.
+            np.testing.assert_array_equal(a, b)
+
+
+class TestMultiTenantIsolation:
+    @pytest.fixture(scope="class")
+    def traces(self, small_cohort):
+        raws = _live_raws(small_cohort)
+
+        solo = {
+            patient_id: _solo_trace(copy.deepcopy(small_cohort.db), raw)
+            for patient_id, raw in raws.items()
+        }
+
+        manager = SessionManager(copy.deepcopy(small_cohort.db))
+        by_stream = {}
+        for patient_id, raw in raws.items():
+            session = manager.open_session(
+                patient_id, "MT", config=OnlineSessionConfig()
+            )
+            by_stream[session.stream_id] = raw
+        times = next(iter(by_stream.values())).times
+        served = {sid: [] for sid in by_stream}
+        for i, t in enumerate(times):
+            manager.tick(
+                float(t),
+                {sid: raw.values[i] for sid, raw in by_stream.items()},
+            )
+            for sid in by_stream:
+                served[sid].append(manager.predict_ahead(sid, LATENCY))
+        served_matches = {
+            sid: [
+                (m.stream_id, m.start, m.distance)
+                for m in manager.session(sid).matches
+            ]
+            for sid in by_stream
+        }
+        manager.close(keep_streams=False)
+        return raws, solo, served, served_matches
+
+    def test_enough_tenants(self, traces):
+        raws, solo, served, _ = traces
+        assert len(raws) >= 3
+
+    def test_predictions_byte_identical_to_solo(self, traces):
+        raws, solo, served, _ = traces
+        for patient_id, raw in raws.items():
+            stream_id = f"{patient_id}/MT"
+            _assert_same_predictions(solo[patient_id][0], served[stream_id])
+
+    def test_sessions_actually_predicted(self, traces):
+        raws, solo, served, _ = traces
+        for stream_id, predictions in served.items():
+            assert any(p is not None for p in predictions), stream_id
+
+    def test_matches_byte_identical_to_solo(self, traces):
+        raws, solo, served, served_matches = traces
+        for patient_id in raws:
+            stream_id = f"{patient_id}/MT"
+            assert solo[patient_id][1] == served_matches[stream_id]
+            assert solo[patient_id][1], stream_id  # non-vacuous
+
+    def test_no_tenant_matches_another_live_stream(self, traces):
+        raws, solo, served, served_matches = traces
+        live = {f"{patient_id}/MT" for patient_id in raws}
+        for stream_id, matches in served_matches.items():
+            foreign = live - {stream_id}
+            assert all(m[0] not in foreign for m in matches)
+
+
+# -- manager lifecycle ---------------------------------------------------------
+
+
+class TestSessionManager:
+    def test_open_registers_unknown_patient(self):
+        manager = SessionManager()
+        session = manager.open_session("fresh")
+        assert "fresh" in manager.database.patient_ids
+        assert manager.n_sessions == 1
+        assert manager.live_stream_ids() == (session.stream_id,)
+
+    def test_lifecycle_events(self):
+        manager = SessionManager()
+        kinds = []
+        for kind in ("session_opened", "session_closed"):
+            manager.events.subscribe(kind, lambda e: kinds.append(e.kind))
+        session = manager.open_session("PA")
+        manager.close_session(session.stream_id)
+        assert kinds == ["session_opened", "session_closed"]
+        assert manager.n_sessions == 0
+
+    def test_close_session_can_drop_stream(self):
+        manager = SessionManager()
+        session = manager.open_session("PA")
+        manager.close_session(session.stream_id, keep_stream=False)
+        assert session.stream_id not in manager.database
+
+    def test_context_manager_closes_all(self):
+        with SessionManager() as manager:
+            manager.open_session("PA")
+            manager.open_session("PB")
+            assert manager.n_sessions == 2
+        assert manager.n_sessions == 0
+
+    def test_tick_routes_and_reports_commits(self, raw_stream):
+        manager = SessionManager()
+        session = manager.open_session(raw_stream.patient_id)
+        total = 0
+        for i, t in enumerate(raw_stream.times[:300]):
+            committed = manager.tick(
+                float(t), {session.stream_id: raw_stream.values[i]}
+            )
+            assert set(committed) <= {session.stream_id}
+            total += len(committed.get(session.stream_id, []))
+        assert total == len(session.ingestor.series)
+        assert total > 0
+
+    def test_tick_ignores_unknown_streams(self):
+        manager = SessionManager()
+        assert manager.tick(0.0, {"nobody/LIVE": 1.0}) == {}
+
+    def test_sessions_share_one_matcher(self):
+        manager = SessionManager()
+        a = manager.open_session("PA")
+        b = manager.open_session("PB")
+        assert a.matcher is manager.matcher
+        assert b.matcher is manager.matcher
+
+    def test_default_config_mirrors_builder(self):
+        builder = PipelineBuilder(min_matches=3, max_matches=11)
+        manager = SessionManager(builder=builder)
+        config = manager.default_config()
+        assert config.min_matches == 3 and config.max_matches == 11
+        assert config.similarity is builder.similarity
+
+
+# -- bus wiring ----------------------------------------------------------------
+
+
+class _RecordingWriter:
+    def __init__(self):
+        self.committed = []
+        self.amended = []
+
+    def extend(self, vertices):
+        self.committed.extend(vertices)
+
+    def amend(self, vertex):
+        self.amended.append(vertex)
+
+
+def _vertices(n=3):
+    return list(make_series(1))[:n]
+
+
+class TestWiring:
+    def test_vertex_log_follows_one_stream(self):
+        bus = EventBus()
+        writer = _RecordingWriter()
+        attach_vertex_log(bus, writer, stream_id="PA/LIVE")
+        vertices = _vertices()
+        bus.publish(
+            "vertex_committed", stream_id="PA/LIVE", vertices=tuple(vertices)
+        )
+        bus.publish(
+            "vertex_committed", stream_id="PB/LIVE", vertices=tuple(vertices)
+        )
+        bus.publish("vertex_amended", stream_id="PA/LIVE", vertex=vertices[0])
+        bus.publish("vertex_amended", stream_id="PB/LIVE", vertex=vertices[0])
+        assert writer.committed == vertices
+        assert writer.amended == [vertices[0]]
+
+    def test_vertex_log_unsubscribe(self):
+        bus = EventBus()
+        writer = _RecordingWriter()
+        on_commit, on_amend = attach_vertex_log(bus, writer)
+        bus.unsubscribe("vertex_committed", on_commit)
+        bus.unsubscribe("vertex_amended", on_amend)
+        bus.publish(
+            "vertex_committed", stream_id="PA/LIVE",
+            vertices=tuple(_vertices()),
+        )
+        assert writer.committed == []
+
+    def test_monitor_sees_each_vertex(self):
+        bus = EventBus()
+        seen = []
+
+        class Monitor:
+            def update(self, vertex):
+                seen.append(vertex)
+
+        attach_monitor(bus, Monitor())
+        vertices = _vertices()
+        bus.publish(
+            "vertex_committed", stream_id="PA/LIVE", vertices=tuple(vertices)
+        )
+        assert seen == vertices
+
+    def test_alarm_transitions_republished(self):
+        bus = EventBus()
+
+        class Primary:
+            def update(self, vertex):
+                return float(vertex.position[0])
+
+        alarm = ThresholdAlarm(Primary(), low=-5.0, high=5.0)
+        attach_alarm(bus, alarm)
+        alarms = []
+        bus.subscribe("alarm", alarms.append)
+        vertices = [
+            Vertex(0.0, (0.0,), BreathingState.IN),
+            Vertex(1.0, (10.0,), BreathingState.EX),  # leaves the band
+            Vertex(2.0, (0.0,), BreathingState.EOE),  # re-enters
+        ]
+        bus.publish(
+            "vertex_committed", stream_id="PA/LIVE", vertices=tuple(vertices)
+        )
+        assert [a["active"] for a in alarms] == [True, False]
+        assert alarms[0]["stream_id"] == "PA/LIVE"
+        assert alarms[0]["value"] == 10.0
+
+    def test_gating_recorder_duty_cycle(self):
+        bus = EventBus()
+        recorder = GatingRecorder(bus, GatingWindow(-1.0, 1.0))
+        for time, primary in [(0.0, 0.5), (1.0, 3.0), (2.0, -0.5), (3.0, 9.0)]:
+            bus.publish(
+                "prediction_served",
+                stream_id="PA/LIVE",
+                time=time,
+                horizon=LATENCY,
+                position=np.asarray([primary]),
+                n_matches=4,
+            )
+        assert [on for _, on, _ in recorder.decisions] == [
+            True, False, True, False,
+        ]
+        assert recorder.duty_cycle == 0.5
+
+    def test_gating_recorder_empty_is_nan(self):
+        recorder = GatingRecorder(EventBus(), GatingWindow(-1.0, 1.0))
+        assert np.isnan(recorder.duty_cycle)
+
+
+class TestSessionEvents:
+    def test_query_and_prediction_events_flow(self, raw_stream):
+        manager = SessionManager()
+        session = manager.open_session(raw_stream.patient_id)
+        refreshed = []
+        servings = []
+        manager.events.subscribe("query_refreshed", refreshed.append)
+        manager.events.subscribe("prediction_served", servings.append)
+        for i, t in enumerate(raw_stream.times):
+            manager.tick(float(t), {session.stream_id: raw_stream.values[i]})
+            manager.predict_ahead(session.stream_id, LATENCY)
+        assert refreshed and all(
+            e["stream_id"] == session.stream_id for e in refreshed
+        )
+        assert servings
+        # The horizon is measured from the last committed vertex, so it
+        # is at least the requested latency.
+        assert all(e["horizon"] >= LATENCY - 1e-9 for e in servings)
+        assert all(e["n_matches"] >= 1 for e in servings)

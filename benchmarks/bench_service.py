@@ -20,6 +20,15 @@ layer's isolation contract), and writes the machine-readable payload to
 ``BENCH_service.json`` at the repo root, including the headline
 sessions/s-at-30-Hz capacity figure.
 
+A third, untimed pass runs the shared loop with telemetry enabled and
+reports an ``attribution`` section — per-stage wall totals from the
+pipeline's own instruments — explaining the headline ratio: index
+catch-up, the only work sharing actually deduplicates, is a small,
+one-time slice of a serve loop dominated by per-sample segmentation and
+prediction, so shared-vs-solo throughput is expected to sit near 1.0x.
+The shared deployment's win is one database copy and one index for the
+fleet (memory and catch-up latency), not steady-state CPU.
+
 Run from the repo root::
 
     PYTHONPATH=src python benchmarks/bench_service.py [--quick]
@@ -39,6 +48,7 @@ import numpy as np
 
 from repro.analysis.experiments import CohortConfig, build_cohort
 from repro.core.online import OnlineAnalysisSession, OnlineSessionConfig
+from repro.obs import Telemetry
 from repro.service.manager import SessionManager
 from repro.signals.respiratory import RespiratorySimulator, SessionConfig
 
@@ -90,9 +100,9 @@ def build_workload(workload: Workload):
     return cohort.db, raws
 
 
-def serve_shared(db, raws):
+def serve_shared(db, raws, telemetry=None):
     """All tenants through one SessionManager (timed)."""
-    manager = SessionManager(db)
+    manager = SessionManager(db, telemetry=telemetry)
     by_stream = {}
     for patient_id, raw in raws.items():
         session = manager.open_session(
@@ -168,6 +178,50 @@ def run(quick: bool) -> dict:
     identical = identical_predictions(p_shared, p_solo)
     assert identical, "shared-index serving diverged from solo sessions"
 
+    # Third, untimed pass with telemetry enabled: the pipeline's own
+    # stage instruments attribute where shared-serve time actually goes
+    # (the headline timings above stay untelemetered).
+    telemetry = Telemetry()
+    serve_shared(copy.deepcopy(db), raws, telemetry)
+    merged = telemetry.snapshot().merged
+
+    def stage_wall(name: str) -> float:
+        histogram = merged.histograms.get(name)
+        return histogram.total if histogram is not None else 0.0
+
+    tick_s = stage_wall("service.tick_s")
+    predict_s = stage_wall("session.predict_s")
+    catch_up_s = stage_wall("index.catch_up_s")
+    serve_s = tick_s + predict_s
+    attribution = {
+        "stage_wall_s": {
+            "service.tick": tick_s,
+            "session.observe": stage_wall("session.observe_s"),
+            "session.predict_served": predict_s,
+            "matcher.find": stage_wall("matcher.find_s"),
+            "index.catch_up": catch_up_s,
+        },
+        "index_catch_up_share_of_serve": (
+            catch_up_s / serve_s if serve_s else 0.0
+        ),
+        "windows_indexed_once_for_fleet": merged.counter(
+            "index.windows_indexed"
+        ),
+        "explanation": (
+            "Shared and solo serving do identical per-sample work — "
+            "segmentation, query refresh, retrieval, prediction — on "
+            "identical data, so their throughput is expected to match "
+            "(speedup_shared_vs_solo ~ 1.0x). The only work sharing "
+            "deduplicates is signature-index catch-up over the "
+            "historical cohort, and the stage totals above show it is "
+            "a one-time slice of a serve loop dominated by per-sample "
+            "segmentation and prediction. The shared deployment's win "
+            "is one database copy and one index serving the whole "
+            "fleet — memory footprint and first-query latency — not "
+            "steady-state CPU."
+        ),
+    }
+
     n_tenants = len(raws)
     frames_total = n_tenants * n_frames
     n_served = sum(
@@ -200,6 +254,7 @@ def run(quick: bool) -> dict:
         },
         "speedup_shared_vs_solo": t_solo / t_shared,
         "identical_predictions": identical,
+        "attribution": attribution,
     }
     return payload
 
@@ -239,6 +294,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     print(f"shared vs solo: {payload['speedup_shared_vs_solo']:.2f}x, "
           f"identical predictions: {payload['identical_predictions']}")
+    attribution = payload["attribution"]
+    print(
+        "attribution: index catch-up is "
+        f"{attribution['index_catch_up_share_of_serve'] * 100:.1f}% of "
+        "serve wall time (the only stage sharing deduplicates)"
+    )
     print(f"wrote {args.output}")
     return 0
 

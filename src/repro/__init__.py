@@ -69,7 +69,20 @@ from .database import (
     create_backend,
 )
 from .events import Event, EventBus
-from .service import Pipeline, PipelineBuilder, SessionManager
+from .obs import (
+    MetricsRegistry,
+    RegistrySnapshot,
+    Telemetry,
+    TelemetrySnapshot,
+    Tracer,
+    default_telemetry,
+)
+from .service import (
+    Pipeline,
+    PipelineBuilder,
+    SessionManager,
+    TelemetryRecorder,
+)
 from .signals import (
     PatientProfile,
     RawStream,
@@ -129,6 +142,14 @@ __all__ = [
     "Pipeline",
     "PipelineBuilder",
     "SessionManager",
+    # observability
+    "MetricsRegistry",
+    "RegistrySnapshot",
+    "Telemetry",
+    "TelemetrySnapshot",
+    "TelemetryRecorder",
+    "Tracer",
+    "default_telemetry",
     # signals
     "PatientProfile",
     "generate_population",

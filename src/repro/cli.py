@@ -7,13 +7,16 @@ Small operational commands over the library::
     python -m repro replay cohort.json --patient P000 --horizon 0.2
     python -m repro serve-replay cohort.json --live 3 --latency 0.2
     python -m repro cluster cohort.json -k 3
+    python -m repro metrics cohort.json --live 3 --json
 
 ``simulate`` builds a synthetic cohort database snapshot; ``inspect``
 summarises one; ``replay`` runs the online prediction pipeline for one
 patient's fresh session against it; ``serve-replay`` replays several
 patients *concurrently* through the multi-tenant session service (a
 smoke test of the service layer); ``cluster`` runs the offline
-Definition 3/4 + k-medoids analysis.
+Definition 3/4 + k-medoids analysis; ``metrics`` runs the same
+multi-tenant replay fully instrumented and prints the final telemetry
+snapshot (text or ``--json``).
 """
 
 from __future__ import annotations
@@ -80,6 +83,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_clu.add_argument("snapshot")
     p_clu.add_argument("-k", type=int, default=3)
+
+    p_met = sub.add_parser(
+        "metrics",
+        help="run an instrumented multi-tenant replay and print the "
+        "final telemetry snapshot",
+    )
+    p_met.add_argument("snapshot")
+    p_met.add_argument("--live", type=int, default=3,
+                       help="number of concurrent live sessions")
+    p_met.add_argument("--duration", type=float, default=30.0)
+    p_met.add_argument("--latency", type=float, default=0.2,
+                       help="prediction look-ahead in seconds")
+    p_met.add_argument("--seed", type=int, default=99)
+    p_met.add_argument("--interval", type=float, default=5.0,
+                       help="snapshot publication interval in stream-seconds")
+    p_met.add_argument("--json", action="store_true",
+                       help="emit the machine-readable JSON exposition")
     return parser
 
 
@@ -169,36 +189,46 @@ def _cmd_replay(args) -> int:
     return 0
 
 
-def _cmd_serve_replay(args) -> int:
-    from .database.store import MotionDatabase
-    from .service.manager import SessionManager
+def _live_raws(db, live: int, duration: float, seed: int):
+    """One fresh raw session per tenant, or ``None`` on a short snapshot.
+
+    Identical ``SessionConfig`` means one shared acquisition clock, so
+    the manager can batch per tick.
+    """
     from .signals.patients import PatientProfile, traits_from_attributes
     from .signals.respiratory import RespiratorySimulator, SessionConfig
 
-    db = MotionDatabase.load(args.snapshot)
     candidates = [
         p for p in db.iter_patients() if p.attributes is not None
-    ][: args.live]
-    if len(candidates) < args.live:
+    ][:live]
+    if len(candidates) < live:
         print(
             f"error: snapshot has only {len(candidates)} patients with "
-            f"attributes, --live {args.live} requested",
+            f"attributes, --live {live} requested",
             file=sys.stderr,
         )
-        return 2
-
-    # One fresh raw session per tenant; identical SessionConfig means one
-    # shared acquisition clock, so the manager can batch per tick.
-    session_config = SessionConfig(duration=args.duration)
+        return None
+    session_config = SessionConfig(duration=duration)
     raws = {}
     for k, record in enumerate(candidates):
-        rng = np.random.default_rng(args.seed + k)
+        rng = np.random.default_rng(seed + k)
         profile = PatientProfile(
             record.attributes, traits_from_attributes(record.attributes, rng)
         )
         raws[record.patient_id] = RespiratorySimulator(
             profile, session_config
-        ).generate_session(0, seed=args.seed + k)
+        ).generate_session(0, seed=seed + k)
+    return raws
+
+
+def _cmd_serve_replay(args) -> int:
+    from .database.store import MotionDatabase
+    from .service.manager import SessionManager
+
+    db = MotionDatabase.load(args.snapshot)
+    raws = _live_raws(db, args.live, args.duration, args.seed)
+    if raws is None:
+        return 2
 
     manager = SessionManager(db)
     by_stream = {}
@@ -232,6 +262,52 @@ def _cmd_serve_replay(args) -> int:
     return 0
 
 
+def _cmd_metrics(args) -> int:
+    import json
+
+    from .database.store import MotionDatabase
+    from .obs import Telemetry, render_text, snapshot_payload
+    from .service.manager import SessionManager
+    from .service.wiring import TelemetryRecorder
+
+    db = MotionDatabase.load(args.snapshot)
+    raws = _live_raws(db, args.live, args.duration, args.seed)
+    if raws is None:
+        return 2
+
+    telemetry = Telemetry(snapshot_interval=args.interval)
+    manager = SessionManager(db, telemetry=telemetry)
+    recorder = TelemetryRecorder(manager.events)
+    by_stream = {}
+    for patient_id, raw in raws.items():
+        session = manager.open_session(patient_id, session_id="METRICS")
+        by_stream[session.stream_id] = raw
+
+    times = next(iter(by_stream.values())).times
+    last_t = 0.0
+    for i in range(len(times)):
+        last_t = float(times[i])
+        manager.tick(
+            last_t, {sid: raw.values[i] for sid, raw in by_stream.items()}
+        )
+        for stream_id in by_stream:
+            manager.predict_ahead(stream_id, args.latency)
+    manager.close(keep_streams=False)
+
+    final = telemetry.snapshot(time=last_t)
+    if args.json:
+        payload = snapshot_payload(final)
+        payload["periodic_snapshots"] = len(recorder.snapshots)
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_text(final))
+        print(
+            f"# {len(recorder.snapshots)} periodic snapshots published "
+            f"on the bus at {args.interval:g}s cadence"
+        )
+    return 0
+
+
 def _cmd_cluster(args) -> int:
     from .core.clustering import cluster_members, kmedoids
     from .core.patient_distance import impute_infinite, patient_distance_matrix
@@ -252,6 +328,7 @@ _COMMANDS = {
     "replay": _cmd_replay,
     "serve-replay": _cmd_serve_replay,
     "cluster": _cmd_cluster,
+    "metrics": _cmd_metrics,
 }
 
 

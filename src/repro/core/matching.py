@@ -84,6 +84,13 @@ class SubsequenceMatcher:
     injector:
         Optional fault injector (chaos tests only), forwarded to the
         signature index so catch-up batches can be interrupted.
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry`.  When set, every
+        retrieval counts candidates generated vs. pruned vs. ranked
+        (the paper's key efficiency claim) and records its wall time
+        under a ``matcher.find`` span; forwarded to the signature
+        index.  ``None`` (the default) costs one ``is None`` check per
+        retrieval.
     """
 
     def __init__(
@@ -93,6 +100,7 @@ class SubsequenceMatcher:
         use_index: bool = True,
         scan_workers: int | None = None,
         injector=None,
+        telemetry=None,
     ) -> None:
         if scan_workers is not None and scan_workers < 1:
             raise ValueError("scan_workers must be None or >= 1")
@@ -101,8 +109,22 @@ class SubsequenceMatcher:
         self.use_index = use_index
         self.scan_workers = scan_workers
         self._index = (
-            StateSignatureIndex(database, injector) if use_index else None
+            StateSignatureIndex(database, injector, telemetry=telemetry)
+            if use_index
+            else None
         )
+        self._t = telemetry
+        if telemetry is not None:
+            registry = telemetry.registry
+            self._c_queries = registry.counter("matcher.queries")
+            self._c_generated = registry.counter("matcher.candidates_generated")
+            self._c_pruned = registry.counter("matcher.candidates_pruned")
+            self._c_ranked = registry.counter("matcher.candidates_ranked")
+            self._c_matches = registry.counter("matcher.matches_returned")
+            self._h_find = registry.histogram("matcher.find_s")
+            # Reusable span: find_matches() is never re-entrant, so one
+            # cached context manager avoids a per-query allocation.
+            self._find_span = telemetry.tracer.span("matcher.find")
 
     @property
     def index(self) -> StateSignatureIndex | None:
@@ -151,6 +173,52 @@ class SubsequenceMatcher:
         params:
             Per-call parameter override (ablation sweeps).
         """
+        telemetry = self._t
+        if telemetry is None:
+            return self._find(
+                query,
+                query_stream_id,
+                threshold,
+                max_matches,
+                restrict_patients,
+                exclude_streams,
+                params,
+                None,
+            )
+        stats = {"generated": 0, "admissible": 0, "ranked": 0}
+        span = self._find_span
+        with span:
+            matches = self._find(
+                query,
+                query_stream_id,
+                threshold,
+                max_matches,
+                restrict_patients,
+                exclude_streams,
+                params,
+                stats,
+            )
+        self._h_find.observe(span.wall)
+        self._c_queries.inc()
+        self._c_generated.inc(stats["generated"])
+        self._c_pruned.inc(stats["generated"] - stats["admissible"])
+        self._c_ranked.inc(stats["ranked"])
+        self._c_matches.inc(len(matches))
+        return matches
+
+    def _find(
+        self,
+        query: Subsequence,
+        query_stream_id: str | None,
+        threshold: float | None,
+        max_matches: int | None,
+        restrict_patients: Iterable[str] | None,
+        exclude_streams: Iterable[str] | None,
+        params: SimilarityParams | None,
+        stats: dict | None,
+    ) -> list[Match]:
+        """The retrieval itself; ``stats`` (telemetry only) is filled with
+        candidate counts at each pruning stage."""
         params = params or self.params
         if threshold is None:
             threshold = params.distance_threshold
@@ -158,6 +226,8 @@ class SubsequenceMatcher:
         candidates = self._candidates(query)
         if candidates is None or candidates.n_candidates == 0:
             return []
+        if stats is not None:
+            stats["generated"] = candidates.n_candidates
 
         mask = self._admissible(candidates, query, query_stream_id)
         if exclude_streams is not None:
@@ -188,6 +258,8 @@ class SubsequenceMatcher:
                 return []
             candidates = candidates.select(live)
             relations = [r for r in relations if r is not None]
+        if stats is not None:
+            stats["admissible"] = candidates.n_candidates
         weights = np.asarray(
             [params.source_weight(rel) for rel in relations]
         )
@@ -203,6 +275,8 @@ class SubsequenceMatcher:
         if not keep.any():
             return []
         kept = np.flatnonzero(keep)
+        if stats is not None:
+            stats["ranked"] = len(kept)
         indices = kept[
             self._rank(
                 distances[kept],

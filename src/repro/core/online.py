@@ -22,6 +22,7 @@ multi-tenant results stay byte-identical to running alone.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
@@ -29,6 +30,7 @@ import numpy as np
 
 from ..database.store import MotionDatabase
 from ..events import EventBus
+from ..obs.telemetry import default_telemetry
 from .matching import Match, SubsequenceMatcher
 from .model import Subsequence, Vertex
 from .query import QueryConfig, generate_query
@@ -102,6 +104,15 @@ class OnlineAnalysisSession:
         zero-argument callable returning one (the session service passes
         the live-tenant set this way so it is re-evaluated per lookup).
         The session's own stream is never excluded.
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry`.  When omitted, the
+        session consults :func:`~repro.obs.default_telemetry` once (the
+        ``REPRO_TELEMETRY`` environment gate); the resolved handle —
+        usually ``None`` — is threaded to the segmenter and, when the
+        session builds its own matcher, to the matcher/index.  Enabled
+        telemetry records per-sample observe/predict latency and
+        drop/stale/refresh/prediction counters; disabled telemetry
+        costs one ``is None`` check per sample.
 
     Robustness
     ----------
@@ -126,6 +137,7 @@ class OnlineAnalysisSession:
         matcher: SubsequenceMatcher | None = None,
         events: EventBus | None = None,
         exclude_streams: Iterable[str] | Callable[[], Iterable[str]] | None = None,
+        telemetry=None,
     ) -> None:
         # Lazy import: repro.service imports this module at package load.
         from ..service.builder import PipelineBuilder
@@ -135,6 +147,7 @@ class OnlineAnalysisSession:
         self.injector = injector
         self.events = events
         self._exclude_streams = exclude_streams
+        self._t = telemetry if telemetry is not None else default_telemetry()
         builder = PipelineBuilder.from_session_config(self.config)
         self.ingestor = builder.build_ingestor(
             db,
@@ -143,11 +156,12 @@ class OnlineAnalysisSession:
             vertex_log=vertex_log,
             events=events,
             prefilter=prefilter,
+            telemetry=self._t,
         )
         self.matcher = (
             matcher
             if matcher is not None
-            else builder.build_matcher(db, injector=injector)
+            else builder.build_matcher(db, injector=injector, telemetry=self._t)
         )
         self.predictor = builder.build_predictor(db, self.matcher)
         self._query: Subsequence | None = None
@@ -155,6 +169,17 @@ class OnlineAnalysisSession:
         self._now: float | None = None
         self.n_dropped = 0
         self.n_stale = 0
+        if self._t is not None:
+            registry = self._t.registry
+            self._c_samples = registry.counter("session.samples")
+            self._c_dropped = registry.counter("session.dropped")
+            self._c_stale = registry.counter("session.stale")
+            self._c_refreshes = registry.counter("session.query_refreshes")
+            self._c_predictions = registry.counter("session.predictions_served")
+            self._c_declined = registry.counter("session.predictions_declined")
+            self._g_matches = registry.gauge("session.matches")
+            self._h_observe = registry.histogram("session.observe_s")
+            self._h_predict = registry.histogram("session.predict_s")
 
     # -- streaming --------------------------------------------------------------
 
@@ -192,6 +217,18 @@ class OnlineAnalysisSession:
         skipped — see the class docstring.  Returns the vertices
         committed by this sample.
         """
+        if self._t is None:
+            return self._observe(t, position)
+        t0 = time.perf_counter()
+        committed = self._observe(t, position)
+        self._h_observe.observe(time.perf_counter() - t0)
+        self._c_samples.inc()
+        return committed
+
+    def _observe(
+        self, t: float, position: Sequence[float] | float
+    ) -> list[Vertex]:
+        """Fault-injection branch plus the clean ingest path."""
         if self.injector is not None:
             spec = self.injector.fire("online.observe")
             if spec is not None:
@@ -218,10 +255,17 @@ class OnlineAnalysisSession:
         """Guard one sample, then ingest it and refresh query/matches."""
         position = np.atleast_1d(np.asarray(position, dtype=float))
         if not (np.isfinite(t) and np.all(np.isfinite(position))):
+            # Corrupt/stale frames are rare, so they count themselves
+            # here instead of the hot path diffing n_dropped/n_stale on
+            # every healthy sample.
             self.n_dropped += 1
+            if self._t is not None:
+                self._c_dropped.inc()
             return []
         if self._now is not None and t <= self._now:
             self.n_stale += 1
+            if self._t is not None:
+                self._c_stale.inc()
             return []
         committed = self.ingestor.add_point(t, position)
         self._now = t
@@ -240,6 +284,9 @@ class OnlineAnalysisSession:
                 )
             else:
                 self._matches = []
+            if self._t is not None:
+                self._c_refreshes.inc()
+                self._g_matches.set(len(self._matches))
             if self.events is not None:
                 self.events.publish(
                     "query_refreshed",
@@ -258,6 +305,24 @@ class OnlineAnalysisSession:
         horizon ``target_time - last_vertex_time``; returns ``None`` while
         warming up or when too few matches have a known future.
         """
+        if self._t is None:
+            return self._predict_at(target_time)
+        if self._query is None or not self._matches:
+            # Warm-up fast path (the same guard _predict_at applies
+            # first): declines return in well under a microsecond, so
+            # timing them would cost more than the work itself.
+            self._c_declined.inc()
+            return None
+        t0 = time.perf_counter()
+        position = self._predict_at(target_time)
+        if position is None:
+            self._c_declined.inc()
+        else:
+            self._h_predict.observe(time.perf_counter() - t0)
+            self._c_predictions.inc()
+        return position
+
+    def _predict_at(self, target_time: float) -> np.ndarray | None:
         if self._query is None or not self._matches:
             return None
         horizon = target_time - self.ingestor.series.end_time

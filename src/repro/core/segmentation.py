@@ -203,6 +203,11 @@ class OnlineSegmenter:
         (:meth:`PLRSeries.replace_last`).  The vertex log uses this to
         journal the amendment, so crash replay reproduces the live
         series' states exactly.
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry`.  When set, the segmenter
+        counts raw points, committed vertices (total and per state) and
+        gate amendments; when ``None`` (the default) the only cost is
+        one ``is None`` check per sample.
     """
 
     def __init__(
@@ -211,12 +216,26 @@ class OnlineSegmenter:
         fsa: FiniteStateAutomaton | None = None,
         prefilter=None,
         on_amend=None,
+        telemetry=None,
     ) -> None:
         self.config = config or SegmenterConfig()
         self.fsa = fsa or respiratory_fsa()
         self.prefilter = prefilter
         self.on_amend = on_amend
         self.series = PLRSeries()
+
+        self._t = telemetry
+        if telemetry is not None:
+            registry = telemetry.registry
+            self._c_points = registry.counter("segmenter.points")
+            self._c_vertices = registry.counter("segmenter.vertices")
+            self._c_amends = registry.counter("segmenter.amends")
+            self._c_state = {
+                state: registry.counter(
+                    f"segmenter.state.{state.name.lower()}"
+                )
+                for state in BreathingState
+            }
 
         self._last_time: float | None = None
         self._smoothed: np.ndarray | None = None
@@ -258,6 +277,9 @@ class OnlineSegmenter:
         velocity = self._slope.slope()
         self._vscale.update(abs(velocity), dt)
 
+        if self._t is not None:
+            self._c_points.inc()
+
         proposal = self._classify(float(smoothed[0]), velocity)
         return self._advance(t, smoothed, proposal)
 
@@ -285,6 +307,7 @@ class OnlineSegmenter:
             self._last_time, tuple(self._smoothed), self._current_state
         )
         self.series.append(final)
+        self._count_vertex(final.state)
         return [final]
 
     # -- pipeline stages -------------------------------------------------------
@@ -342,6 +365,7 @@ class OnlineSegmenter:
             self._current_state = proposal
             self._segment_start = (t, position.copy())
             self.series.append(Vertex(t, tuple(position), proposal))
+            self._count_vertex(proposal)
             self._clear_pending()
             return [self.series[-1]]
 
@@ -375,6 +399,8 @@ class OnlineSegmenter:
             last = self.series[-1]
             amended = Vertex(last.time, last.position, closed_state)
             self.series.replace_last(amended)
+            if self._t is not None:
+                self._c_amends.inc()
             if self.on_amend is not None:
                 self.on_amend(amended)
 
@@ -395,6 +421,7 @@ class OnlineSegmenter:
 
         vertex = Vertex(t_cut, tuple(x_cut), new_state)
         self.series.append(vertex)
+        self._count_vertex(new_state)
         self._current_state = new_state
         self._segment_start = (t_cut, x_cut.copy())
         self._clear_pending()
@@ -418,6 +445,12 @@ class OnlineSegmenter:
             ):
                 return BreathingState.IRR
         return state
+
+    def _count_vertex(self, state: BreathingState) -> None:
+        """Telemetry bookkeeping for one committed vertex (cold path)."""
+        if self._t is not None:
+            self._c_vertices.inc()
+            self._c_state[state].inc()
 
     def _clear_pending(self) -> None:
         self._pending_state = None

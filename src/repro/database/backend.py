@@ -105,6 +105,11 @@ class StorageBackend(ABC):
     events: EventBus
     injector: object | None
 
+    #: Optional :class:`~repro.obs.Telemetry`; the facade mirrors its
+    #: handle here so durable backends can count journal records and
+    #: manifest fsyncs.  ``None`` (the default) costs nothing.
+    telemetry = None
+
     # -- writes ---------------------------------------------------------------
 
     @abstractmethod
@@ -360,6 +365,8 @@ class LoggedBackend(InMemoryBackend):
             ],
         }
         atomic_write_text(self._manifest_path, json.dumps(payload))
+        if self.telemetry is not None:
+            self.telemetry.inc("backend.manifest_fsyncs")
 
     def _reopen(self) -> None:
         """Rebuild the in-memory state from the manifest and the logs."""
@@ -463,12 +470,22 @@ class LoggedBackend(InMemoryBackend):
     ) -> None:
         writer = self._writers.get(stream_id)
         if writer is not None:
-            writer.extend(vertices)
+            if self.telemetry is None:
+                writer.extend(vertices)
+            else:
+                # Count only after the whole batch hit the journal: an
+                # injected crash mid-batch must not inflate the durable
+                # record count (no-double-count contract).
+                vertices = tuple(vertices)
+                writer.extend(vertices)
+                self.telemetry.inc("backend.journal_records", len(vertices))
 
     def amend_vertex(self, stream_id: str, vertex: Vertex) -> None:
         writer = self._writers.get(stream_id)
         if writer is not None:
             writer.amend(vertex)
+            if self.telemetry is not None:
+                self.telemetry.inc("backend.journal_records")
 
     def close(self) -> None:
         for writer in self._writers.values():

@@ -256,8 +256,11 @@ class _LengthIndex:
         """The intern table as an object array (for fancy expansion)."""
         return np.asarray(self._stream_names, dtype=object)
 
-    def catch_up_all(self, records, injector=None) -> None:
+    def catch_up_all(self, records, injector=None) -> int:
         """Index every window appended to any stream since the last call.
+
+        Returns the number of windows added by this batch (telemetry's
+        catch-up batch-size metric — free to compute either way).
 
         All streams' new regions are spliced into **one** concatenated
         buffer per column (with ``n_segments - 1`` sentinel slots between
@@ -272,8 +275,7 @@ class _LengthIndex:
         m = self.n_vertices
         n_segments = m - 1
         if n_segments > MAX_RADIX_SEGMENTS:
-            self._catch_up_bytes(records, n_segments, injector)
-            return
+            return self._catch_up_bytes(records, n_segments, injector)
         sep = max(n_segments - 1, 0)
         sep_states = np.full(sep, -1, dtype=np.int8)
         sep_feats = np.zeros(sep, dtype=float)
@@ -313,7 +315,7 @@ class _LengthIndex:
                 pos += n_new
             self._next_start[record.stream_id] = last + 1
         if not counts:
-            return
+            return 0
         count_arr = np.asarray(counts, dtype=np.int64)
         total = int(count_arr.sum())
         shift = np.concatenate(([0], np.cumsum(count_arr)[:-1]))
@@ -360,10 +362,12 @@ class _LengthIndex:
                 amp_wins[rows[group]],
                 dur_wins[rows[group]],
             )
+        return total
 
-    def _catch_up_bytes(self, records, n_segments: int, injector=None) -> None:
+    def _catch_up_bytes(self, records, n_segments: int, injector=None) -> int:
         """Catch-up for windows too long for radix keys (byte keys)."""
         m = self.n_vertices
+        n_added = 0
         for record in records:
             if injector is not None:
                 injector.fire("index.catch_up")
@@ -390,6 +394,8 @@ class _LengthIndex:
                     dur[group],
                 )
             self._next_start[record.stream_id] = last + 1
+            n_added += len(starts)
+        return n_added
 
     def _posting(self, key: int | bytes, n_segments: int) -> _ColumnarPostings:
         posting = self.postings.get(key)
@@ -412,13 +418,39 @@ class StateSignatureIndex:
         Optional fault injector (chaos tests only); the
         ``"index.catch_up"`` site fires once per stream inside every
         catch-up batch.
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry`.  When set, lookups count
+        hits/misses, catch-up batches record their window counts and
+        wall time (under an ``index.catch_up`` span), and postings
+        growth is tracked in gauges; when ``None`` (the default) the
+        lookup path pays one ``is None`` check.
     """
 
-    def __init__(self, database: MotionDatabase, injector=None) -> None:
+    def __init__(
+        self, database: MotionDatabase, injector=None, telemetry=None
+    ) -> None:
         self.database = database
         self.injector = injector
         self._by_length: dict[int, _LengthIndex] = {}
         self._removal_epoch = database.removal_epoch
+        self._t = telemetry
+        if telemetry is not None:
+            from ..obs.metrics import DEFAULT_COUNT_BUCKETS
+
+            registry = telemetry.registry
+            self._c_lookups = registry.counter("index.lookups")
+            self._c_hits = registry.counter("index.hits")
+            self._c_misses = registry.counter("index.misses")
+            self._c_windows = registry.counter("index.windows_indexed")
+            self._h_catch_up = registry.histogram("index.catch_up_s")
+            self._h_batch = registry.histogram(
+                "index.catch_up_windows", bounds=DEFAULT_COUNT_BUCKETS
+            )
+            self._g_postings = registry.gauge("index.postings")
+            self._g_lengths = registry.gauge("index.lengths")
+            # Reusable span: candidates() is never re-entrant, so one
+            # cached context manager avoids a per-lookup allocation.
+            self._catch_up_span = telemetry.tracer.span("index.catch_up")
         events = getattr(database, "events", None)
         if events is not None:
             # Weak subscription: the database's long-lived bus must not
@@ -474,14 +506,34 @@ class StateSignatureIndex:
         # Snapshot the stream list: a stream removed concurrently (e.g.
         # by a fault callback) must not break the iteration itself.
         records = list(self.database.iter_streams())
+        telemetry = self._t
         try:
-            length_index.catch_up_all(records, self.injector)
+            if telemetry is None:
+                length_index.catch_up_all(records, self.injector)
+            else:
+                span = self._catch_up_span
+                with span:
+                    added = length_index.catch_up_all(records, self.injector)
+                self._h_catch_up.observe(span.wall)
         except BaseException:
             self._by_length.pop(n_vertices, None)
             raise
+        if telemetry is not None:
+            self._c_lookups.inc()
+            if added:
+                self._c_windows.inc(added)
+                self._h_batch.observe(added)
+            self._g_lengths.set(len(self._by_length))
+            self._g_postings.set(
+                sum(len(li.postings) for li in self._by_length.values())
+            )
         posting = length_index.postings.get(encode_signature(signature))
         if posting is None or posting.n == 0:
+            if telemetry is not None:
+                self._c_misses.inc()
             return None
+        if telemetry is not None:
+            self._c_hits.inc()
         return posting.stacked(length_index.stream_names())
 
     def _check_removals(self) -> None:

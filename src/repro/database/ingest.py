@@ -53,6 +53,9 @@ class StreamIngestor:
         Optional session :class:`~repro.events.EventBus`; commits publish
         ``vertex_committed`` (``stream_id``, ``vertices``) and gate
         re-labels publish ``vertex_amended`` (``stream_id``, ``vertex``).
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry`, forwarded to the
+        segmenter (point/vertex/state counters).
     """
 
     def __init__(
@@ -65,10 +68,11 @@ class StreamIngestor:
         fsa=None,
         vertex_log=None,
         events: EventBus | None = None,
+        telemetry=None,
     ) -> None:
         self.database = database
         self.events = events
-        self.segmenter = OnlineSegmenter(config, fsa)
+        self.segmenter = OnlineSegmenter(config, fsa, telemetry=telemetry)
         self.vertex_log = vertex_log
         self.segmenter.on_amend = self._on_amend
         self.record = database.add_stream(

@@ -42,21 +42,49 @@ class MotionDatabase:
     backend:
         The storage implementation.  Defaults to a fresh
         :class:`~repro.database.backend.InMemoryBackend`.
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry` (also settable later via
+        the :attr:`telemetry` property — the session manager binds its
+        root this way).  When set, commit/amend traffic is counted at
+        the facade (attempted writes) and mirrored to the backend,
+        where the durable paths count journal records and manifest
+        fsyncs; when ``None`` the write path pays one ``is None`` check.
     """
 
     def __init__(
-        self, injector=None, backend: StorageBackend | None = None
+        self,
+        injector=None,
+        backend: StorageBackend | None = None,
+        telemetry=None,
     ) -> None:
         if backend is None:
             backend = InMemoryBackend(injector)
         elif injector is not None:
             backend.injector = injector
         self._backend = backend
+        self._telemetry = None
+        if telemetry is not None:
+            self.telemetry = telemetry
 
     @property
     def backend(self) -> StorageBackend:
         """The storage implementation behind this facade."""
         return self._backend
+
+    @property
+    def telemetry(self):
+        """The telemetry handle counting this database's write traffic."""
+        return self._telemetry
+
+    @telemetry.setter
+    def telemetry(self, telemetry) -> None:
+        self._telemetry = telemetry
+        self._backend.telemetry = telemetry
+        if telemetry is not None:
+            registry = telemetry.registry
+            self._c_commit_batches = registry.counter("backend.commit_batches")
+            self._c_committed = registry.counter("backend.committed_vertices")
+            self._c_amended = registry.counter("backend.amended_vertices")
 
     @property
     def events(self) -> EventBus:
@@ -123,11 +151,22 @@ class MotionDatabase:
         No-op on volatile backends — the live series object is already
         shared with the segmenter; durable backends append to the
         stream's vertex log.
+
+        Telemetry counts *attempted* writes here, before delegation;
+        the logged backend counts *durable* journal records after each
+        successful append, so the two diverge exactly when a write is
+        lost mid-flight (the crash-recovery tests lean on this).
         """
+        if self._telemetry is not None:
+            vertices = tuple(vertices)
+            self._c_commit_batches.inc()
+            self._c_committed.inc(len(vertices))
         self._backend.commit_vertices(stream_id, vertices)
 
     def amend_vertex(self, stream_id: str, vertex: Vertex) -> None:
         """Journal a re-label of a live stream's most recent vertex."""
+        if self._telemetry is not None:
+            self._c_amended.inc()
         self._backend.amend_vertex(stream_id, vertex)
 
     def close(self) -> None:

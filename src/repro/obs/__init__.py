@@ -1,0 +1,50 @@
+"""Observability: metrics, stage tracing and the telemetry facade.
+
+Zero-dependency instrumentation for the ingest -> segmentation -> index
+-> matcher -> predictor pipeline.  **Off by default and strictly
+zero-cost when disabled**: instrumented components hold an optional
+telemetry handle that is ``None`` in production, guarded by a single
+``if self._t is None`` check per hot path (the fault-injector pattern).
+
+Enable per component by passing a :class:`Telemetry`, or process-wide
+with ``REPRO_TELEMETRY=1`` (see :func:`default_telemetry`).  See
+``docs/OBSERVABILITY.md`` for the metric catalogue and span naming.
+"""
+
+from .metrics import (
+    DEFAULT_COUNT_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+    RegistrySnapshot,
+)
+from .exposition import render_text, snapshot_payload
+from .telemetry import (
+    TELEMETRY_ENV_VAR,
+    Telemetry,
+    TelemetrySnapshot,
+    default_telemetry,
+)
+from .trace import SpanStats, Tracer
+
+__all__ = [
+    "DEFAULT_COUNT_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "RegistrySnapshot",
+    "SpanStats",
+    "TELEMETRY_ENV_VAR",
+    "Telemetry",
+    "TelemetrySnapshot",
+    "Tracer",
+    "default_telemetry",
+    "render_text",
+    "snapshot_payload",
+]

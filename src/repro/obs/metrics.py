@@ -1,0 +1,327 @@
+"""Zero-dependency metrics: counters, gauges, fixed-bucket histograms.
+
+The registry is the storage layer of the observability subsystem
+(:mod:`repro.obs`): instrumented components hold direct references to
+their instruments (resolved once, at construction), so recording a
+sample is one attribute access plus one float add — cheap enough for the
+per-sample ingest hot path when telemetry is enabled, and entirely
+absent when it is not (the ``if self._t is None`` contract, mirroring
+the fault-injector pattern).
+
+Snapshots are **immutable and mergeable**: counters and gauges merge by
+summation, histograms bucket-wise (the bounds must agree), so per-tenant
+registries roll up into a fleet view with plain ``merge`` folds — the
+merge is associative and commutative, which the property tests assert.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Mapping, Sequence
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_COUNT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "RegistrySnapshot",
+    "MetricsRegistry",
+]
+
+#: Default latency bucket upper bounds, in seconds: 10 µs .. 10 s.  The
+#: last implicit bucket is +inf (values above the largest bound).
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    1e-5, 2e-5, 5e-5,
+    1e-4, 2e-4, 5e-4,
+    1e-3, 2e-3, 5e-3,
+    1e-2, 2e-2, 5e-2,
+    0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+#: Default bucket bounds for batch/queue *sizes* (catch-up windows per
+#: lookup, samples per tick, ...).
+DEFAULT_COUNT_BUCKETS: tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0,
+    100.0, 200.0, 500.0, 1000.0,
+    2000.0, 5000.0, 10000.0, 50000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative: counters never go down)."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A point-in-time level (queue depth, live sessions, postings)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the current level."""
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        """Adjust the current level by ``delta``."""
+        self.value += delta
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative-friendly exact extrema.
+
+    ``bounds`` are the bucket *upper* bounds; a value lands in the first
+    bucket whose bound is ``>= value`` (Prometheus ``le`` semantics) and
+    values above the last bound land in the implicit +inf bucket, so
+    ``counts`` has ``len(bounds) + 1`` slots.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "count", "vmin", "vmax")
+
+    def __init__(
+        self, name: str, bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+    ) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b >= c for b, c in zip(bounds, bounds[1:])):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.name = name
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+        self.vmin = float("inf")
+        self.vmax = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Histogram({self.name!r}, n={self.count})"
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """Immutable histogram state; merges bucket-wise."""
+
+    bounds: tuple[float, ...]
+    counts: tuple[int, ...]
+    total: float
+    count: int
+    vmin: float
+    vmax: float
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the recorded samples (NaN when empty)."""
+        return self.total / self.count if self.count else float("nan")
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the ``q`` quantile.
+
+        A bucketed estimate (exact only at bucket boundaries); the +inf
+        bucket reports the exact maximum.  NaN when empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return float("nan")
+        rank = q * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank and c:
+                return self.bounds[i] if i < len(self.bounds) else self.vmax
+        return self.vmax
+
+    def merge(self, other: "HistogramSnapshot") -> "HistogramSnapshot":
+        """Combine two snapshots of histograms with identical bounds."""
+        if self.bounds != other.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        return HistogramSnapshot(
+            bounds=self.bounds,
+            counts=tuple(a + b for a, b in zip(self.counts, other.counts)),
+            total=self.total + other.total,
+            count=self.count + other.count,
+            vmin=min(self.vmin, other.vmin),
+            vmax=max(self.vmax, other.vmax),
+        )
+
+
+def _merge_sums(
+    a: Mapping[str, float], b: Mapping[str, float]
+) -> Mapping[str, float]:
+    merged = dict(a)
+    for name, value in b.items():
+        merged[name] = merged.get(name, 0.0) + value
+    return MappingProxyType(merged)
+
+
+@dataclass(frozen=True)
+class RegistrySnapshot:
+    """Immutable point-in-time view of one registry.
+
+    ``merge`` folds two snapshots: counters and gauges sum, histograms
+    merge bucket-wise.  Summation makes the fold associative and
+    commutative, so per-tenant snapshots roll up in any order.
+    """
+
+    counters: Mapping[str, float]
+    gauges: Mapping[str, float]
+    histograms: Mapping[str, HistogramSnapshot]
+
+    @classmethod
+    def empty(cls) -> "RegistrySnapshot":
+        """A snapshot with no instruments (the merge identity)."""
+        return cls(
+            counters=MappingProxyType({}),
+            gauges=MappingProxyType({}),
+            histograms=MappingProxyType({}),
+        )
+
+    def merge(self, other: "RegistrySnapshot") -> "RegistrySnapshot":
+        """Roll two snapshots into one."""
+        histograms = dict(self.histograms)
+        for name, snap in other.histograms.items():
+            mine = histograms.get(name)
+            histograms[name] = snap if mine is None else mine.merge(snap)
+        return RegistrySnapshot(
+            counters=_merge_sums(self.counters, other.counters),
+            gauges=_merge_sums(self.gauges, other.gauges),
+            histograms=MappingProxyType(histograms),
+        )
+
+    def counter(self, name: str) -> float:
+        """A counter's value (0 when never incremented)."""
+        return self.counters.get(name, 0.0)
+
+
+class MetricsRegistry:
+    """Named instruments with get-or-create semantics.
+
+    Instrument names are unique across kinds: asking for a counter named
+    like an existing histogram is a programming error and raises.
+    Components resolve their instruments once (at construction) and hold
+    the returned objects, so the per-sample recording cost stays at one
+    method call.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._kinds: dict[str, str] = {}
+
+    def _claim(self, name: str, kind: str) -> None:
+        held = self._kinds.setdefault(name, kind)
+        if held != kind:
+            raise ValueError(
+                f"metric {name!r} is already registered as a {held}"
+            )
+
+    def counter(self, name: str) -> Counter:
+        """Get or create a counter."""
+        counter = self._counters.get(name)
+        if counter is None:
+            self._claim(name, "counter")
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create a gauge."""
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            self._claim(name, "gauge")
+            gauge = self._gauges[name] = Gauge(name)
+        return gauge
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+    ) -> Histogram:
+        """Get or create a histogram (existing bounds must agree)."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            self._claim(name, "histogram")
+            histogram = self._histograms[name] = Histogram(name, bounds)
+        elif histogram.bounds != tuple(float(b) for b in bounds):
+            raise ValueError(
+                f"histogram {name!r} already exists with different bounds"
+            )
+        return histogram
+
+    # Convenience one-shot forms (cold paths only; hot paths hold the
+    # instrument objects directly).
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Increment a counter by name."""
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set a gauge by name."""
+        self.gauge(name).set(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        """Record a histogram sample by name."""
+        self.histogram(name, bounds).observe(value)
+
+    def snapshot(self) -> RegistrySnapshot:
+        """An immutable copy of every instrument's current state."""
+        return RegistrySnapshot(
+            counters=MappingProxyType(
+                {n: c.value for n, c in self._counters.items()}
+            ),
+            gauges=MappingProxyType(
+                {n: g.value for n, g in self._gauges.items()}
+            ),
+            histograms=MappingProxyType(
+                {
+                    n: HistogramSnapshot(
+                        bounds=h.bounds,
+                        counts=tuple(h.counts),
+                        total=h.total,
+                        count=h.count,
+                        vmin=h.vmin,
+                        vmax=h.vmax,
+                    )
+                    for n, h in self._histograms.items()
+                }
+            ),
+        )

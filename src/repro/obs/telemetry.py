@@ -1,0 +1,210 @@
+"""The `Telemetry` facade: off by default, zero-cost when disabled.
+
+Instrumented components take an optional ``telemetry`` argument that is
+``None`` in production; every hot path guards its recording with one
+``if self._t is None`` check — exactly the fault-injector contract from
+the chaos harness, so disabled telemetry costs one pointer comparison
+per sample and *nothing* else (no allocation, no call, no branch misses
+worth measuring; ``benchmarks/bench_observability.py`` keeps the
+enabled path honest too).
+
+One ``Telemetry`` owns a :class:`~repro.obs.metrics.MetricsRegistry`
+and a :class:`~repro.obs.trace.Tracer`.  The session service derives a
+**scoped child** per tenant (:meth:`Telemetry.scoped`): children get
+their own registry (per-tenant counts) but share the parent's tracer
+and bus, and every :class:`TelemetrySnapshot` carries the root registry
+plus each scope's — ``snapshot.merged`` folds them into the fleet view.
+
+Enable globally with the ``REPRO_TELEMETRY`` environment variable
+(``1``/``true``/``yes``/``on``); entry points call
+:func:`default_telemetry` exactly once at construction, so the env var
+is never consulted on a hot path.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from functools import reduce
+from types import MappingProxyType
+from typing import Mapping, Sequence
+
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    RegistrySnapshot,
+)
+from .trace import SpanStats, Tracer
+
+__all__ = [
+    "TELEMETRY_ENV_VAR",
+    "TelemetrySnapshot",
+    "Telemetry",
+    "default_telemetry",
+]
+
+#: Environment variable that switches telemetry on process-wide.
+TELEMETRY_ENV_VAR = "REPRO_TELEMETRY"
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+#: Default stream-time interval between published snapshots (seconds).
+DEFAULT_SNAPSHOT_INTERVAL = 5.0
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """One immutable view of the whole telemetry tree.
+
+    Attributes
+    ----------
+    time:
+        Stream-clock time the snapshot was cut at (``None`` for ad-hoc
+        snapshots taken outside the tick loop).
+    registry:
+        The root registry (service-level instruments).
+    scopes:
+        Per-scope (per-tenant) registry snapshots, keyed by scope name.
+    spans:
+        Aggregated span statistics of the shared tracer.
+    """
+
+    time: float | None
+    registry: RegistrySnapshot
+    scopes: Mapping[str, RegistrySnapshot]
+    spans: tuple[SpanStats, ...]
+
+    @property
+    def merged(self) -> RegistrySnapshot:
+        """The root registry folded with every scope (the fleet view)."""
+        return reduce(
+            RegistrySnapshot.merge, self.scopes.values(), self.registry
+        )
+
+
+class Telemetry:
+    """Handle bundling a registry, a tracer and the publish schedule.
+
+    Parameters
+    ----------
+    registry / tracer:
+        Storage; fresh ones are created when omitted.
+    events:
+        Optional :class:`~repro.events.EventBus`; when set, periodic
+        ``telemetry_snapshot`` events carry :class:`TelemetrySnapshot`
+        payloads (the session manager binds its bus automatically).
+    snapshot_interval:
+        Stream-clock seconds between published snapshots.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        events=None,
+        snapshot_interval: float = DEFAULT_SNAPSHOT_INTERVAL,
+    ) -> None:
+        if snapshot_interval <= 0:
+            raise ValueError("snapshot_interval must be positive")
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.events = events
+        self.snapshot_interval = snapshot_interval
+        self._scopes: dict[str, Telemetry] = {}
+        self._last_published: float | None = None
+
+    # -- scoping ---------------------------------------------------------------
+
+    def scoped(self, scope: str) -> "Telemetry":
+        """A child telemetry with its own registry (per-tenant counts).
+
+        The child shares this instance's tracer (spans nest across the
+        tree) but never publishes on its own; its registry rides along
+        in every parent snapshot under ``scopes[scope]``.
+        """
+        child = self._scopes.get(scope)
+        if child is None:
+            child = Telemetry(
+                registry=MetricsRegistry(),
+                tracer=self.tracer,
+                snapshot_interval=self.snapshot_interval,
+            )
+            self._scopes[scope] = child
+        return child
+
+    @property
+    def scope_names(self) -> tuple[str, ...]:
+        """Names of the scoped children, in creation order."""
+        return tuple(self._scopes)
+
+    # -- recording conveniences (cold paths; hot paths hold instruments) -------
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Increment a counter on this registry."""
+        self.registry.inc(name, amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set a gauge on this registry."""
+        self.registry.set_gauge(name, value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        """Record a histogram sample on this registry."""
+        self.registry.observe(name, value, bounds)
+
+    def span(self, name: str):
+        """A tracing span on the shared tracer (context manager)."""
+        return self.tracer.span(name)
+
+    # -- snapshots -------------------------------------------------------------
+
+    def snapshot(self, time: float | None = None) -> TelemetrySnapshot:
+        """Cut an immutable snapshot of the whole tree."""
+        return TelemetrySnapshot(
+            time=time,
+            registry=self.registry.snapshot(),
+            scopes=MappingProxyType(
+                {
+                    name: child.registry.snapshot()
+                    for name, child in self._scopes.items()
+                }
+            ),
+            spans=self.tracer.snapshot(),
+        )
+
+    def publish(self, now: float | None = None) -> TelemetrySnapshot:
+        """Cut a snapshot and publish it as a ``telemetry_snapshot`` event."""
+        snap = self.snapshot(time=now)
+        if self.events is not None:
+            self.events.publish("telemetry_snapshot", snapshot=snap)
+        if now is not None:
+            self._last_published = now
+        return snap
+
+    def maybe_publish(self, now: float) -> TelemetrySnapshot | None:
+        """Publish when ``snapshot_interval`` stream-seconds have passed.
+
+        Called once per service tick with the stream clock; the first
+        call publishes immediately (the baseline snapshot).
+        """
+        last = self._last_published
+        if last is not None and now - last < self.snapshot_interval:
+            return None
+        return self.publish(now)
+
+
+def default_telemetry(events=None) -> Telemetry | None:
+    """A fresh :class:`Telemetry` iff ``REPRO_TELEMETRY`` is truthy.
+
+    This is the *only* place the environment is consulted, and entry
+    points (the online session, the session manager) call it once at
+    construction — production runs with the variable unset get ``None``
+    and pay exactly one ``is None`` check per instrumented hot path.
+    """
+    if os.environ.get(TELEMETRY_ENV_VAR, "").strip().lower() in _TRUTHY:
+        return Telemetry(events=events)
+    return None

@@ -1,0 +1,146 @@
+"""Stage tracing: nested spans with per-stage wall and CPU time.
+
+A :class:`Tracer` keeps one stack of open spans; entering a span records
+its parent (the span open at entry), so aggregates are keyed by
+``(name, parent)`` and the exposition can render the pipeline's call
+tree — e.g. ``service.tick`` > ``matcher.find`` > ``index.catch_up``.
+Wall time comes from ``perf_counter`` and CPU time from
+``process_time``, so a stage that blocks (I/O, GIL waits) shows a
+wall/CPU gap.
+
+Spans are for *stage-level* boundaries (ticks, retrievals, catch-up
+batches), not per-sample work — the per-sample hot path uses bare
+histogram observations instead (see :mod:`repro.obs.telemetry`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+__all__ = ["SpanStats", "Tracer"]
+
+
+@dataclass(frozen=True)
+class SpanStats:
+    """Aggregate of all closed spans sharing one ``(name, parent)``."""
+
+    name: str
+    parent: str | None
+    count: int
+    wall_s: float
+    cpu_s: float
+    max_wall_s: float
+
+
+class _Span:
+    """One open span; a context manager that folds itself in on exit.
+
+    Span objects are reusable (sequentially, not re-entrantly): hot
+    paths cache one per stage and re-enter it each invocation, avoiding
+    a per-invocation allocation.  After ``__exit__`` the measured
+    ``wall`` duration stays readable, so callers feeding a latency
+    histogram reuse it instead of paying a second clock pair.
+    """
+
+    __slots__ = (
+        "_tracer",
+        "name",
+        "parent",
+        "wall",
+        "_t0",
+        "_c0",
+        "_slot",
+        "_slot_parent",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.parent: str | None = None
+        self.wall = 0.0
+        self._t0 = 0.0
+        self._c0 = 0.0
+        # Aggregate slot of the last (name, parent) this span closed
+        # under; a reused span almost always has the same parent, so the
+        # cached slot skips the tracer's keyed lookup on the hot path.
+        self._slot: list | None = None
+        self._slot_parent: str | None = None
+
+    def __enter__(self) -> "_Span":
+        stack = self._tracer._stack
+        self.parent = stack[-1] if stack else None
+        stack.append(self.name)
+        self._t0 = time.perf_counter()
+        self._c0 = time.process_time()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        wall = time.perf_counter() - self._t0
+        cpu = time.process_time() - self._c0
+        self.wall = wall
+        self._tracer._stack.pop()
+        slot = self._slot
+        # `is` suffices: the parent is the enclosing span's `name`
+        # attribute, the same string object on every invocation.
+        if slot is not None and self.parent is self._slot_parent:
+            slot[0] += 1
+            slot[1] += wall
+            slot[2] += cpu
+            if wall > slot[3]:
+                slot[3] = wall
+            return
+        self._slot = self._tracer._record(self.name, self.parent, wall, cpu)
+        self._slot_parent = self.parent
+
+
+class Tracer:
+    """Collects span aggregates; one instance per telemetry tree.
+
+    Not thread-safe by design: the pipeline is single-threaded per
+    session manager (the scan thread pool never opens spans).
+    """
+
+    def __init__(self) -> None:
+        self._stack: list[str] = []
+        self._stats: dict[tuple[str, str | None], list] = {}
+
+    def span(self, name: str) -> _Span:
+        """A context manager timing one stage invocation."""
+        return _Span(self, name)
+
+    @property
+    def current(self) -> str | None:
+        """Name of the innermost open span (``None`` outside spans)."""
+        return self._stack[-1] if self._stack else None
+
+    def _record(
+        self, name: str, parent: str | None, wall: float, cpu: float
+    ) -> list:
+        slot = self._stats.get((name, parent))
+        if slot is None:
+            slot = [1, wall, cpu, wall]
+            self._stats[(name, parent)] = slot
+            return slot
+        slot[0] += 1
+        slot[1] += wall
+        slot[2] += cpu
+        if wall > slot[3]:
+            slot[3] = wall
+        return slot
+
+    def snapshot(self) -> tuple[SpanStats, ...]:
+        """Aggregates of every closed span, deterministically ordered."""
+        return tuple(
+            SpanStats(
+                name=name,
+                parent=parent,
+                count=slot[0],
+                wall_s=slot[1],
+                cpu_s=slot[2],
+                max_wall_s=slot[3],
+            )
+            for (name, parent), slot in sorted(
+                self._stats.items(), key=lambda kv: (kv[0][1] or "", kv[0][0])
+            )
+        )

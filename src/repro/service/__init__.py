@@ -13,6 +13,7 @@ from .builder import Pipeline, PipelineBuilder
 from .manager import SessionManager
 from .wiring import (
     GatingRecorder,
+    TelemetryRecorder,
     attach_alarm,
     attach_monitor,
     attach_vertex_log,
@@ -26,4 +27,5 @@ __all__ = [
     "attach_monitor",
     "attach_alarm",
     "GatingRecorder",
+    "TelemetryRecorder",
 ]

@@ -124,7 +124,7 @@ class PipelineBuilder:
     # -- component factories ----------------------------------------------------
 
     def build_matcher(
-        self, database: MotionDatabase, injector=None
+        self, database: MotionDatabase, injector=None, telemetry=None
     ) -> SubsequenceMatcher:
         """A matcher (and, by default, its signature index) over ``database``."""
         return SubsequenceMatcher(
@@ -133,6 +133,7 @@ class PipelineBuilder:
             use_index=self.use_index,
             scan_workers=self.scan_workers,
             injector=injector,
+            telemetry=telemetry,
         )
 
     def build_predictor(
@@ -147,10 +148,10 @@ class PipelineBuilder:
             anchor=self.anchor,
         )
 
-    def build_segmenter(self) -> OnlineSegmenter:
+    def build_segmenter(self, telemetry=None) -> OnlineSegmenter:
         """A fresh online segmenter under this builder's motion model."""
         fsa = self.fsa_factory() if self.fsa_factory is not None else None
-        return OnlineSegmenter(self.segmenter, fsa)
+        return OnlineSegmenter(self.segmenter, fsa, telemetry=telemetry)
 
     def build_ingestor(
         self,
@@ -160,6 +161,7 @@ class PipelineBuilder:
         vertex_log=None,
         events: EventBus | None = None,
         prefilter=None,
+        telemetry=None,
     ) -> StreamIngestor:
         """A live-stream ingestor registered in ``database``."""
         ingestor = StreamIngestor(
@@ -171,6 +173,7 @@ class PipelineBuilder:
             fsa=self.fsa_factory() if self.fsa_factory is not None else None,
             vertex_log=vertex_log,
             events=events,
+            telemetry=telemetry,
         )
         if prefilter is not None:
             ingestor.segmenter.prefilter = prefilter
@@ -185,9 +188,12 @@ class PipelineBuilder:
         events: EventBus | None = None,
         prefilter=None,
         injector=None,
+        telemetry=None,
     ) -> Pipeline:
         """A full pipeline; pass ``patient_id`` to include a live ingestor."""
-        matcher = self.build_matcher(database, injector=injector)
+        matcher = self.build_matcher(
+            database, injector=injector, telemetry=telemetry
+        )
         predictor = self.build_predictor(database, matcher)
         ingestor = None
         if patient_id is not None:
@@ -198,6 +204,7 @@ class PipelineBuilder:
                 vertex_log=vertex_log,
                 events=events,
                 prefilter=prefilter,
+                telemetry=telemetry,
             )
         return Pipeline(
             database=database,

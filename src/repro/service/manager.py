@@ -29,6 +29,8 @@ from ..core.model import Vertex
 from ..core.online import OnlineAnalysisSession, OnlineSessionConfig
 from ..database.store import MotionDatabase
 from ..events import EventBus
+from ..obs.metrics import DEFAULT_COUNT_BUCKETS
+from ..obs.telemetry import default_telemetry
 from .builder import PipelineBuilder
 
 __all__ = ["SessionManager"]
@@ -50,6 +52,16 @@ class SessionManager:
     injector:
         Optional fault injector (chaos tests only), forwarded to the
         shared signature index.
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry`.  When omitted, the
+        manager consults :func:`~repro.obs.default_telemetry` once (the
+        ``REPRO_TELEMETRY`` environment gate).  An enabled manager owns
+        the telemetry *root*: service-level instruments (tick latency,
+        frames, live-session gauge) land on the root registry, each
+        tenant gets a :meth:`~repro.obs.Telemetry.scoped` child keyed by
+        its stream id, the shared matcher/index/backend record into the
+        root, and periodic :class:`~repro.obs.TelemetrySnapshot` events
+        are published on the manager's bus from inside :meth:`tick`.
     """
 
     def __init__(
@@ -58,12 +70,32 @@ class SessionManager:
         builder: PipelineBuilder | None = None,
         events: EventBus | None = None,
         injector=None,
+        telemetry=None,
     ) -> None:
         self.database = database if database is not None else MotionDatabase()
         self.builder = builder if builder is not None else PipelineBuilder()
         self.events = events if events is not None else EventBus()
+        self.telemetry = (
+            telemetry if telemetry is not None else default_telemetry()
+        )
+        if self.telemetry is not None:
+            if self.telemetry.events is None:
+                self.telemetry.events = self.events
+            if self.database.telemetry is None:
+                self.database.telemetry = self.telemetry
+            registry = self.telemetry.registry
+            self._c_ticks = registry.counter("service.ticks")
+            self._c_frames = registry.counter("service.frames")
+            self._h_tick = registry.histogram("service.tick_s")
+            self._h_tick_samples = registry.histogram(
+                "service.tick_samples", bounds=DEFAULT_COUNT_BUCKETS
+            )
+            self._g_sessions = registry.gauge("service.live_sessions")
+            # One reusable span: tick() is never re-entrant, so caching
+            # the context manager avoids a per-tick allocation.
+            self._tick_span = self.telemetry.tracer.span("service.tick")
         self.matcher: SubsequenceMatcher = self.builder.build_matcher(
-            self.database, injector=injector
+            self.database, injector=injector, telemetry=self.telemetry
         )
         self._sessions: dict[str, OnlineAnalysisSession] = {}
 
@@ -95,6 +127,11 @@ class SessionManager:
         """
         if patient_id not in self.database.patient_ids:
             self.database.add_patient(patient_id)
+        scoped = None
+        if self.telemetry is not None:
+            # Scope key matches the default stream id; per-tenant counts
+            # land on the child registry, rolled up in every snapshot.
+            scoped = self.telemetry.scoped(f"{patient_id}/{session_id}")
         session = OnlineAnalysisSession(
             self.database,
             patient_id,
@@ -105,8 +142,11 @@ class SessionManager:
             matcher=self.matcher,
             events=self.events,
             exclude_streams=self.live_stream_ids,
+            telemetry=scoped,
         )
         self._sessions[session.stream_id] = session
+        if self.telemetry is not None:
+            self._g_sessions.set(len(self._sessions))
         self.events.publish(
             "session_opened",
             stream_id=session.stream_id,
@@ -120,6 +160,8 @@ class SessionManager:
         """Finish one session; optionally drop its stream from the store."""
         session = self._sessions.pop(stream_id)
         closed = session.finish(keep_stream=keep_stream)
+        if self.telemetry is not None:
+            self._g_sessions.set(len(self._sessions))
         self.events.publish("session_closed", stream_id=stream_id)
         return closed
 
@@ -150,8 +192,28 @@ class SessionManager:
 
         ``samples`` maps live stream ids to that tick's raw positions;
         sessions are served in open order (deterministic), and the
-        committed vertices are returned per stream.
+        committed vertices are returned per stream.  With telemetry
+        enabled, the tick is timed (``service.tick`` span + histogram)
+        and a periodic ``telemetry_snapshot`` event is published on the
+        manager's bus every ``snapshot_interval`` stream-seconds.
         """
+        telemetry = self.telemetry
+        if telemetry is None:
+            return self._dispatch(t, samples)
+        span = self._tick_span
+        with span:
+            committed = self._dispatch(t, samples)
+        self._h_tick.observe(span.wall)
+        self._c_ticks.inc()
+        self._c_frames.inc(len(samples))
+        self._h_tick_samples.observe(len(samples))
+        telemetry.maybe_publish(t)
+        return committed
+
+    def _dispatch(
+        self, t: float, samples: Mapping[str, Sequence[float] | float]
+    ) -> dict[str, list[Vertex]]:
+        """Serve one tick's samples to their sessions, in open order."""
         committed: dict[str, list[Vertex]] = {}
         for stream_id, session in list(self._sessions.items()):
             if stream_id in samples:

@@ -27,6 +27,7 @@ __all__ = [
     "attach_monitor",
     "attach_alarm",
     "GatingRecorder",
+    "TelemetryRecorder",
 ]
 
 
@@ -139,3 +140,40 @@ class GatingRecorder:
         if not self.decisions:
             return float("nan")
         return sum(on for _, on, _ in self.decisions) / len(self.decisions)
+
+
+class TelemetryRecorder:
+    """Collects the periodic ``telemetry_snapshot`` events off the bus.
+
+    The session manager publishes a
+    :class:`~repro.obs.TelemetrySnapshot` every ``snapshot_interval``
+    stream-seconds (see :meth:`~repro.obs.Telemetry.maybe_publish`);
+    this subscriber keeps them in arrival order, so dashboards, the
+    ``repro metrics`` CLI command and the observability benchmark all
+    read one stream.
+
+    Parameters
+    ----------
+    events:
+        The session bus.
+    keep:
+        Retain at most the ``keep`` most recent snapshots (``None``
+        keeps everything — fine at the default 5 s cadence).
+    """
+
+    def __init__(self, events: EventBus, keep: int | None = None) -> None:
+        if keep is not None and keep < 1:
+            raise ValueError("keep must be None or >= 1")
+        self.keep = keep
+        self.snapshots: list = []
+        events.subscribe("telemetry_snapshot", self._on_snapshot)
+
+    def _on_snapshot(self, event: Event) -> None:
+        self.snapshots.append(event["snapshot"])
+        if self.keep is not None and len(self.snapshots) > self.keep:
+            del self.snapshots[0]
+
+    @property
+    def latest(self):
+        """The most recent snapshot (``None`` before the first one)."""
+        return self.snapshots[-1] if self.snapshots else None

@@ -1,0 +1,198 @@
+"""Property-based tests for the observability layer (hypothesis).
+
+The merge algebra is the load-bearing property: per-tenant registry
+snapshots roll up into the fleet view by plain folds, which is only
+sound if the merge is associative and commutative with ``empty()`` as
+identity.  Counters must be monotone, and telemetry must never perturb
+retrieval (enabled and disabled matchers agree exactly on random
+databases).
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.matching import SubsequenceMatcher
+from repro.database.store import MotionDatabase
+from repro.obs import Counter, MetricsRegistry, RegistrySnapshot, Telemetry
+
+from test_properties import random_plr
+
+BOUNDS = (1e-4, 1e-3, 1e-2, 0.1, 1.0)
+
+amounts = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False), max_size=30
+)
+observations = st.lists(
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False), max_size=40
+)
+
+
+def _histogram_snapshot(values):
+    reg = MetricsRegistry()
+    h = reg.histogram("h", bounds=BOUNDS)
+    for v in values:
+        h.observe(v)
+    return reg.snapshot().histograms["h"]
+
+
+def _registry_snapshot(counters):
+    reg = MetricsRegistry()
+    for name, value in counters.items():
+        reg.inc(name, value)
+    return reg.snapshot()
+
+
+def _assert_histograms_equal(a, b):
+    assert a.counts == b.counts  # bucket counts are integers: exact
+    assert a.count == b.count
+    assert math.isclose(a.total, b.total, rel_tol=1e-12, abs_tol=1e-12)
+    assert a.vmin == b.vmin and a.vmax == b.vmax
+
+
+# -- counters ------------------------------------------------------------------
+
+
+@given(increments=amounts)
+def test_counter_is_monotone(increments):
+    c = Counter("c")
+    previous = 0.0
+    for amount in increments:
+        c.inc(amount)
+        assert c.value >= previous
+        previous = c.value
+    assert math.isclose(
+        c.value, sum(increments), rel_tol=1e-9, abs_tol=1e-9
+    )
+
+
+@given(
+    increments=amounts,
+    bad=st.floats(max_value=-1e-9, min_value=-1e6, allow_nan=False),
+)
+def test_negative_increment_rejected_and_harmless(increments, bad):
+    c = Counter("c")
+    for amount in increments:
+        c.inc(amount)
+    before = c.value
+    try:
+        c.inc(bad)
+        raise AssertionError("negative increment must raise")
+    except ValueError:
+        pass
+    assert c.value == before
+
+
+# -- histogram algebra ---------------------------------------------------------
+
+
+@given(values=observations)
+def test_histogram_internal_consistency(values):
+    snap = _histogram_snapshot(values)
+    assert sum(snap.counts) == snap.count == len(values)
+    assert math.isclose(
+        snap.total, sum(values), rel_tol=1e-9, abs_tol=1e-9
+    )
+    if values:
+        assert snap.vmin == min(values) and snap.vmax == max(values)
+        # quantile() reports the holding bucket's upper bound, so it is
+        # an upper estimate; only the +inf bucket is exact.
+        assert snap.quantile(1.0) >= snap.vmax
+
+
+@given(a=observations, b=observations)
+def test_histogram_merge_commutative(a, b):
+    sa, sb = _histogram_snapshot(a), _histogram_snapshot(b)
+    _assert_histograms_equal(sa.merge(sb), sb.merge(sa))
+
+
+@given(a=observations, b=observations, c=observations)
+def test_histogram_merge_associative(a, b, c):
+    sa, sb, sc = (
+        _histogram_snapshot(a),
+        _histogram_snapshot(b),
+        _histogram_snapshot(c),
+    )
+    _assert_histograms_equal(sa.merge(sb).merge(sc), sa.merge(sb.merge(sc)))
+
+
+@given(a=observations, b=observations)
+def test_histogram_merge_equals_pooled_observation(a, b):
+    merged = _histogram_snapshot(a).merge(_histogram_snapshot(b))
+    pooled = _histogram_snapshot(list(a) + list(b))
+    _assert_histograms_equal(merged, pooled)
+
+
+# -- registry algebra ----------------------------------------------------------
+
+counter_maps = st.dictionaries(
+    st.sampled_from(["q", "r", "s", "t"]),
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    max_size=4,
+)
+
+
+@given(a=counter_maps, b=counter_maps)
+def test_registry_merge_sums_counters(a, b):
+    merged = _registry_snapshot(a).merge(_registry_snapshot(b))
+    for name in set(a) | set(b):
+        assert math.isclose(
+            merged.counter(name),
+            a.get(name, 0.0) + b.get(name, 0.0),
+            rel_tol=1e-9,
+            abs_tol=1e-9,
+        )
+
+
+@given(a=counter_maps, b=counter_maps, c=counter_maps)
+def test_registry_merge_associative_and_has_identity(a, b, c):
+    sa, sb, sc = map(_registry_snapshot, (a, b, c))
+    left = sa.merge(sb).merge(sc)
+    right = sa.merge(sb.merge(sc))
+    for name in set(a) | set(b) | set(c):
+        assert math.isclose(
+            left.counter(name), right.counter(name), rel_tol=1e-9, abs_tol=1e-9
+        )
+    with_identity = RegistrySnapshot.empty().merge(sa)
+    assert dict(with_identity.counters) == dict(sa.counters)
+
+
+# -- telemetry never perturbs retrieval ----------------------------------------
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_streams=st.integers(min_value=1, max_value=3),
+    query_len=st.integers(min_value=3, max_value=6),
+)
+def test_enabled_matcher_identical_on_random_series(seed, n_streams, query_len):
+    rng = np.random.default_rng(seed)
+    db = MotionDatabase()
+    db.add_patient("PA")
+    db.add_patient("PB")
+    for k in range(n_streams):
+        pid = "PA" if k % 2 == 0 else "PB"
+        db.add_stream(
+            pid, f"S{k:02d}", series=random_plr(rng, int(rng.integers(12, 30)))
+        )
+    sid = db.stream_ids[0]
+    series = db.stream(sid).series
+    if len(series) <= query_len:
+        return
+    start = int(rng.integers(0, len(series) - query_len))
+    query = series.subsequence(start, start + query_len)
+
+    telemetry = Telemetry()
+    instrumented = SubsequenceMatcher(db, telemetry=telemetry)
+    plain = SubsequenceMatcher(db)
+    a = instrumented.find_matches(query, sid, threshold=math.inf)
+    b = plain.find_matches(query, sid, threshold=math.inf)
+    assert [(m.stream_id, m.start, m.distance) for m in a] == [
+        (m.stream_id, m.start, m.distance) for m in b
+    ]
+    snap = telemetry.registry.snapshot()
+    assert snap.counter("matcher.queries") == 1
+    assert snap.counter("matcher.matches_returned") == len(a)

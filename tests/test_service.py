@@ -15,18 +15,22 @@ from repro.analysis.monitors import ThresholdAlarm
 from repro.core.model import BreathingState, Vertex
 from repro.core.online import OnlineAnalysisSession, OnlineSessionConfig
 from repro.core.similarity import SimilarityParams
+from repro.database.backend import LoggedBackend
 from repro.database.store import MotionDatabase
 from repro.events import EventBus
 from repro.gating.gating import GatingWindow
+from repro.obs import Telemetry
 from repro.service import (
     GatingRecorder,
     PipelineBuilder,
     SessionManager,
+    TelemetryRecorder,
     attach_alarm,
     attach_monitor,
     attach_vertex_log,
 )
 from repro.signals.respiratory import RespiratorySimulator, SessionConfig
+from repro.testing.faults import FaultInjector, FaultPlan, SimulatedCrash
 
 from conftest import make_series
 
@@ -371,6 +375,186 @@ class TestWiring:
     def test_gating_recorder_empty_is_nan(self):
         recorder = GatingRecorder(EventBus(), GatingWindow(-1.0, 1.0))
         assert np.isnan(recorder.duty_cycle)
+
+
+class TestTelemetryAggregation:
+    """Per-tenant telemetry scopes roll up exactly into the fleet view."""
+
+    @pytest.fixture(scope="class")
+    def telemetry_run(self, small_cohort):
+        raws = _live_raws(small_cohort)
+        telemetry = Telemetry(snapshot_interval=5.0)
+        manager = SessionManager(
+            copy.deepcopy(small_cohort.db), telemetry=telemetry
+        )
+        recorder = TelemetryRecorder(manager.events)
+        by_stream = {}
+        for patient_id, raw in raws.items():
+            session = manager.open_session(
+                patient_id, "MT", config=OnlineSessionConfig()
+            )
+            by_stream[session.stream_id] = raw
+        gauge_open = telemetry.registry.snapshot().gauges[
+            "service.live_sessions"
+        ]
+        times = next(iter(by_stream.values())).times
+        for i, t in enumerate(times):
+            manager.tick(
+                float(t),
+                {sid: raw.values[i] for sid, raw in by_stream.items()},
+            )
+        final = telemetry.snapshot(time=float(times[-1]))
+        manager.close(keep_streams=False)
+        gauge_closed = telemetry.registry.snapshot().gauges[
+            "service.live_sessions"
+        ]
+        return raws, len(times), final, recorder, gauge_open, gauge_closed
+
+    def test_one_scope_per_tenant(self, telemetry_run):
+        raws, _, final, _, _, _ = telemetry_run
+        assert set(final.scopes) == {f"{pid}/MT" for pid in raws}
+        assert len(final.scopes) == N_TENANTS
+
+    def test_scope_counts_sum_to_merged_global(self, telemetry_run):
+        raws, n_ticks, final, _, _, _ = telemetry_run
+        per_tenant = [
+            final.scopes[scope].counter("session.samples")
+            for scope in final.scopes
+        ]
+        assert all(count == n_ticks for count in per_tenant)
+        merged = final.merged
+        assert merged.counter("session.samples") == sum(per_tenant)
+        # Service-level counters live on the root and survive the fold.
+        assert merged.counter("service.ticks") == n_ticks
+        assert merged.counter("service.frames") == n_ticks * N_TENANTS
+
+    def test_service_root_counters(self, telemetry_run):
+        _, n_ticks, final, _, _, _ = telemetry_run
+        root = final.registry
+        assert root.counter("service.ticks") == n_ticks
+        assert root.counter("service.frames") == n_ticks * N_TENANTS
+        assert root.histograms["service.tick_s"].count == n_ticks
+        samples = root.histograms["service.tick_samples"]
+        assert samples.count == n_ticks
+        assert samples.vmin == samples.vmax == N_TENANTS
+
+    def test_live_sessions_gauge_tracks_lifecycle(self, telemetry_run):
+        _, _, _, _, gauge_open, gauge_closed = telemetry_run
+        assert gauge_open == N_TENANTS
+        assert gauge_closed == 0
+
+    def test_periodic_snapshots_published(self, telemetry_run):
+        _, _, final, recorder, _, _ = telemetry_run
+        # 20 stream-seconds at a 5 s cadence: the baseline snapshot plus
+        # one per elapsed interval.
+        assert len(recorder.snapshots) >= 1 + int(LIVE_DURATION / 5.0) - 1
+        assert recorder.latest is recorder.snapshots[-1]
+        published_times = [s.time for s in recorder.snapshots]
+        assert published_times == sorted(published_times)
+        # The bus snapshots are cuts of the same tree the final snapshot
+        # closed over; counters only ever grow between cuts.
+        assert (
+            recorder.latest.merged.counter("session.samples")
+            <= final.merged.counter("session.samples")
+        )
+
+    def test_span_tree_covers_the_pipeline(self, telemetry_run):
+        _, _, final, _, _, _ = telemetry_run
+        spans = {(s.name, s.parent) for s in final.spans}
+        assert ("service.tick", None) in spans
+        assert ("matcher.find", "service.tick") in spans
+
+
+class TestTelemetryCrashRecovery:
+    """Crash/replay must not double-count commits (chaos-seed contract).
+
+    The facade counts *attempted* writes before delegation; the logged
+    backend counts *durable* journal records only after a full batch
+    lands.  An injected crash makes the two diverge by exactly the lost
+    batch, and reopening the directory (the replay path) must not bump
+    either counter.
+    """
+
+    def test_no_double_counted_commits_across_crash_replay(self, tmp_path):
+        vertices = list(make_series(cycles=4))
+        crash_at = 7
+        injector = FaultInjector(FaultPlan.crash_at("log.append", crash_at))
+        telemetry = Telemetry()
+        db = MotionDatabase(
+            backend=LoggedBackend(tmp_path, injector=injector),
+            telemetry=telemetry,
+        )
+        db.add_patient("PA")
+        db.add_stream("PA", "LIVE")
+        committed = 0
+        with pytest.raises(SimulatedCrash):
+            for vertex in vertices:
+                db.commit_vertices("PA/LIVE", [vertex])
+                committed += 1
+        assert committed == crash_at
+        snap = telemetry.registry.snapshot()
+        # Attempted and durable diverge by exactly the in-flight batch.
+        assert snap.counter("backend.commit_batches") == committed + 1
+        assert snap.counter("backend.committed_vertices") == committed + 1
+        assert snap.counter("backend.journal_records") == committed
+        db.close()
+
+        # Second life: reopen replays the journal — a read path, so a
+        # fresh registry must stay at zero.
+        fresh = Telemetry()
+        db2 = MotionDatabase(
+            backend=LoggedBackend(tmp_path), telemetry=fresh
+        )
+        recovered = len(db2.stream("PA/LIVE").series)
+        assert recovered == committed  # the crash lost only its batch
+        snap = fresh.registry.snapshot()
+        assert snap.counter("backend.commit_batches") == 0
+        assert snap.counter("backend.journal_records") == 0
+
+        # Live feeding resumes: counters track exactly the new writes.
+        rest = vertices[recovered:]
+        for vertex in rest:
+            db2.commit_vertices("PA/LIVE", [vertex])
+        snap = fresh.registry.snapshot()
+        assert snap.counter("backend.commit_batches") == len(rest)
+        assert snap.counter("backend.committed_vertices") == len(rest)
+        assert snap.counter("backend.journal_records") == len(rest)
+        db2.close()
+
+        # Third life: everything is durable, nothing was double-journaled.
+        db3 = MotionDatabase(backend=LoggedBackend(tmp_path))
+        assert len(db3.stream("PA/LIVE").series) == len(vertices)
+        db3.close()
+
+    @pytest.mark.chaos
+    @pytest.mark.parametrize("seed", [0, 2, 3])
+    def test_divergence_bounded_at_every_append(self, seed, tmp_path):
+        """Sweep the crash point: attempted − durable is always exactly
+        the one in-flight batch, never more (no silent loss), never less
+        (no double count)."""
+        vertices = list(make_series(cycles=3))
+        rng = np.random.default_rng(seed)
+        crash_at = int(rng.integers(0, len(vertices)))
+        injector = FaultInjector(FaultPlan.crash_at("log.append", crash_at))
+        telemetry = Telemetry()
+        db = MotionDatabase(
+            backend=LoggedBackend(tmp_path / "db", injector=injector),
+            telemetry=telemetry,
+        )
+        db.add_patient("PA")
+        db.add_stream("PA", "LIVE")
+        with pytest.raises(SimulatedCrash):
+            for vertex in vertices:
+                db.commit_vertices("PA/LIVE", [vertex])
+        snap = telemetry.registry.snapshot()
+        diverged = snap.counter("backend.commit_batches") - snap.counter(
+            "backend.journal_records"
+        )
+        assert diverged == 1
+        db.close()
+        db2 = MotionDatabase(backend=LoggedBackend(tmp_path / "db"))
+        assert len(db2.stream("PA/LIVE").series) == crash_at
+        db2.close()
 
 
 class TestSessionEvents:

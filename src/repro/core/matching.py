@@ -230,39 +230,81 @@ class SubsequenceMatcher:
             stats["generated"] = candidates.n_candidates
 
         mask = self._admissible(candidates, query, query_stream_id)
+        codes = candidates.codes
         if exclude_streams is not None:
             excluded = {str(s) for s in exclude_streams}
             excluded.discard(str(query_stream_id))
             if excluded:
-                mask &= np.asarray(
-                    [str(sid) not in excluded for sid in candidates.stream_ids]
-                )
+                if codes is not None:
+                    # Per-stream membership test over the intern table,
+                    # expanded to candidates by integer indexing.
+                    name_ok = np.asarray(
+                        [
+                            nm not in excluded
+                            for nm in candidates.names.tolist()
+                        ]
+                    )
+                    mask &= name_ok[codes]
+                else:
+                    mask &= np.asarray(
+                        [sid not in excluded for sid in candidates.stream_ids]
+                    )
         if restrict_patients is not None:
             allowed = set(restrict_patients)
-            patient_of = self._patient_lookup(candidates.stream_ids)
-            mask &= np.asarray(
-                [patient_of[sid] in allowed for sid in candidates.stream_ids]
-            )
+            if codes is not None:
+                patient_of = self._patient_lookup(candidates.names)
+                name_ok = np.asarray(
+                    [
+                        patient_of[str(nm)] in allowed
+                        for nm in candidates.names.tolist()
+                    ]
+                )
+                mask &= name_ok[codes]
+            else:
+                patient_of = self._patient_lookup(candidates.stream_ids)
+                mask &= np.asarray(
+                    [
+                        patient_of[sid] in allowed
+                        for sid in candidates.stream_ids
+                    ]
+                )
         if not mask.any():
             return []
         candidates = candidates.select(mask)
+        codes = candidates.codes
 
-        relations = self._relations(candidates.stream_ids, query_stream_id)
-        if any(relation is None for relation in relations):
+        relations: list[SourceRelation | None] | None
+        if codes is not None:
+            rel_of, weight_of, vanished = self._relations_by_code(
+                codes, candidates.names, query_stream_id, params
+            )
+            weights = weight_of[codes]
+            relations = None
+        else:
+            rel_of = None
+            relations, weights, vanished = self._relations_and_weights(
+                candidates.stream_ids, query_stream_id, params
+            )
+        if vanished:
             # A stream vanished between index catch-up and ranking
             # (concurrent removal).  Degrade gracefully: drop its
             # candidates rather than fail the whole retrieval; the next
             # lookup's epoch check purges the stale postings.
-            live = np.asarray([r is not None for r in relations])
+            if codes is not None:
+                live = np.asarray(
+                    [rel_of[c] is not None for c in codes.tolist()]
+                )
+            else:
+                live = np.asarray([r is not None for r in relations])
             if not live.any():
                 return []
             candidates = candidates.select(live)
-            relations = [r for r in relations if r is not None]
+            codes = candidates.codes
+            weights = weights[live]
+            if relations is not None:
+                relations = [r for r in relations if r is not None]
         if stats is not None:
             stats["admissible"] = candidates.n_candidates
-        weights = np.asarray(
-            [params.source_weight(rel) for rel in relations]
-        )
         distances = batch_distance(
             query,
             candidates.amplitudes,
@@ -277,15 +319,38 @@ class SubsequenceMatcher:
         kept = np.flatnonzero(keep)
         if stats is not None:
             stats["ranked"] = len(kept)
+        if codes is not None:
+            # The intern table is insertion-ordered but the ranking
+            # contract ties on the id *string*, so map codes through the
+            # lexicographic rank of their names (relative order matches
+            # np.unique's inverse codes exactly).
+            names = candidates.names
+            lex = np.empty(len(names), dtype=np.intp)
+            lex[np.argsort(names)] = np.arange(len(names))
+            rank_codes = lex[codes[kept]]
+        else:
+            rank_codes = None
         indices = kept[
             self._rank(
                 distances[kept],
                 candidates.stream_ids[kept],
                 candidates.starts[kept],
                 max_matches,
+                codes=rank_codes,
             )
         ]
 
+        if codes is not None:
+            return [
+                Match(
+                    stream_id=str(candidates.stream_ids[i]),
+                    start=int(candidates.starts[i]),
+                    n_vertices=query.n_vertices,
+                    distance=float(distances[i]),
+                    relation=rel_of[codes[i]],
+                )
+                for i in indices
+            ]
         return [
             Match(
                 stream_id=str(candidates.stream_ids[i]),
@@ -305,6 +370,7 @@ class SubsequenceMatcher:
         stream_ids: np.ndarray,
         starts: np.ndarray,
         max_matches: int | None,
+        codes: np.ndarray | None = None,
     ) -> np.ndarray:
         """Order candidates by ``(distance, stream_id, start)``.
 
@@ -312,8 +378,16 @@ class SubsequenceMatcher:
         smallest distances plus any candidates tied with the k-th value,
         and only that subset is sorted — the truncated result is exactly
         the full sort's head.
+
+        ``codes`` optionally carries precomputed per-candidate sort keys
+        whose relative order equals the ids' lexicographic order (the
+        interned-code path); otherwise they are derived here.
         """
-        codes = np.unique(stream_ids.astype(str), return_inverse=True)[1]
+        if codes is None:
+            # np.unique sorts the (string) ids directly; converting the
+            # object array to fixed-width unicode first costs more than
+            # the sort and yields the same lexicographic codes.
+            codes = np.unique(stream_ids, return_inverse=True)[1]
         if max_matches is not None and max_matches < len(distances):
             head = np.argpartition(distances, max_matches - 1)[:max_matches]
             cut = distances[head].max()
@@ -399,7 +473,15 @@ class SubsequenceMatcher:
         if query_stream_id is None:
             return np.ones(candidates.n_candidates, dtype=bool)
         m = query.n_vertices
-        same_stream = candidates.stream_ids == query_stream_id
+        if candidates.codes is not None:
+            # Resolve the query stream once against the intern table and
+            # compare int codes instead of object-array strings.
+            hit = np.flatnonzero(candidates.names == query_stream_id)
+            if len(hit) == 0:
+                return np.ones(candidates.n_candidates, dtype=bool)
+            same_stream = candidates.codes == hit[0]
+        else:
+            same_stream = candidates.stream_ids == query_stream_id
         overlaps = (candidates.starts < query.stop) & (
             candidates.starts + m > query.start
         )
@@ -426,6 +508,86 @@ class SubsequenceMatcher:
                 cache[sid] = relation
             relations.append(relation)
         return relations
+
+    def _relations_and_weights(
+        self,
+        stream_ids: np.ndarray,
+        query_stream_id: str | None,
+        params: SimilarityParams,
+    ) -> tuple[list[SourceRelation | None], np.ndarray, bool]:
+        """Provenance and source weight per candidate, one pass.
+
+        Candidates concentrate on a handful of streams, so both the
+        relation lookup and the weight policy are evaluated once per
+        stream (keyed by the id string — cheap C-level hashing) instead
+        of once per candidate.  A vanished stream (concurrent removal)
+        yields relation ``None`` and sets the returned flag.
+        """
+        n = len(stream_ids)
+        if query_stream_id is None:
+            relation = SourceRelation.OTHER_PATIENT
+            weight = params.source_weight(relation)
+            return [relation] * n, np.full(n, float(weight)), False
+        cache: dict[str, tuple[SourceRelation | None, float]] = {}
+        relations: list[SourceRelation | None] = []
+        weights = np.empty(n)
+        vanished = False
+        for i, sid in enumerate(stream_ids):
+            entry = cache.get(sid)
+            if entry is None:
+                try:
+                    relation = self.database.relation(
+                        query_stream_id, str(sid)
+                    )
+                    entry = (relation, params.source_weight(relation))
+                except KeyError:
+                    entry = (None, 0.0)  # removed mid-retrieval
+                cache[sid] = entry
+            relation, weight = entry
+            if relation is None:
+                vanished = True
+            relations.append(relation)
+            weights[i] = weight
+        return relations, weights, vanished
+
+    def _relations_by_code(
+        self,
+        codes: np.ndarray,
+        names: np.ndarray,
+        query_stream_id: str | None,
+        params: SimilarityParams,
+    ) -> tuple[list[SourceRelation | None], np.ndarray, bool]:
+        """Provenance and source weight per interned stream code.
+
+        Returns ``(relation_by_code, weight_by_code, vanished)`` indexed
+        by code; only codes actually present in ``codes`` are evaluated
+        (absent entries stay ``None``/``0.0`` and are never read).  A
+        vanished stream (concurrent removal) leaves its relation ``None``
+        and sets the flag.
+        """
+        n_names = len(names)
+        rel_of: list[SourceRelation | None] = [None] * n_names
+        weight_of = np.zeros(n_names)
+        present = np.unique(codes).tolist()
+        if query_stream_id is None:
+            relation = SourceRelation.OTHER_PATIENT
+            weight = float(params.source_weight(relation))
+            for c in present:
+                rel_of[c] = relation
+                weight_of[c] = weight
+            return rel_of, weight_of, False
+        vanished = False
+        for c in present:
+            try:
+                relation = self.database.relation(
+                    query_stream_id, str(names[c])
+                )
+            except KeyError:
+                vanished = True  # removed mid-retrieval
+                continue
+            rel_of[c] = relation
+            weight_of[c] = params.source_weight(relation)
+        return rel_of, weight_of, vanished
 
     def _patient_lookup(self, stream_ids: np.ndarray) -> dict[str, str | None]:
         """Owning patient per stream; ``None`` marks a vanished stream."""

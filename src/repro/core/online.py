@@ -22,6 +22,7 @@ multi-tenant results stay byte-identical to running alone.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
@@ -33,6 +34,7 @@ from ..events import EventBus
 from ..obs.telemetry import default_telemetry
 from .matching import Match, SubsequenceMatcher
 from .model import Subsequence, Vertex
+from .prediction import PredictionPlan
 from .query import QueryConfig, generate_query
 from .segmentation import SegmenterConfig
 from .similarity import SimilarityParams
@@ -166,6 +168,7 @@ class OnlineAnalysisSession:
         self.predictor = builder.build_predictor(db, self.matcher)
         self._query: Subsequence | None = None
         self._matches: list[Match] = []
+        self._plan: PredictionPlan | None = None
         self._now: float | None = None
         self.n_dropped = 0
         self.n_stale = 0
@@ -175,11 +178,20 @@ class OnlineAnalysisSession:
             self._c_dropped = registry.counter("session.dropped")
             self._c_stale = registry.counter("session.stale")
             self._c_refreshes = registry.counter("session.query_refreshes")
+            self._c_requests = registry.counter("session.predictions_total")
             self._c_predictions = registry.counter("session.predictions_served")
             self._c_declined = registry.counter("session.predictions_declined")
+            self._c_plan_builds = registry.counter("prediction.plan_builds")
+            self._c_plan_hits = registry.counter("prediction.plan_cache_hits")
+            self._c_plan_invalidations = registry.counter(
+                "prediction.plan_cache_invalidations"
+            )
             self._g_matches = registry.gauge("session.matches")
             self._h_observe = registry.histogram("session.observe_s")
             self._h_predict = registry.histogram("session.predict_s")
+            self._h_plan_build = registry.histogram("prediction.plan_build_s")
+            # Reusable span (plan builds never re-enter).
+            self._plan_span = self._t.tracer.span("prediction.plan_build")
 
     # -- streaming --------------------------------------------------------------
 
@@ -253,8 +265,17 @@ class OnlineAnalysisSession:
         self, t: float, position: Sequence[float] | float
     ) -> list[Vertex]:
         """Guard one sample, then ingest it and refresh query/matches."""
-        position = np.atleast_1d(np.asarray(position, dtype=float))
-        if not (np.isfinite(t) and np.all(np.isfinite(position))):
+        if (
+            type(position) is not np.ndarray
+            or position.ndim != 1
+            or position.dtype != np.float64
+        ):
+            position = np.atleast_1d(np.asarray(position, dtype=float))
+        if position.shape == (1,):
+            finite = math.isfinite(t) and math.isfinite(position[0])
+        else:
+            finite = math.isfinite(t) and bool(np.isfinite(position).all())
+        if not finite:
             # Corrupt/stale frames are rare, so they count themselves
             # here instead of the hot path diffing n_dropped/n_stale on
             # every healthy sample.
@@ -284,6 +305,12 @@ class OnlineAnalysisSession:
                 )
             else:
                 self._matches = []
+            if self._plan is not None:
+                # The match set (and the query anchor) just changed, so
+                # the packed buffers no longer describe it.
+                self._plan = None
+                if self._t is not None:
+                    self._c_plan_invalidations.inc()
             if self._t is not None:
                 self._c_refreshes.inc()
                 self._g_matches.set(len(self._matches))
@@ -298,19 +325,53 @@ class OnlineAnalysisSession:
                 )
         return committed
 
+    def prediction_plan(self) -> PredictionPlan | None:
+        """The packed plan over the current matches (``None`` in warm-up).
+
+        Built lazily on the first prediction after a query refresh and
+        cached until the next refresh invalidates it (matches only change
+        then); a database stream removal also forces a rebuild via the
+        removal-epoch snapshot.  The session service serves whole-fleet
+        dispatches straight from these plans.
+        """
+        if self._query is None or not self._matches:
+            return None
+        plan = self._plan
+        if plan is not None and plan.removal_epoch == self.db.removal_epoch:
+            if self._t is not None:
+                self._c_plan_hits.inc()
+            return plan
+        if self._t is None:
+            plan = self.predictor.build_plan(
+                self._query, self._matches, params=self.config.similarity
+            )
+        else:
+            span = self._plan_span
+            with span:
+                plan = self.predictor.build_plan(
+                    self._query, self._matches, params=self.config.similarity
+                )
+            self._h_plan_build.observe(span.wall)
+            self._c_plan_builds.inc()
+        self._plan = plan
+        return plan
+
     def predict_at(self, target_time: float) -> np.ndarray | None:
         """Predicted position at an absolute ``target_time``.
 
-        Uses the cached matches of the current query with the effective
+        Serves from the cached :meth:`prediction_plan` with the effective
         horizon ``target_time - last_vertex_time``; returns ``None`` while
         warming up or when too few matches have a known future.
         """
         if self._t is None:
             return self._predict_at(target_time)
+        self._c_requests.inc()
         if self._query is None or not self._matches:
             # Warm-up fast path (the same guard _predict_at applies
             # first): declines return in well under a microsecond, so
-            # timing them would cost more than the work itself.
+            # timing them would cost more than the work itself — but
+            # they still count in predictions_total above, so decline
+            # rates are visible.
             self._c_declined.inc()
             return None
         t0 = time.perf_counter()
@@ -329,12 +390,11 @@ class OnlineAnalysisSession:
         if horizon < 0:
             # Target inside the already-observed PLR: read it directly.
             return self.ingestor.series.position_at(target_time)
-        usable = self.predictor.with_known_future(self._matches, horizon)
-        if len(usable) < self.config.min_matches:
-            return None
-        position = self.predictor.combine(
-            self._query, usable, horizon, params=self.config.similarity
+        position, n_usable = self.prediction_plan().serve(
+            horizon, min_matches=self.config.min_matches
         )
+        if position is None:
+            return None
         if self.events is not None:
             self.events.publish(
                 "prediction_served",
@@ -342,7 +402,7 @@ class OnlineAnalysisSession:
                 time=target_time,
                 horizon=horizon,
                 position=position,
-                n_matches=len(usable),
+                n_matches=n_usable,
             )
         return position
 

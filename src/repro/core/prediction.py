@@ -24,20 +24,70 @@ ablated in ``benchmarks/bench_ablations.py``.
 
 The same machinery predicts the next segment's amplitude and duration
 (frequency), which the paper notes is analogous.
+
+**Vectorised serving.**  Matches only change when a vertex commits, but
+predictions are requested at the imaging rate (30 Hz) — tens to hundreds
+of serves per match set.  :class:`PredictionPlan` therefore packs the
+matches' futures into columnar buffers once per refresh (anchor, weights,
+per-match reference vertices, and a narrow window of each match's next
+``_PLAN_TAIL_COLUMNS`` stream vertices) so each serve is a handful of
+array ops: a known-future mask, one gather-interpolate over the tail
+windows, and a sequential weighted reduction.  The reductions use
+``np.cumsum`` (strictly left-to-right, unlike ``np.add.reduce``'s
+pairwise tree) so plan outputs are byte-identical to the scalar loop in
+:meth:`OnlinePredictor._combine_scalar`, which stays frozen as the
+reference semantics (see also ``testing/oracle.reference_prediction``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
 from ..database.store import MotionDatabase
 from .matching import Match, SubsequenceMatcher
-from .model import Subsequence
+from .model import PLRSeries, Subsequence
 from .similarity import SimilarityParams
 
-__all__ = ["Prediction", "SegmentForecast", "OnlinePredictor"]
+__all__ = [
+    "Prediction",
+    "SegmentForecast",
+    "OnlinePredictor",
+    "PredictionPlan",
+    "build_prediction_plan",
+    "horizon_grid",
+]
+
+#: Future stream vertices packed per match.  Serving horizons are bounded
+#: by the system latency (<= ~0.3 s, i.e. one or two segments), so almost
+#: every serve lands inside this window; the rare horizon past it falls
+#: back to ``PLRSeries.position_at`` for that row (identical by
+#: definition, just slower).
+_PLAN_TAIL_COLUMNS = 12
+
+
+@lru_cache(maxsize=256)
+def _horizon_grid_cached(n_steps: int, step: float) -> np.ndarray:
+    grid = step * np.arange(1, n_steps + 1)
+    grid.setflags(write=False)
+    return grid
+
+
+def horizon_grid(n_steps: int, step: float) -> np.ndarray:
+    """Memoised look-ahead grid ``step, 2*step, ..., n_steps*step``.
+
+    Grid serving (``PredictionPlan.serve_many``) re-creates the same
+    horizon ladder on every call site; like the vertex-weight ramps in
+    :mod:`.similarity`, the array is tiny but requested constantly, so it
+    is built once per ``(n_steps, step)`` and shared read-only.
+    """
+    if n_steps < 1:
+        raise ValueError("n_steps must be at least 1")
+    if not step > 0:
+        raise ValueError("step must be positive")
+    return _horizon_grid_cached(int(n_steps), float(step))
 
 
 @dataclass(frozen=True)
@@ -62,6 +112,269 @@ class SegmentForecast:
     amplitude: float
     duration: float
     n_matches: int
+
+
+class PredictionPlan:
+    """Packed per-match buffers serving any horizon without Python loops.
+
+    Built once per (query, matches) refresh by
+    :func:`build_prediction_plan` / :meth:`OnlinePredictor.build_plan`.
+    Row ``j`` holds match ``j``'s end time, its stream's end time, its
+    combination weight, its anchor-reference position, and a padded
+    window of the ``_PLAN_TAIL_COLUMNS`` stream vertices following the
+    match (times padded with ``+inf``, positions clamped to the last
+    vertex, so end-of-stream clamping falls out of the interpolation
+    formula: ``alpha = finite / inf = 0``).
+
+    Every serve is byte-identical to the frozen scalar loop
+    (``OnlinePredictor._combine_scalar`` /
+    ``testing.oracle.reference_prediction``) for ``horizon >= 0``; the
+    sums run via ``np.cumsum``, the only numpy reduction with the scalar
+    loop's strict left-to-right association.
+
+    A plan is a snapshot: it stays valid while the underlying streams
+    are unchanged.  Live sessions invalidate on every query refresh
+    (matches can only change then) and :attr:`removal_epoch` guards
+    against streams being dropped from the database underneath it.
+    """
+
+    __slots__ = (
+        "anchor",
+        "n_matches",
+        "ndim",
+        "end_times",
+        "series_ends",
+        "weights",
+        "refs",
+        "tail_packed",
+        "tail_times",
+        "removal_epoch",
+        "_cols",
+        "_row_series",
+    )
+
+    def __init__(
+        self,
+        anchor: np.ndarray,
+        end_times: np.ndarray,
+        series_ends: np.ndarray,
+        weights: np.ndarray,
+        refs: np.ndarray,
+        tail_packed: np.ndarray,
+        row_series: list[PLRSeries],
+        removal_epoch: int,
+    ) -> None:
+        self.anchor = anchor
+        self.n_matches = len(row_series)
+        self.ndim = anchor.shape[0]
+        self.end_times = end_times
+        self.series_ends = series_ends
+        self.weights = weights
+        self.refs = refs
+        # (n, K+1, 1 + ndim): per tail vertex, its time then position —
+        # one packed buffer so a serve gathers segment endpoints with a
+        # single fancy index per side.
+        self.tail_packed = tail_packed
+        self.tail_times = np.ascontiguousarray(tail_packed[..., 0])
+        self.removal_epoch = removal_epoch
+        self._cols = np.arange(self.n_matches)
+        self._row_series = row_series
+
+    # -- kernel -----------------------------------------------------------
+
+    def _futures(
+        self, t: np.ndarray, need: np.ndarray | None
+    ) -> np.ndarray:
+        """Each match's stream position at absolute times ``t``.
+
+        ``t`` has shape ``(..., n_matches)``; leading axes broadcast over
+        the packed buffers (grid serving passes ``(H, n)``).  ``need``
+        masks which entries must be exact — rows whose horizon overflows
+        the packed tail window are recomputed via the scalar
+        ``position_at`` only when needed.
+        """
+        vt = self.tail_times
+        if t.ndim > 1:
+            vt = vt[None]
+        last = vt.shape[-1] - 1
+        # Count of tail vertices at or before t == searchsorted 'right'
+        # on the same values: selects the segment exactly like the
+        # scalar position_at.
+        li = (vt[..., 1:] <= t[..., None]).sum(axis=-1)
+        li_safe = np.minimum(li, last - 1)
+        # Fancy-index gathers: self._cols broadcasts against li's leading
+        # axes, so grid serving gathers a whole (H, n) plane in one call.
+        g0 = self.tail_packed[self._cols, li_safe]
+        g1 = self.tail_packed[self._cols, li_safe + 1]
+        t0 = g0[..., 0]
+        t1 = g1[..., 0]
+        alpha = (t - t0) / (t1 - t0)
+        futures = g0[..., 1:] + alpha[..., None] * (g1[..., 1:] - g0[..., 1:])
+        overflow = li > last - 1
+        if need is not None:
+            overflow = overflow & need
+        if overflow.any():
+            for index in np.argwhere(overflow):
+                where = tuple(index)
+                futures[where] = self._row_series[index[-1]].position_at(
+                    float(t[where])
+                )
+        return futures
+
+    def _reduce(
+        self, t: np.ndarray, usable: np.ndarray | None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Sequential weighted sums over the match axis.
+
+        Returns ``(totals, weight_sums)`` with the match axis reduced.
+        Unusable entries contribute exactly ``0.0`` (bitwise-neutral in a
+        left-to-right sum), mirroring the scalar loop's skip.
+        """
+        futures = self._futures(t, usable)
+        diffs = self.weights[..., None] * (futures - self.refs)
+        if usable is None:
+            weights = np.broadcast_to(self.weights, t.shape)
+        else:
+            diffs = np.where(usable[..., None], diffs, 0.0)
+            weights = np.where(usable, self.weights, 0.0)
+        totals = np.cumsum(diffs, axis=-2)[..., -1, :]
+        weight_sums = np.cumsum(weights, axis=-1)[..., -1]
+        return totals, weight_sums
+
+    # -- serving ----------------------------------------------------------
+
+    def serve(
+        self, horizon: float, min_matches: int = 1
+    ) -> tuple[np.ndarray | None, int]:
+        """Predicted position at ``horizon`` (>= 0) past each match.
+
+        Applies the known-future filter; returns ``(position, n_usable)``
+        with ``position = None`` when fewer than ``min_matches`` matches
+        (always at least one) have a recorded future.
+        """
+        if self.n_matches == 0:
+            return None, 0
+        t = self.end_times + horizon
+        usable = t <= self.series_ends
+        n_usable = int(np.count_nonzero(usable))
+        if n_usable < max(min_matches, 1):
+            return None, n_usable
+        totals, weight_sums = self._reduce(t, usable)
+        return self.anchor + totals / weight_sums, n_usable
+
+    def serve_many(
+        self, horizons: np.ndarray, min_matches: int = 1
+    ) -> list[np.ndarray | None]:
+        """One batched serve for a whole horizon grid.
+
+        Equivalent to ``[serve(h)[0] for h in horizons]`` (byte-identical
+        positions) in a single dispatch over a ``(H, n_matches)`` plane.
+        """
+        horizons = np.asarray(horizons, dtype=float)
+        if self.n_matches == 0:
+            return [None] * len(horizons)
+        t = self.end_times[None, :] + horizons[:, None]
+        usable = t <= self.series_ends
+        counts = np.count_nonzero(usable, axis=1)
+        served = counts >= max(min_matches, 1)
+        if not served.any():
+            return [None] * len(horizons)
+        totals, weight_sums = self._reduce(t, usable)
+        return [
+            self.anchor + totals[i] / weight_sums[i] if served[i] else None
+            for i in range(len(horizons))
+        ]
+
+    def combine_at(self, horizon: float) -> np.ndarray:
+        """The weighted-average future with *no* known-future filter.
+
+        The plan-backed equivalent of ``OnlinePredictor.combine`` over
+        exactly the packed matches; requires ``horizon >= 0``.
+        """
+        if self.n_matches == 0:
+            raise ValueError("combine needs at least one match")
+        if horizon < 0:
+            raise ValueError("prediction plans serve horizons >= 0")
+        t = self.end_times + horizon
+        totals, weight_sums = self._reduce(t, None)
+        return self.anchor + totals / weight_sums
+
+
+def build_prediction_plan(
+    database: MotionDatabase,
+    query: Subsequence,
+    matches: list[Match],
+    params: SimilarityParams,
+    anchor: str = "last",
+    distance_weighted: bool = False,
+) -> PredictionPlan:
+    """Pack ``matches`` into a :class:`PredictionPlan`.
+
+    One pass groups the matches by stream so each stream's time/position
+    arrays are gathered vectorised (matches concentrate on few streams).
+    """
+    if anchor == "last":
+        anchor_position = query.last_vertex.position_array()
+    else:
+        anchor_position = query.first_vertex.position_array()
+    n = len(matches)
+    ndim = anchor_position.shape[0]
+    window = _PLAN_TAIL_COLUMNS + 1
+    end_times = np.empty(n)
+    series_ends = np.empty(n)
+    weights = np.empty(n)
+    refs = np.empty((n, ndim))
+    tail_packed = np.empty((n, window, 1 + ndim))
+    row_series: list[PLRSeries] = [None] * n  # type: ignore[list-item]
+    groups: dict[str, tuple[PLRSeries, list[int]]] = {}
+    weight_of: dict = {}
+    ends_all = np.empty(n, dtype=np.intp)
+    starts_all = np.empty(n, dtype=np.intp)
+    for j, match in enumerate(matches):
+        entry = groups.get(match.stream_id)
+        if entry is None:
+            entry = (database.stream(match.stream_id).series, [])
+            groups[match.stream_id] = entry
+        entry[1].append(j)
+        row_series[j] = entry[0]
+        start = match.start
+        starts_all[j] = start
+        ends_all[j] = start + match.n_vertices - 1
+        weight = weight_of.get(match.relation)
+        if weight is None:
+            weight = params.source_weight(match.relation)
+            weight_of[match.relation] = weight
+        if distance_weighted:
+            weight = weight / (1.0 + match.distance)
+        weights[j] = weight
+    offsets = np.arange(window)
+    for series, group_rows in groups.values():
+        times = series.times
+        positions = series.positions
+        rows = np.asarray(group_rows, dtype=np.intp)
+        ends = ends_all[rows]
+        end_times[rows] = times[ends]
+        series_ends[rows] = times[-1]
+        if anchor == "last":
+            refs[rows] = positions[ends]
+        else:
+            refs[rows] = positions[starts_all[rows]]
+        indices = ends[:, None] + offsets
+        clamped = np.minimum(indices, len(times) - 1)
+        tail_packed[rows, :, 0] = np.where(
+            indices < len(times), times[clamped], np.inf
+        )
+        tail_packed[rows, :, 1:] = positions[clamped]
+    return PredictionPlan(
+        anchor=anchor_position,
+        end_times=end_times,
+        series_ends=series_ends,
+        weights=weights,
+        refs=refs,
+        tail_packed=tail_packed,
+        row_series=row_series,
+        removal_epoch=database.removal_epoch,
+    )
 
 
 class OnlinePredictor:
@@ -177,6 +490,26 @@ class OnlinePredictor:
                 usable.append(match)
         return usable
 
+    def build_plan(
+        self,
+        query: Subsequence,
+        matches: list[Match],
+        params: SimilarityParams | None = None,
+    ) -> PredictionPlan:
+        """Pack ``matches`` into a reusable :class:`PredictionPlan`.
+
+        Build once per match refresh, then serve every tick/horizon from
+        the plan; outputs are byte-identical to :meth:`combine`.
+        """
+        return build_prediction_plan(
+            self.database,
+            query,
+            matches,
+            params=params or self.matcher.params,
+            anchor=self.anchor,
+            distance_weighted=self.distance_weighted,
+        )
+
     def combine(
         self,
         query: Subsequence,
@@ -187,6 +520,25 @@ class OnlinePredictor:
         """The weighted-average future position for given matches."""
         if not matches:
             raise ValueError("combine needs at least one match")
+        if horizon < 0:
+            # Plans only pack each match's future; a (rare, analysis-only)
+            # negative horizon reads the past through the scalar loop.
+            return self._combine_scalar(query, matches, horizon, params)
+        return self.build_plan(query, matches, params).combine_at(horizon)
+
+    def _combine_scalar(
+        self,
+        query: Subsequence,
+        matches: list[Match],
+        horizon: float,
+        params: SimilarityParams | None = None,
+    ) -> np.ndarray:
+        """The frozen per-match Python loop (reference semantics).
+
+        Kept verbatim as the plan kernel's ground truth — see
+        ``testing/oracle.reference_prediction`` and the equivalence
+        sweeps in ``tests/test_prediction_plan.py``.
+        """
         params = params or self.matcher.params
         if self.anchor == "last":
             anchor = query.last_vertex.position_array()

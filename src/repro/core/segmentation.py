@@ -240,6 +240,11 @@ class OnlineSegmenter:
         self._last_time: float | None = None
         self._smoothed: np.ndarray | None = None
         self._raw_prev: np.ndarray | None = None
+        # Python-float mirrors of the 1-d despike/smooth state, driving
+        # the scalar fast path in add_point (None until the array stages
+        # have initialised, or n-axis streams: always the array path).
+        self._prev_s: float | None = None
+        self._smoothed_s: float | None = None
         self._slope = _SlidingSlope(self.config.velocity_window)
         self._range = _DecayingRange(self.config.range_decay_seconds)
         self._vscale = _DecayingPeak(self.config.range_decay_seconds)
@@ -259,7 +264,12 @@ class OnlineSegmenter:
 
     def add_point(self, t: float, position: Sequence[float] | float) -> list[Vertex]:
         """Process one raw sample; return vertices committed by this sample."""
-        position = np.atleast_1d(np.asarray(position, dtype=float))
+        if (
+            type(position) is not np.ndarray
+            or position.ndim != 1
+            or position.dtype != np.float64
+        ):
+            position = np.atleast_1d(np.asarray(position, dtype=float))
         if self._last_time is not None and t <= self._last_time:
             raise ValueError(f"time {t} not after previous sample {self._last_time}")
 
@@ -268,19 +278,45 @@ class OnlineSegmenter:
                 np.asarray(self.prefilter(t, position), dtype=float)
             )
         dt = 0.0 if self._last_time is None else t - self._last_time
-        clean = self._despike(position, dt)
-        smoothed = self._smooth(clean, dt)
+        if dt > 0.0 and self._prev_s is not None and position.shape == (1,):
+            # Scalar fast path for single-axis streams: the same IEEE
+            # double despike/smooth arithmetic as the array stages below
+            # (bit-for-bit), computed in Python floats to skip per-sample
+            # ufunc dispatch; the array state mirrors stay in sync.
+            p = position.item()
+            max_step = self.config.spike_velocity * dt
+            step = p - self._prev_s
+            if step > max_step:
+                step = max_step
+            elif step < -max_step:
+                step = -max_step
+            clean_s = self._prev_s + step
+            self._prev_s = clean_s
+            self._raw_prev[0] = clean_s
+            alpha = dt / (self.config.smoothing_seconds + dt)
+            x = self._smoothed_s
+            x = x + alpha * (clean_s - x)
+            self._smoothed_s = x
+            smoothed = self._smoothed
+            smoothed[0] = x
+        else:
+            clean = self._despike(position, dt)
+            smoothed = self._smooth(clean, dt)
+            x = float(smoothed[0])
+            if len(smoothed) == 1:
+                self._prev_s = float(self._raw_prev[0])
+                self._smoothed_s = x
         self._last_time = t
 
-        self._slope.add(t, float(smoothed[0]))
-        self._range.update(float(smoothed[0]), dt)
+        self._slope.add(t, x)
+        self._range.update(x, dt)
         velocity = self._slope.slope()
         self._vscale.update(abs(velocity), dt)
 
         if self._t is not None:
             self._c_points.inc()
 
-        proposal = self._classify(float(smoothed[0]), velocity)
+        proposal = self._classify(x, velocity)
         return self._advance(t, smoothed, proposal)
 
     def extend(self, times: Sequence[float], values: np.ndarray) -> list[Vertex]:
@@ -318,7 +354,11 @@ class OnlineSegmenter:
             self._raw_prev = position.copy()
             return position
         max_step = self.config.spike_velocity * dt
-        step = np.clip(position - self._raw_prev, -max_step, max_step)
+        # minimum(maximum(...)) is what np.clip computes, minus the
+        # fromnumeric wrapper that dominates at one sample per call.
+        step = np.minimum(
+            np.maximum(position - self._raw_prev, -max_step), max_step
+        )
         clean = self._raw_prev + step
         self._raw_prev = clean
         return clean

@@ -57,9 +57,27 @@ N_STATES = 4
 MAX_RADIX_SEGMENTS = 31
 
 
+#: Catch-up batches at or below this many windows skip the vectorised
+#: batch machinery for direct scalar appends (see ``catch_up_all``).
+_SMALL_CATCH_UP = 8
+
+
 def _radix(n_segments: int) -> np.ndarray:
     """Positional radix vector ``[1, b, b^2, ...]`` for key packing."""
     return N_STATES ** np.arange(n_segments, dtype=np.int64)
+
+
+_radix_int_cache: dict[int, list[int]] = {}
+
+
+def _radix_ints(n_segments: int) -> list[int]:
+    """:func:`_radix` as cached Python ints (the scalar packing path)."""
+    radix = _radix_int_cache.get(n_segments)
+    if radix is None:
+        radix = _radix_int_cache[n_segments] = [
+            int(r) for r in _radix(n_segments)
+        ]
+    return radix
 
 
 def encode_signature(signature) -> int | bytes:
@@ -114,12 +132,21 @@ class CandidateSet:
         Window start vertex per window.
     amplitudes, durations:
         Feature matrices, shape ``(n_windows, n_segments)``.
+    codes, names:
+        Optional interned representation from the signature index:
+        ``names[codes[i]] == stream_ids[i]``.  When present, consumers
+        can do per-stream work (provenance, filters, ranking keys) once
+        per unique stream and expand by integer fancy-indexing instead
+        of paying Python-level string work per candidate.  The linear
+        scan path leaves them ``None``.
     """
 
     stream_ids: np.ndarray
     starts: np.ndarray
     amplitudes: np.ndarray
     durations: np.ndarray
+    codes: np.ndarray | None = None
+    names: np.ndarray | None = None
 
     @property
     def n_candidates(self) -> int:
@@ -133,6 +160,8 @@ class CandidateSet:
             starts=self.starts[mask],
             amplitudes=self.amplitudes[mask],
             durations=self.durations[mask],
+            codes=None if self.codes is None else self.codes[mask],
+            names=self.names,
         )
 
 
@@ -207,6 +236,23 @@ class _ColumnarPostings:
         self.n += k
         self._stacked = None
 
+    def append_one(
+        self,
+        stream_code: int,
+        start: int,
+        amplitudes: np.ndarray,
+        durations: np.ndarray,
+    ) -> None:
+        """Append a single window (the tiny-batch catch-up path)."""
+        n = self.n
+        self._reserve(n + 1)
+        self._stream_codes[n] = stream_code
+        self._starts[n] = start
+        self._amplitudes[n] = amplitudes
+        self._durations[n] = durations
+        self.n = n + 1
+        self._stacked = None
+
     def stacked(self, stream_names: np.ndarray) -> CandidateSet:
         """The posting list as a :class:`CandidateSet` (cached).
 
@@ -215,11 +261,14 @@ class _ColumnarPostings:
         buffer prefix.
         """
         if self._stacked is None:
+            codes = self._stream_codes[: self.n]
             self._stacked = CandidateSet(
-                stream_ids=stream_names[self._stream_codes[: self.n]],
+                stream_ids=stream_names[codes],
                 starts=self._starts[: self.n],
                 amplitudes=self._amplitudes[: self.n],
                 durations=self._durations[: self.n],
+                codes=codes,
+                names=stream_names,
             )
         return self._stacked
 
@@ -276,6 +325,46 @@ class _LengthIndex:
         n_segments = m - 1
         if n_segments > MAX_RADIX_SEGMENTS:
             return self._catch_up_bytes(records, n_segments, injector)
+        # (stream_id, series, first new window, last new window) per
+        # stream with anything to index.
+        pending = []
+        total = 0
+        for record in records:
+            if injector is not None:
+                injector.fire("index.catch_up")
+            series = record.series
+            last = len(series) - m
+            start = self._next_start.get(record.stream_id, 0)
+            if last < start:
+                continue
+            pending.append((record.stream_id, series, start, last))
+            total += last - start + 1
+        if not pending:
+            return 0
+        if total <= _SMALL_CATCH_UP:
+            # Steady-state serving: each live commit adds a handful of
+            # windows, and the batch machinery's fixed numpy dispatch
+            # cost (concatenates, the strided matmul, the argsort)
+            # dwarfs the actual work at that size.  Pack each key with
+            # Python-int radix arithmetic and append rows directly.
+            radix = _radix_ints(n_segments)
+            for stream_id, series, start, last in pending:
+                states = series.states
+                amplitudes = series.amplitudes
+                durations = series.durations
+                code = self._code(stream_id)
+                for s in range(start, last + 1):
+                    key = 0
+                    for j, r in enumerate(radix):
+                        key += int(states[s + j]) * r
+                    self._posting(key, n_segments).append_one(
+                        code,
+                        s,
+                        amplitudes[s : s + n_segments],
+                        durations[s : s + n_segments],
+                    )
+                self._next_start[stream_id] = last + 1
+            return total
         sep = max(n_segments - 1, 0)
         sep_states = np.full(sep, -1, dtype=np.int8)
         sep_feats = np.zeros(sep, dtype=float)
@@ -287,18 +376,11 @@ class _LengthIndex:
         amp_parts: list[np.ndarray] = []
         dur_parts: list[np.ndarray] = []
         pos = 0
-        for record in records:
-            if injector is not None:
-                injector.fire("index.catch_up")
-            series = record.series
-            last = len(series) - m
-            start = self._next_start.get(record.stream_id, 0)
-            if last < start:
-                continue
+        for stream_id, series, start, last in pending:
             n_new = last - start + 1
             first_starts.append(start)
             counts.append(n_new)
-            codes.append(self._code(record.stream_id))
+            codes.append(self._code(stream_id))
             offsets.append(pos)
             if n_segments > 0:
                 # Window s spans states/amplitudes/durations[s : s+m-1];
@@ -313,11 +395,8 @@ class _LengthIndex:
                 pos += n_new + n_segments - 1 + sep
             else:
                 pos += n_new
-            self._next_start[record.stream_id] = last + 1
-        if not counts:
-            return 0
+            self._next_start[stream_id] = last + 1
         count_arr = np.asarray(counts, dtype=np.int64)
-        total = int(count_arr.sum())
         shift = np.concatenate(([0], np.cumsum(count_arr)[:-1]))
         ramp = np.arange(total, dtype=np.int64)
         starts = ramp + np.repeat(

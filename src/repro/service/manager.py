@@ -24,9 +24,12 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping, Sequence
 
+import numpy as np
+
 from ..core.matching import SubsequenceMatcher
 from ..core.model import Vertex
 from ..core.online import OnlineAnalysisSession, OnlineSessionConfig
+from ..core.prediction import PredictionPlan
 from ..database.store import MotionDatabase
 from ..events import EventBus
 from ..obs.metrics import DEFAULT_COUNT_BUCKETS
@@ -34,6 +37,159 @@ from ..obs.telemetry import default_telemetry
 from .builder import PipelineBuilder
 
 __all__ = ["SessionManager"]
+
+
+class _FleetDispatch:
+    """Per-tenant prediction plans stacked into one padded tensor set.
+
+    Rows are sessions, columns are matches (padded to the widest tenant);
+    one :meth:`serve` answers every tenant's horizon in a single pass of
+    array ops.  Padding is bitwise-neutral: padded columns are masked
+    unusable (``series_end = -inf``) and contribute exact zeros to the
+    sequential ``cumsum`` reductions, so each row's position is
+    byte-identical to that tenant's own ``PredictionPlan.serve``.
+
+    The stack is cached by the manager and rebuilt only when the set of
+    live plans changes (a tenant's query refresh, open/close) — the
+    rebuild itself is a cheap copy of a few kilobytes per tenant.
+    """
+
+    def __init__(
+        self, sessions: list[OnlineAnalysisSession], plans: list[PredictionPlan]
+    ) -> None:
+        self.sessions = sessions
+        self.plans = plans
+        n_rows = len(plans)
+        width = max(plan.n_matches for plan in plans)
+        window = plans[0].tail_times.shape[1]
+        ndim = plans[0].ndim
+        self.min_matches = np.asarray(
+            [max(s.config.min_matches, 1) for s in sessions]
+        )
+        self.anchors = np.empty((n_rows, ndim))
+        self.end_times = np.zeros((n_rows, width))
+        self.series_ends = np.full((n_rows, width), -np.inf)
+        self.weights = np.zeros((n_rows, width))
+        self.refs = np.zeros((n_rows, width, ndim))
+        # Padded match tails, packed time-then-position per tail vertex
+        # (same layout as PredictionPlan.tail_packed).  Padded columns
+        # keep tail time 0 then +inf so their interpolation stays finite.
+        packed = np.zeros((n_rows, width, window, 1 + ndim))
+        packed[..., 1:, 0] = np.inf
+        for s, plan in enumerate(plans):
+            n = plan.n_matches
+            self.anchors[s] = plan.anchor
+            self.end_times[s, :n] = plan.end_times
+            self.series_ends[s, :n] = plan.series_ends
+            self.weights[s, :n] = plan.weights
+            self.refs[s, :n] = plan.refs
+            packed[s, :n] = plan.tail_packed
+        self.tail_times = np.ascontiguousarray(packed[..., 0])
+        # Consecutive tail vertices side by side: one gather per serve
+        # fetches both interpolation endpoints.
+        self.tail_pairs = np.ascontiguousarray(
+            np.concatenate(
+                [packed[:, :, :-1, :], packed[:, :, 1:, :]], axis=3
+            )
+        )
+        self._split = 1 + ndim
+        # Preallocated per-serve workspaces: serve() runs once per frame
+        # for the whole fleet, so every intermediate writes into a fixed
+        # buffer (ufunc ``out=``) instead of allocating.  Only the
+        # returned positions array is freshly allocated per call — the
+        # caller hands out row views that must outlive the next serve.
+        pair_width = 2 * (1 + ndim)
+        n_pairs = window - 1
+        self._tail_upper = np.ascontiguousarray(self.tail_times[:, :, 1:])
+        self._pairs_flat = self.tail_pairs.reshape(-1, pair_width)
+        self._base = (
+            np.arange(n_rows)[:, None] * width + np.arange(width)[None, :]
+        ) * n_pairs
+        self._w3 = self.weights[:, :, None]
+        self._b_t = np.empty((n_rows, width))
+        self._b_usable = np.empty((n_rows, width), dtype=bool)
+        self._b_not = np.empty((n_rows, width), dtype=bool)
+        self._b_counts = np.empty(n_rows, dtype=np.intp)
+        self._b_served = np.empty(n_rows, dtype=bool)
+        self._b_cmp = np.empty((n_rows, width, n_pairs), dtype=bool)
+        self._b_li = np.empty((n_rows, width), dtype=np.intp)
+        self._b_ls = np.empty((n_rows, width), dtype=np.intp)
+        self._b_flat = np.empty((n_rows, width), dtype=np.intp)
+        self._b_g = np.empty((n_rows, width, pair_width))
+        self._b_alpha = np.empty((n_rows, width))
+        self._b_den = np.empty((n_rows, width))
+        self._b_fut = np.empty((n_rows, width, ndim))
+        self._b_over = np.empty((n_rows, width), dtype=bool)
+        self._b_w = np.empty((n_rows, width))
+        self._b_cum3 = np.empty((n_rows, width, ndim))
+        self._b_cum2 = np.empty((n_rows, width))
+
+    def matches_rows(
+        self, sessions: list[OnlineAnalysisSession], plans: list[PredictionPlan]
+    ) -> bool:
+        """True when the cached stack was built from exactly these rows."""
+        return (
+            len(plans) == len(self.plans)
+            and all(a is b for a, b in zip(plans, self.plans))
+            and all(a is b for a, b in zip(sessions, self.sessions))
+        )
+
+    def serve(
+        self, horizons: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Serve row ``s`` at ``horizons[s]`` for every row at once.
+
+        Returns ``(served, counts, positions)``; ``positions[s]`` is
+        only meaningful where ``served[s]`` (enough usable matches).
+        """
+        t = np.add(self.end_times, horizons[:, None], out=self._b_t)
+        usable = np.less_equal(t, self.series_ends, out=self._b_usable)
+        counts = usable.sum(axis=1, dtype=np.intp, out=self._b_counts)
+        served = np.greater_equal(
+            counts, self.min_matches, out=self._b_served
+        )
+        last = self._b_cmp.shape[-1]  # == window - 1
+        np.less_equal(self._tail_upper, t[:, :, None], out=self._b_cmp)
+        li = self._b_cmp.sum(axis=2, dtype=np.intp, out=self._b_li)
+        li_safe = np.minimum(li, last - 1, out=self._b_ls)
+        split = self._split
+        flat = np.add(self._base, li_safe, out=self._b_flat)
+        g = self._pairs_flat.take(flat, axis=0, mode="clip", out=self._b_g)
+        t0 = g[..., 0]
+        t1 = g[..., split]
+        p0 = g[..., 1:split]
+        p1 = g[..., split + 1 :]
+        num = np.subtract(t, t0, out=self._b_alpha)
+        den = np.subtract(t1, t0, out=self._b_den)
+        alpha = np.divide(num, den, out=self._b_alpha)
+        futures = np.subtract(p1, p0, out=self._b_fut)
+        np.multiply(futures, alpha[:, :, None], out=futures)
+        np.add(futures, p0, out=futures)
+        overflow = np.greater(li, last - 1, out=self._b_over)
+        np.logical_and(overflow, usable, out=overflow)
+        if overflow.any():
+            for s, r in np.argwhere(overflow):
+                futures[s, r] = self.plans[s]._row_series[r].position_at(
+                    float(t[s, r])
+                )
+        diffs = np.subtract(futures, self.refs, out=futures)
+        np.multiply(diffs, self._w3, out=diffs)
+        unusable = np.logical_not(usable, out=self._b_not)
+        np.copyto(diffs, 0.0, where=unusable[:, :, None])
+        weights = self._b_w
+        np.copyto(weights, self.weights)
+        np.copyto(weights, 0.0, where=unusable)
+        totals = diffs.cumsum(axis=1, out=self._b_cum3)[:, -1, :]
+        weight_sums = weights.cumsum(axis=1, out=self._b_cum2)[:, -1]
+        if served.all():
+            positions = self.anchors + totals / weight_sums[:, None]
+        else:
+            positions = np.empty_like(self.anchors)
+            rows = np.nonzero(served)[0]
+            positions[rows] = (
+                self.anchors[rows] + totals[rows] / weight_sums[rows, None]
+            )
+        return served, counts, positions
 
 
 class SessionManager:
@@ -91,13 +247,24 @@ class SessionManager:
                 "service.tick_samples", bounds=DEFAULT_COUNT_BUCKETS
             )
             self._g_sessions = registry.gauge("service.live_sessions")
-            # One reusable span: tick() is never re-entrant, so caching
-            # the context manager avoids a per-tick allocation.
+            self._c_batches = registry.counter("service.predict_batches")
+            self._h_batch_rows = registry.histogram(
+                "service.predict_batch_rows", bounds=DEFAULT_COUNT_BUCKETS
+            )
+            self._h_plan_serve = registry.histogram("prediction.plan_serve_s")
+            # One reusable span each: tick() and fleet serving are never
+            # re-entrant, so caching the context managers avoids a
+            # per-call allocation.
             self._tick_span = self.telemetry.tracer.span("service.tick")
+            self._plan_serve_span = self.telemetry.tracer.span(
+                "prediction.plan_serve"
+            )
         self.matcher: SubsequenceMatcher = self.builder.build_matcher(
             self.database, injector=injector, telemetry=self.telemetry
         )
         self._sessions: dict[str, OnlineAnalysisSession] = {}
+        self._fleet: _FleetDispatch | None = None
+        self._horizons_buf: np.ndarray | None = None
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -227,6 +394,123 @@ class SessionManager:
     def predict_at(self, stream_id: str, target_time: float):
         """One tenant's prediction at an absolute time (or ``None``)."""
         return self._sessions[stream_id].predict_at(target_time)
+
+    def predict_ahead_all(
+        self, latency: float
+    ) -> dict[str, np.ndarray | None]:
+        """Every tenant's latency-compensated prediction, one dispatch.
+
+        The fleet-serving entry point: instead of looping
+        :meth:`predict_ahead` per tenant, every session's cached
+        prediction plan is stacked into one padded tensor set (cached
+        across calls, rebuilt only when some tenant's matches changed)
+        and a single vectorised pass serves the whole fleet.  Results
+        are byte-identical to the per-tenant calls, and per-session
+        counters/events fire exactly as they would individually; the
+        batched serve is timed as ``prediction.plan_serve`` instead of
+        per-tenant ``session.predict_s``.
+
+        Returns ``{stream_id: position | None}`` in open order.
+        """
+        return self._predict_fleet(
+            (
+                stream_id,
+                session,
+                None if session._now is None else session._now + latency,
+            )
+            for stream_id, session in self._sessions.items()
+        )
+
+    def predict_at_all(
+        self, target_time: float
+    ) -> dict[str, np.ndarray | None]:
+        """Every tenant's prediction at one absolute time, one dispatch."""
+        return self._predict_fleet(
+            (stream_id, session, target_time)
+            for stream_id, session in self._sessions.items()
+        )
+
+    def _predict_fleet(
+        self,
+        targets: Iterable[tuple[str, OnlineAnalysisSession, float | None]],
+    ) -> dict[str, np.ndarray | None]:
+        """Serve one prediction target per tenant via the stacked plans."""
+        results: dict[str, np.ndarray | None] = {}
+        rows: list[tuple[str, OnlineAnalysisSession, float, float]] = []
+        row_sessions: list[OnlineAnalysisSession] = []
+        row_plans: list[PredictionPlan] = []
+        epoch = self.database.removal_epoch
+        for stream_id, session, target in targets:
+            results[stream_id] = None
+            if target is None:
+                continue  # no samples yet: not a request, same as solo
+            if session._t is None:
+                # Inline the plan-cache hit check; the method call only
+                # pays off when telemetry needs the hit counters.
+                plan = session._plan
+                if plan is None or plan.removal_epoch != epoch:
+                    plan = session.prediction_plan()
+            else:
+                session._c_requests.inc()
+                plan = session.prediction_plan()
+            if plan is None:
+                # Warm-up decline, identical to the solo fast path.
+                if session._t is not None:
+                    session._c_declined.inc()
+                continue
+            horizon = target - session.ingestor.series.end_time
+            if horizon < 0:
+                # Target inside the observed PLR: direct read, no batch.
+                results[stream_id] = session.ingestor.series.position_at(
+                    target
+                )
+                if session._t is not None:
+                    session._c_predictions.inc()
+                continue
+            rows.append((stream_id, session, target, horizon))
+            row_sessions.append(session)
+            row_plans.append(plan)
+        if not rows:
+            return results
+        n = len(rows)
+        buf = self._horizons_buf
+        if buf is None or len(buf) < n:
+            buf = self._horizons_buf = np.empty(max(n, 8))
+        horizons = buf[:n]
+        for k in range(n):
+            horizons[k] = rows[k][3]
+        fleet = self._fleet
+        if fleet is None or not fleet.matches_rows(row_sessions, row_plans):
+            fleet = _FleetDispatch(row_sessions, row_plans)
+            self._fleet = fleet
+        if self.telemetry is None:
+            served, counts, positions = fleet.serve(horizons)
+        else:
+            span = self._plan_serve_span
+            with span:
+                served, counts, positions = fleet.serve(horizons)
+            self._h_plan_serve.observe(span.wall)
+            self._c_batches.inc()
+            self._h_batch_rows.observe(len(rows))
+        for k, (stream_id, session, target, horizon) in enumerate(rows):
+            if not served[k]:
+                if session._t is not None:
+                    session._c_declined.inc()
+                continue
+            position = positions[k]
+            results[stream_id] = position
+            if session._t is not None:
+                session._c_predictions.inc()
+            if session.events is not None:
+                session.events.publish(
+                    "prediction_served",
+                    stream_id=stream_id,
+                    time=target,
+                    horizon=horizon,
+                    position=position,
+                    n_matches=int(counts[k]),
+                )
+        return results
 
     # -- introspection ----------------------------------------------------------
 

@@ -14,6 +14,14 @@ algorithms:
   through a plain transliteration of the streaming algorithm (sliding
   least-squares slope recomputed from scratch each sample rather than via
   running sums).
+* :func:`reference_prediction` — Section 4.3 prediction serving as a
+  per-match Python loop: known-future filter, linear-scan interpolation
+  of each match's own future, weighted re-anchored average.  The
+  vectorised :class:`~repro.core.prediction.PredictionPlan` (and the
+  session service's fleet dispatch built on it) must reproduce this
+  **byte-identically** — its reductions are sequential ``cumsum`` for
+  exactly that reason, so the equivalence sweeps assert
+  ``np.array_equal``, not closeness.
 
 :func:`check_equivalence` is the single entry point both the chaos suite
 and the hypothesis property tests call, so every future performance PR
@@ -45,6 +53,7 @@ __all__ = [
     "check_plr_invariants",
     "reference_distance",
     "reference_matches",
+    "reference_prediction",
     "reference_segment",
 ]
 
@@ -349,6 +358,88 @@ def reference_segment(
     ):
         series.append(Vertex(last_time, tuple(smoothed), current_state))
     return series
+
+
+# -- reference predictor -------------------------------------------------------
+
+
+def _reference_position_at(series: PLRSeries, t: float) -> list[float]:
+    """The PLR polyline position at ``t`` by linear scan (no searchsorted).
+
+    Clamps to the first/last vertex outside the covered span, exactly
+    like :meth:`~repro.core.model.PLRSeries.position_at`.
+    """
+    times = [float(x) for x in series.times]
+    positions = series.positions
+    if t <= times[0]:
+        return [float(x) for x in positions[0]]
+    if t >= times[-1]:
+        return [float(x) for x in positions[-1]]
+    i = 0
+    while i + 1 < len(times) and times[i + 1] <= t:
+        i += 1
+    p0 = [float(x) for x in positions[i]]
+    if not times[i + 1] > times[i]:
+        return p0
+    alpha = (t - times[i]) / (times[i + 1] - times[i])
+    p1 = [float(x) for x in positions[i + 1]]
+    return [p0[c] + alpha * (p1[c] - p0[c]) for c in range(len(p0))]
+
+
+def reference_prediction(
+    database: MotionDatabase,
+    query: Subsequence,
+    matches: Sequence[Match],
+    horizon: float,
+    params: SimilarityParams | None = None,
+    min_matches: int = 1,
+    anchor: str = "last",
+    distance_weighted: bool = False,
+) -> np.ndarray | None:
+    """Section 4.3 prediction serving, one match at a time in plain Python.
+
+    Filters to matches whose stream records a future ``horizon`` past the
+    match ("the immediate future of a historical subsequence is known"),
+    declines (returns ``None``) below ``min_matches``, then averages the
+    matches' re-anchored futures:
+
+        predicted = q_anchor + sum_j w_j (v_j(h) - r_j) / sum_j w_j
+
+    The arithmetic is ordinary IEEE doubles in match order, which is what
+    the vectorised plan engine reproduces byte-for-byte.
+    """
+    params = params or SimilarityParams()
+    usable = []
+    for match in matches:
+        series = database.stream(match.stream_id).series
+        end_index = match.start + match.n_vertices - 1
+        end_time = float(series.times[end_index])
+        if end_time + horizon <= float(series.times[-1]):
+            usable.append((match, series, end_index, end_time))
+    if len(usable) < max(min_matches, 1):
+        return None
+    if anchor == "last":
+        anchor_position = [float(x) for x in query.last_vertex.position]
+    else:
+        anchor_position = [float(x) for x in query.first_vertex.position]
+    ndim = len(anchor_position)
+    total = [0.0] * ndim
+    total_weight = 0.0
+    for match, series, end_index, end_time in usable:
+        future = _reference_position_at(series, end_time + horizon)
+        if anchor == "last":
+            reference = [float(x) for x in series.positions[end_index]]
+        else:
+            reference = [float(x) for x in series.positions[match.start]]
+        weight = float(params.source_weight(match.relation))
+        if distance_weighted:
+            weight /= 1.0 + match.distance
+        for c in range(ndim):
+            total[c] += weight * (future[c] - reference[c])
+        total_weight += weight
+    return np.asarray(
+        [anchor_position[c] + total[c] / total_weight for c in range(ndim)]
+    )
 
 
 # -- equivalence entry points --------------------------------------------------

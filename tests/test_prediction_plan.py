@@ -1,0 +1,346 @@
+"""Vectorised prediction-plan engine vs the frozen scalar reference.
+
+The plan kernel (``core/prediction.PredictionPlan``) and the session
+service's fleet dispatch must be **byte-identical** to the naive scalar
+loop frozen in ``testing/oracle.reference_prediction`` — every test here
+asserts exact float equality (``np.array_equal``), not closeness.
+"""
+
+import copy
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.matching import SubsequenceMatcher
+from repro.core.model import BreathingState, PLRSeries, Vertex
+from repro.core.online import OnlineAnalysisSession, OnlineSessionConfig
+from repro.core.prediction import (
+    OnlinePredictor,
+    build_prediction_plan,
+    horizon_grid,
+)
+from repro.database.store import MotionDatabase
+from repro.obs.telemetry import Telemetry
+from repro.service.manager import _FleetDispatch
+from repro.signals.respiratory import RespiratorySimulator, SessionConfig
+from repro.testing.oracle import reference_prediction
+
+from conftest import EOE, EX, IN
+
+
+def random_breathing_plr(rng, n_vertices, ndim=1):
+    """A random periodic-ish PLR with ``ndim`` position components."""
+    series = PLRSeries()
+    t = float(rng.uniform(0.0, 2.0))
+    order = [IN, EX, EOE]
+    position = rng.uniform(-5.0, 5.0, ndim)
+    cursor = int(rng.integers(0, 3))
+    for _ in range(n_vertices):
+        state = order[cursor % 3]
+        cursor += 1
+        series.append(Vertex(t, tuple(float(x) for x in position), state))
+        t += float(rng.uniform(0.3, 1.8))
+        step = float(rng.uniform(3.0, 12.0))
+        if state is IN:
+            position = position + step * rng.uniform(0.5, 1.5, ndim)
+        elif state is EX:
+            position = position - step * rng.uniform(0.5, 1.5, ndim)
+        else:
+            position = position + rng.uniform(-0.4, 0.4, ndim)
+    return series
+
+
+def random_setup(seed, ndim=1, n_streams=3):
+    """Database, query and matches over random streams (threshold=inf)."""
+    rng = np.random.default_rng(seed)
+    db = MotionDatabase()
+    db.add_patient("PA")
+    db.add_patient("PB")
+    for k in range(n_streams):
+        db.add_stream(
+            "PA" if k % 2 == 0 else "PB",
+            f"H{k}",
+            series=random_breathing_plr(rng, int(rng.integers(9, 30)), ndim),
+        )
+    live = random_breathing_plr(rng, int(rng.integers(7, 14)), ndim)
+    db.add_stream("PA", "LIVE", series=live)
+    matcher = SubsequenceMatcher(db)
+    query = live.suffix(int(rng.integers(3, min(7, len(live)))) + 1)
+    matches = matcher.find_matches(query, "PA/LIVE", threshold=math.inf)
+    return db, matcher, query, matches
+
+
+class TestPlanEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        horizon=st.floats(min_value=0.0, max_value=40.0),
+        min_matches=st.integers(min_value=1, max_value=4),
+        ndim=st.integers(min_value=1, max_value=3),
+        anchor=st.sampled_from(["last", "first"]),
+        distance_weighted=st.booleans(),
+    )
+    def test_serve_byte_identical_to_reference(
+        self, seed, horizon, min_matches, ndim, anchor, distance_weighted
+    ):
+        """plan.serve == frozen scalar loop, including decline agreement.
+
+        Horizons up to 40 s reach far past the packed tail window, so the
+        per-row ``position_at`` fallback and end-of-stream clamping are
+        exercised, not just the common narrow-horizon path.
+        """
+        db, matcher, query, matches = random_setup(seed, ndim=ndim)
+        expected = reference_prediction(
+            db,
+            query,
+            matches,
+            horizon,
+            params=matcher.params,
+            min_matches=min_matches,
+            anchor=anchor,
+            distance_weighted=distance_weighted,
+        )
+        plan = build_prediction_plan(
+            db,
+            query,
+            matches,
+            params=matcher.params,
+            anchor=anchor,
+            distance_weighted=distance_weighted,
+        )
+        served, n_usable = plan.serve(horizon, min_matches=min_matches)
+        if expected is None:
+            assert served is None
+            assert n_usable < max(min_matches, 1)
+        else:
+            assert served is not None
+            assert np.array_equal(expected, served)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_horizons=st.integers(min_value=1, max_value=12),
+        min_matches=st.integers(min_value=1, max_value=3),
+    )
+    def test_serve_many_equals_per_horizon_serves(
+        self, seed, n_horizons, min_matches
+    ):
+        """One batched grid dispatch == n independent serves, bitwise."""
+        rng = np.random.default_rng(seed)
+        db, matcher, query, matches = random_setup(seed)
+        plan = build_prediction_plan(db, query, matches, matcher.params)
+        horizons = rng.uniform(0.0, 30.0, n_horizons)
+        batched = plan.serve_many(horizons, min_matches=min_matches)
+        assert len(batched) == n_horizons
+        for h, got in zip(horizons, batched):
+            expected, _ = plan.serve(float(h), min_matches=min_matches)
+            if expected is None:
+                assert got is None
+            else:
+                assert np.array_equal(expected, got)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        horizon=st.floats(min_value=0.0, max_value=25.0),
+    )
+    def test_combine_is_the_scalar_loop(self, seed, horizon):
+        """OnlinePredictor.combine (plan-backed) == its frozen loop."""
+        db, matcher, query, matches = random_setup(seed)
+        if not matches:
+            return
+        predictor = OnlinePredictor(db, matcher, min_matches=1)
+        assert np.array_equal(
+            predictor.combine(query, matches, horizon),
+            predictor._combine_scalar(query, matches, horizon),
+        )
+
+    def test_combine_negative_horizon_uses_scalar_path(self):
+        db, matcher, query, matches = random_setup(3)
+        assert matches, "vacuous fixture"
+        predictor = OnlinePredictor(db, matcher, min_matches=1)
+        assert np.array_equal(
+            predictor.combine(query, matches, -0.4),
+            predictor._combine_scalar(query, matches, -0.4),
+        )
+
+    def test_empty_matches(self):
+        db, matcher, query, _ = random_setup(5)
+        plan = build_prediction_plan(db, query, [], matcher.params)
+        assert plan.serve(0.2) == (None, 0)
+        assert plan.serve_many([0.1, 0.2]) == [None, None]
+        with pytest.raises(ValueError):
+            plan.combine_at(0.2)
+
+
+class TestFleetDispatch:
+    class _FakeSession:
+        """Just enough session surface for _FleetDispatch (min_matches)."""
+
+        def __init__(self, min_matches):
+            self.config = OnlineSessionConfig(min_matches=min_matches)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_tenants=st.integers(min_value=1, max_value=5),
+    )
+    def test_stacked_serve_byte_identical_per_row(self, seed, n_tenants):
+        """Padded fleet rows == each tenant's own plan.serve, bitwise."""
+        rng = np.random.default_rng(seed)
+        rows = []
+        for k in range(n_tenants):
+            db, matcher, query, matches = random_setup(
+                seed * 31 + k, ndim=2
+            )
+            if not matches:
+                continue
+            plan = build_prediction_plan(db, query, matches, matcher.params)
+            rows.append(
+                (self._FakeSession(int(rng.integers(1, 4))), plan)
+            )
+        if not rows:
+            return
+        fleet = _FleetDispatch([s for s, _ in rows], [p for _, p in rows])
+        horizons = rng.uniform(0.0, 30.0, len(rows))
+        served, counts, positions = fleet.serve(horizons)
+        for k, (session, plan) in enumerate(rows):
+            expected, n_usable = plan.serve(
+                float(horizons[k]), min_matches=session.config.min_matches
+            )
+            assert counts[k] == n_usable
+            if expected is None:
+                assert not served[k]
+            else:
+                assert served[k]
+                assert np.array_equal(expected, positions[k])
+
+
+class TestHorizonGrid:
+    def test_values(self):
+        np.testing.assert_array_equal(
+            horizon_grid(4, 0.5), [0.5, 1.0, 1.5, 2.0]
+        )
+
+    def test_memoised_and_read_only(self):
+        a = horizon_grid(8, 0.25)
+        assert horizon_grid(8, 0.25) is a
+        assert horizon_grid(8, 0.5) is not a
+        assert not a.flags.writeable
+        with pytest.raises(ValueError):
+            a[0] = 99.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            horizon_grid(0, 0.5)
+        with pytest.raises(ValueError):
+            horizon_grid(4, 0.0)
+
+
+# -- live-session plan cache and counters --------------------------------------
+
+
+@pytest.fixture
+def telemetry_session(small_cohort):
+    pid = small_cohort.patient_ids[0]
+    raw = RespiratorySimulator(
+        small_cohort.profile(pid), SessionConfig(duration=30.0)
+    ).generate_session(5, seed=21)
+    telemetry = Telemetry()
+    # Own copy: the session (and the epoch tests) mutate the database,
+    # and small_cohort is shared session-wide.
+    db = copy.deepcopy(small_cohort.db)
+    session = OnlineAnalysisSession(
+        db,
+        pid,
+        session_id="PLAN-TEST",
+        config=OnlineSessionConfig(),
+        telemetry=telemetry,
+    )
+    yield session, raw, telemetry
+
+
+def _warm_up(session, points):
+    """Feed samples until the first query exists; return the iterator."""
+    for t, position in points:
+        session.observe(t, position)
+        if session.query is not None and session.matches:
+            return
+    pytest.fail("session never warmed up")
+
+
+class TestSessionPlanCache:
+    def test_build_once_then_cache_hits(self, telemetry_session):
+        session, raw, telemetry = telemetry_session
+        points = raw.iter_points()
+        _warm_up(session, points)
+        for _ in range(3):
+            assert session.predict_ahead(0.2) is not None
+        snap = telemetry.registry.snapshot()
+        assert snap.counter("prediction.plan_builds") == 1
+        assert snap.counter("prediction.plan_cache_hits") == 2
+        assert snap.histograms["prediction.plan_build_s"].count == 1
+
+    def test_refresh_invalidates(self, telemetry_session):
+        session, raw, telemetry = telemetry_session
+        points = raw.iter_points()
+        _warm_up(session, points)
+        session.predict_ahead(0.2)
+        refreshes = telemetry.registry.snapshot().counter(
+            "session.query_refreshes"
+        )
+        for t, position in points:
+            session.observe(t, position)
+            snap = telemetry.registry.snapshot()
+            if snap.counter("session.query_refreshes") > refreshes:
+                break
+        session.predict_ahead(0.2)
+        snap = telemetry.registry.snapshot()
+        assert snap.counter("prediction.plan_cache_invalidations") >= 1
+        assert snap.counter("prediction.plan_builds") == 2
+
+    def test_stream_removal_forces_rebuild(self, telemetry_session):
+        session, raw, telemetry = telemetry_session
+        db = session.db
+        db.add_patient("EPOCH-DUMMY")
+        db.add_stream(
+            "EPOCH-DUMMY",
+            "X",
+            series=random_breathing_plr(np.random.default_rng(0), 6),
+        )
+        points = raw.iter_points()
+        _warm_up(session, points)
+        before = session.predict_ahead(0.2)
+        db.remove_stream("EPOCH-DUMMY/X")
+        after = session.predict_ahead(0.2)
+        snap = telemetry.registry.snapshot()
+        # The epoch bump forces a rebuild, and (no matches changed) the
+        # rebuilt plan serves the same bytes.
+        assert snap.counter("prediction.plan_builds") == 2
+        assert np.array_equal(before, after)
+
+
+class TestPredictionsTotalCounter:
+    def test_declines_count_in_totals(self, telemetry_session):
+        """Regression: warm-up declines used to vanish from rate metrics —
+        they skipped the timed path without incrementing any request
+        counter.  Every answered predict_at now lands in
+        ``session.predictions_total`` = served + declined."""
+        session, raw, telemetry = telemetry_session
+        points = raw.iter_points()
+        t, position = next(points)
+        session.observe(t, position)
+        assert session.predict_ahead(0.2) is None  # warm-up decline
+        snap = telemetry.registry.snapshot()
+        assert snap.counter("session.predictions_total") == 1
+        assert snap.counter("session.predictions_declined") == 1
+        assert snap.counter("session.predictions_served") == 0
+        _warm_up(session, points)
+        assert session.predict_ahead(0.2) is not None
+        snap = telemetry.registry.snapshot()
+        assert snap.counter("session.predictions_total") == snap.counter(
+            "session.predictions_served"
+        ) + snap.counter("session.predictions_declined")

@@ -203,6 +203,80 @@ class TestMultiTenantIsolation:
             assert all(m[0] not in foreign for m in matches)
 
 
+class TestFleetBatchedServing:
+    """predict_ahead_all == looping predict_ahead, bytes and counters."""
+
+    @pytest.fixture(scope="class")
+    def fleet_traces(self, small_cohort):
+        raws = _live_raws(small_cohort)
+
+        def run(batched):
+            manager = SessionManager(
+                copy.deepcopy(small_cohort.db), telemetry=Telemetry()
+            )
+            by_stream = {}
+            for patient_id, raw in raws.items():
+                session = manager.open_session(
+                    patient_id, "MT", config=OnlineSessionConfig()
+                )
+                by_stream[session.stream_id] = raw
+            times = next(iter(by_stream.values())).times
+            out = {sid: [] for sid in by_stream}
+            for i, t in enumerate(times):
+                manager.tick(
+                    float(t),
+                    {sid: raw.values[i] for sid, raw in by_stream.items()},
+                )
+                if batched:
+                    results = manager.predict_ahead_all(LATENCY)
+                    for sid in by_stream:
+                        out[sid].append(results[sid])
+                else:
+                    for sid in by_stream:
+                        out[sid].append(manager.predict_ahead(sid, LATENCY))
+            snapshot = manager.telemetry.snapshot()
+            manager.close(keep_streams=False)
+            return out, snapshot
+
+        looped, looped_snap = run(batched=False)
+        fleet, fleet_snap = run(batched=True)
+        return looped, looped_snap, fleet, fleet_snap
+
+    def test_byte_identical_to_per_tenant_loop(self, fleet_traces):
+        looped, _, fleet, _ = fleet_traces
+        assert set(looped) == set(fleet)
+        for stream_id in looped:
+            _assert_same_predictions(looped[stream_id], fleet[stream_id])
+            assert any(p is not None for p in fleet[stream_id]), stream_id
+
+    def test_open_order_preserved(self, fleet_traces):
+        looped, _, fleet, _ = fleet_traces
+        assert list(looped) == list(fleet)
+
+    def test_counter_parity_with_loop(self, fleet_traces):
+        _, looped_snap, _, fleet_snap = fleet_traces
+        for name in (
+            "session.predictions_total",
+            "session.predictions_served",
+            "session.predictions_declined",
+            "prediction.plan_builds",
+            "prediction.plan_cache_invalidations",
+        ):
+            assert looped_snap.merged.counter(
+                name
+            ) == fleet_snap.merged.counter(name), name
+
+    def test_batched_serve_instrumented(self, fleet_traces):
+        _, looped_snap, _, fleet_snap = fleet_traces
+        batches = fleet_snap.registry.counter("service.predict_batches")
+        assert batches > 0
+        assert (
+            fleet_snap.registry.histograms["prediction.plan_serve_s"].count
+            == batches
+        )
+        assert looped_snap.registry.counter("service.predict_batches") == 0
+
+
 # -- manager lifecycle ---------------------------------------------------------
 
 

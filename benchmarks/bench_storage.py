@@ -1,0 +1,255 @@
+"""Storage benchmark: compacted snapshot reopen vs full-journal replay.
+
+Builds a million-vertex ``LoggedBackend`` database (several streams of a
+repeating IN/EX/EOE respiratory pattern with drifting amplitudes), then
+measures
+
+* **ingest throughput** — journalled vertices per second while the
+  database is first populated,
+* **reopen, full replay** — constructing a ``LoggedBackend`` over the
+  directory before any compaction: every journal record is parsed,
+* **reopen, snapshot** — the same directory after one ``compact()``:
+  columns are memory-mapped and only the (empty) rotated tail replays,
+* **index catch-up after reopen** — first ``candidates()`` on a matcher
+  whose index was restored from the snapshot's posting buffers, against
+  a fresh index paying the full rebuild,
+
+asserts that matches after the snapshot reopen are byte-identical to the
+pre-close matcher (same streams, starts, distances, feature rows) and
+that every stream's arrays round-trip exactly, and writes the payload to
+``BENCH_storage.json`` at the repo root.
+
+The full run enforces the acceptance floors: at least one million
+vertices, and snapshot reopen at least 50x faster than full replay.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_storage.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import platform
+import sys
+import time
+from pathlib import Path
+from tempfile import TemporaryDirectory
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import numpy as np
+
+from repro.core.matching import SubsequenceMatcher
+from repro.core.model import BreathingState, PLRSeries, Vertex
+from repro.database.backend import LoggedBackend
+from repro.database.index import StateSignatureIndex
+from repro.database.store import MotionDatabase
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_storage.json"
+
+FULL_SCALE = {"n_streams": 8, "vertices_per_stream": 125_000}
+QUICK_SCALE = {"n_streams": 4, "vertices_per_stream": 4_000}
+
+_PATTERN = (BreathingState.IN, BreathingState.EX, BreathingState.EOE)
+
+
+def best_of(repeats: int, func):
+    """Minimum wall-clock of ``repeats`` runs (returns seconds, result)."""
+    best = None
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = func()
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def make_stream(n_vertices: int, seed: int) -> PLRSeries:
+    """A long synthetic PLR: regular cycles with drifting amplitude."""
+    rng = np.random.default_rng(seed)
+    amplitudes = 10.0 + 3.0 * np.sin(np.arange(n_vertices) / 40.0)
+    amplitudes += rng.normal(0.0, 0.2, n_vertices)
+    series = PLRSeries()
+    t = 0.0
+    for i in range(n_vertices):
+        state = _PATTERN[i % 3]
+        position = float(amplitudes[i]) if state is BreathingState.EX else 0.0
+        series.append(Vertex(t, (position,), state))
+        t += 1.0
+    return series
+
+
+def populate(directory: Path, scale: dict) -> tuple[MotionDatabase, float]:
+    """Build the database, returning it and the ingest wall-clock."""
+    db = MotionDatabase(backend=LoggedBackend(directory))
+    db.add_patient("P0")
+    t0 = time.perf_counter()
+    for i in range(scale["n_streams"]):
+        series = make_stream(scale["vertices_per_stream"], seed=100 + i)
+        db.add_stream("P0", f"S{i:02d}", series=series)
+    return db, time.perf_counter() - t0
+
+
+def match_rows(matches):
+    return [(m.stream_id, m.start, m.distance) for m in matches]
+
+
+def run(quick: bool) -> dict:
+    scale = QUICK_SCALE if quick else FULL_SCALE
+    repeats = 1 if quick else 3
+    n_total = scale["n_streams"] * scale["vertices_per_stream"]
+
+    with TemporaryDirectory(prefix="repro-bench-storage-") as tmp:
+        directory = Path(tmp) / "db"
+
+        # -- ingest ----------------------------------------------------------
+        db, t_ingest = populate(directory, scale)
+        query_stream = db.stream_ids[0]
+        query = db.stream(query_stream).series.subsequence(6, 12)
+        signature = query.state_signature
+
+        matcher = SubsequenceMatcher(db)
+        baseline_matches = matcher.find_matches(
+            query, query_stream, max_matches=50
+        )
+        baseline_series = {
+            sid: (
+                np.array(db.stream(sid).series.times),
+                np.array(db.stream(sid).series.positions),
+                np.array(db.stream(sid).series.states),
+            )
+            for sid in db.stream_ids
+        }
+        db.close()
+
+        # -- reopen, full journal replay (pre-compaction) --------------------
+        def full_replay():
+            backend = LoggedBackend(directory)
+            backend.close()
+            return backend
+
+        t_replay, replay_backend = best_of(repeats, full_replay)
+        assert replay_backend.reopen_stats["snapshot_id"] is None
+
+        # -- compact (index included), then snapshot reopen ------------------
+        db = MotionDatabase(backend=LoggedBackend(directory))
+        index = StateSignatureIndex(db)
+        index.candidates(signature)
+        compact_stats = db.compact(index=index)
+        db.close()
+
+        def snapshot_open():
+            backend = LoggedBackend(directory)
+            backend.close()
+            return backend
+
+        t_snapshot, snap_backend = best_of(repeats, snapshot_open)
+        stats = snap_backend.reopen_stats
+        assert stats["snapshot_id"] == compact_stats["snapshot_id"]
+        assert stats["streams_from_snapshot"] == scale["n_streams"]
+
+        # -- index catch-up after reopen -------------------------------------
+        reopened = MotionDatabase(backend=LoggedBackend(directory))
+
+        def restored_catch_up():
+            return SubsequenceMatcher(reopened).index.candidates(signature)
+
+        def fresh_rebuild():
+            return StateSignatureIndex(reopened).candidates(signature)
+
+        t_restored, cand_restored = best_of(repeats, restored_catch_up)
+        t_rebuild, cand_fresh = best_of(repeats, fresh_rebuild)
+        assert cand_restored.n_candidates == cand_fresh.n_candidates
+
+        # -- byte-identity after the snapshot reopen -------------------------
+        for sid, (times, positions, states) in baseline_series.items():
+            series = reopened.stream(sid).series
+            np.testing.assert_array_equal(series.times, times)
+            np.testing.assert_array_equal(series.positions, positions)
+            np.testing.assert_array_equal(series.states, states)
+        reopened_matches = SubsequenceMatcher(reopened).find_matches(
+            query, query_stream, max_matches=50
+        )
+        identical = match_rows(reopened_matches) == match_rows(
+            baseline_matches
+        )
+        assert identical, "matches diverged after snapshot reopen"
+        reopened.close()
+
+    payload = {
+        "benchmark": "bench_storage",
+        "mode": "quick" if quick else "full",
+        "python": platform.python_version(),
+        "workload": {
+            "n_streams": scale["n_streams"],
+            "vertices_per_stream": scale["vertices_per_stream"],
+            "n_vertices": n_total,
+            "n_candidates": int(cand_fresh.n_candidates),
+            "n_matches": len(baseline_matches),
+            "snapshot_id": compact_stats["snapshot_id"],
+            "segments_replayed_after_snapshot": stats["segments_replayed"],
+        },
+        "timings": {
+            "ingest_s": t_ingest,
+            "reopen_full_replay_s": t_replay,
+            "reopen_snapshot_s": t_snapshot,
+            "index_catch_up_restored_s": t_restored,
+            "index_rebuild_fresh_s": t_rebuild,
+        },
+        "derived": {
+            "ingest_vertices_per_s": n_total / t_ingest,
+            "reopen_speedup": t_replay / t_snapshot,
+            "index_restore_speedup": t_rebuild / t_restored,
+        },
+        "identical_matches": identical,
+    }
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small workload, single repeat (CI smoke run)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=OUTPUT,
+        help=f"where to write the JSON payload (default: {OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run(args.quick)
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+
+    timings = payload["timings"]
+    derived = payload["derived"]
+    print(f"workload: {payload['workload']['n_vertices']} vertices in "
+          f"{payload['workload']['n_streams']} streams")
+    print(f"      ingest: {timings['ingest_s']:8.2f} s   "
+          f"({derived['ingest_vertices_per_s']:,.0f} vertices/s)")
+    print(f" full replay: {timings['reopen_full_replay_s']:8.2f} s")
+    print(f"    snapshot: {timings['reopen_snapshot_s']:8.4f} s   "
+          f"({derived['reopen_speedup']:.0f}x)")
+    print(f"index, fresh: {timings['index_rebuild_fresh_s']:8.2f} s")
+    print(f"index, restored: {timings['index_catch_up_restored_s']:8.4f} s  "
+          f"({derived['index_restore_speedup']:.0f}x)")
+    print(f"identical matches: {payload['identical_matches']}")
+    print(f"wrote {args.output}")
+
+    if not args.quick:
+        # The acceptance floors at the million-vertex scale.
+        assert payload["workload"]["n_vertices"] >= 1_000_000
+        assert derived["reopen_speedup"] >= 50.0, derived
+        assert math.isfinite(derived["reopen_speedup"])
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

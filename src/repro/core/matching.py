@@ -84,6 +84,15 @@ class SubsequenceMatcher:
     injector:
         Optional fault injector (chaos tests only), forwarded to the
         signature index so catch-up batches can be interrupted.
+    index:
+        Optional prebuilt :class:`StateSignatureIndex` to serve from
+        instead of constructing a fresh one (it must wrap the same
+        ``database``).  Ignored with ``use_index=False``.  When omitted
+        and the database's backend carries memory-mapped snapshot
+        buffers from a reopen
+        (:attr:`~repro.database.backend.LoggedBackend.loaded_index_buffers`),
+        the fresh index restores them — a reopened database answers its
+        first query with zero index rebuild.
     telemetry:
         Optional :class:`~repro.obs.Telemetry`.  When set, every
         retrieval counts candidates generated vs. pruned vs. ranked
@@ -100,6 +109,7 @@ class SubsequenceMatcher:
         use_index: bool = True,
         scan_workers: int | None = None,
         injector=None,
+        index: StateSignatureIndex | None = None,
         telemetry=None,
     ) -> None:
         if scan_workers is not None and scan_workers < 1:
@@ -108,11 +118,19 @@ class SubsequenceMatcher:
         self.params = params or SimilarityParams()
         self.use_index = use_index
         self.scan_workers = scan_workers
-        self._index = (
-            StateSignatureIndex(database, injector, telemetry=telemetry)
-            if use_index
-            else None
-        )
+        if not use_index:
+            self._index = None
+        elif index is not None:
+            self._index = index
+        else:
+            self._index = StateSignatureIndex(
+                database, injector, telemetry=telemetry
+            )
+            buffers = getattr(
+                database.backend, "loaded_index_buffers", None
+            )
+            if buffers:
+                self._index.restore_buffers(buffers)
         self._t = telemetry
         if telemetry is not None:
             registry = telemetry.registry

@@ -171,6 +171,9 @@ class PLRSeries:
         self._states: list[BreathingState] = []
         self._ndim = ndim
         self._cache: dict[str, np.ndarray] = {}
+        #: Dense columns not yet expanded into the vertex lists (the
+        #: snapshot-reopen fast path); ``None`` for list-backed series.
+        self._pending: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
 
     # -- construction ------------------------------------------------------
 
@@ -181,6 +184,56 @@ class PLRSeries:
         for vertex in vertices:
             series.append(vertex)
         return series
+
+    @classmethod
+    def from_dense(
+        cls,
+        times: np.ndarray,
+        positions: np.ndarray,
+        states: np.ndarray,
+    ) -> "PLRSeries":
+        """Adopt dense columns without materialising per-vertex objects.
+
+        This is the storage layer's snapshot-reopen fast path: the three
+        arrays (typically read-only memory maps of snapshot columns)
+        become the series' cached dense views directly, so constructing
+        a million-vertex series costs O(1).  The per-vertex Python lists
+        are materialised lazily, on the first mutation or vertex access
+        — read paths that stay columnar (the signature index, the
+        matcher, the similarity kernels) never pay for them.
+
+        The columns must satisfy the usual invariants (aligned lengths,
+        strictly increasing times); they are trusted, not re-validated.
+        """
+        times = np.asarray(times, dtype=float)
+        positions = np.asarray(positions, dtype=float)
+        if positions.ndim == 1:
+            positions = positions[:, np.newaxis]
+        states = np.asarray(states, dtype=np.int8)
+        if not (len(times) == len(positions) == len(states)):
+            raise ValueError("times, positions and states must align")
+        series = cls(ndim=int(positions.shape[1]) if len(times) else None)
+        if len(times):
+            series._pending = (times, positions, states)
+            for array in (times, positions, states):
+                if array.flags.writeable:
+                    array.setflags(write=False)
+            series._cache = {
+                "times": times,
+                "positions": positions,
+                "states": states,
+            }
+        return series
+
+    def _materialise(self) -> None:
+        """Expand pending dense columns into the mutable vertex lists."""
+        if self._pending is None:
+            return
+        times, positions, states = self._pending
+        self._pending = None
+        self._times = times.tolist()
+        self._positions = [tuple(row) for row in positions.tolist()]
+        self._states = states.tolist()
 
     @classmethod
     def from_arrays(
@@ -203,6 +256,8 @@ class PLRSeries:
 
     def append(self, vertex: Vertex) -> None:
         """Append one vertex; times must be strictly increasing."""
+        if self._pending is not None:
+            self._materialise()
         if self._ndim is None:
             self._ndim = vertex.ndim
         elif vertex.ndim != self._ndim:
@@ -221,6 +276,8 @@ class PLRSeries:
     def replace_last(self, vertex: Vertex) -> None:
         """Replace the final vertex (used by the online segmenter while the
         current segment is still open)."""
+        if self._pending is not None:
+            self._materialise()
         if not self._times:
             raise IndexError("series is empty")
         if len(self._times) >= 2 and vertex.time <= self._times[-2]:
@@ -233,6 +290,8 @@ class PLRSeries:
     # -- size and access ---------------------------------------------------
 
     def __len__(self) -> int:
+        if self._pending is not None:
+            return len(self._pending[0])
         return len(self._times)
 
     @property
@@ -247,13 +306,15 @@ class PLRSeries:
 
     def vertex(self, i: int) -> Vertex:
         """The ``i``-th vertex (supports negative indexing)."""
+        if self._pending is not None:
+            self._materialise()
         return Vertex(self._times[i], self._positions[i], self._states[i])
 
     def __getitem__(self, i: int) -> Vertex:
         return self.vertex(i)
 
     def __iter__(self) -> Iterator[Vertex]:
-        for i in range(len(self._times)):
+        for i in range(len(self)):
             yield self.vertex(i)
 
     def segment(self, i: int) -> Segment:
@@ -317,19 +378,23 @@ class PLRSeries:
     @property
     def start_time(self) -> float:
         """Time of the first vertex."""
+        if self._pending is not None:
+            return float(self._pending[0][0])
         return self._times[0]
 
     @property
     def end_time(self) -> float:
         """Time of the last vertex."""
+        if self._pending is not None:
+            return float(self._pending[0][-1])
         return self._times[-1]
 
     @property
     def duration(self) -> float:
         """Total covered time span in seconds."""
-        if len(self._times) < 2:
+        if len(self) < 2:
             return 0.0
-        return self._times[-1] - self._times[0]
+        return self.end_time - self.start_time
 
     def position_at(self, t: float) -> np.ndarray:
         """Position of the PLR polyline at time ``t``.
@@ -338,7 +403,7 @@ class PLRSeries:
         position (constant extrapolation), which is the behaviour the
         prediction evaluator needs near stream boundaries.
         """
-        if not self._times:
+        if not len(self):
             raise ValueError("series is empty")
         times = self.times
         if t <= times[0]:
@@ -364,12 +429,12 @@ class PLRSeries:
 
     def suffix(self, n_vertices: int) -> "Subsequence":
         """The subsequence covering the most recent ``n_vertices`` vertices."""
-        n = len(self._times)
+        n = len(self)
         return self.subsequence(max(0, n - n_vertices), n)
 
     def subsequences(self, length: int) -> Iterator["Subsequence"]:
         """All contiguous subsequences of ``length`` vertices, oldest first."""
-        for start in range(0, len(self._times) - length + 1):
+        for start in range(0, len(self) - length + 1):
             yield self.subsequence(start, start + length)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

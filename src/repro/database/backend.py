@@ -18,25 +18,41 @@ Two implementations ship:
   directory can be **reopened** after a crash and replayed back to the
   exact committed state (torn tails are healed on reopen).
 
+The logged backend additionally supports **compaction**
+(:meth:`LoggedBackend.compact`): the current state of every stream is
+written to a columnar snapshot (``.npy`` vertex columns plus the
+signature index's packed posting buffers), the per-stream journals are
+rotated to fresh segments, and the manifest — the single atomic commit
+point — is swapped in last.  Reopen then memory-maps the snapshot
+columns and replays only the journal *tail* past the snapshot
+watermark, so open time is O(tail), not O(history).  A torn snapshot
+manifest (the fsync-reordering hazard) falls back to the previous
+snapshot in the chain plus a longer tail replay; both generations'
+tail segments are retained until the next compaction for exactly this
+reason.
+
 Every mutation is published on the backend's
 :class:`~repro.events.EventBus` (``patient_added``, ``stream_added``,
-``stream_removed``), which is how the signature index learns about
-removals instead of being poked manually.
+``stream_removed``, ``backend_compacted``), which is how the signature
+index learns about removals instead of being poked manually.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import shutil
 import tempfile
 from abc import ABC, abstractmethod
 from pathlib import Path
 from typing import Iterable, Iterator
 
+import numpy as np
+
 from ..core.model import PLRSeries, Vertex
 from ..events import EventBus
 from ..signals.patients import PatientAttributes
-from .log import VertexLogWriter, read_vertex_log
+from .log import VertexLogWriter, heal_torn_log, read_vertex_log
 from .records import PatientRecord, StreamRecord
 
 __all__ = [
@@ -48,7 +64,20 @@ __all__ = [
     "atomic_write_text",
 ]
 
-_MANIFEST_FORMAT = "repro.loggeddb/v1"
+_MANIFEST_FORMAT = "repro.loggeddb/v2"
+_MANIFEST_FORMAT_V1 = "repro.loggeddb/v1"
+_SNAPSHOT_FORMAT = "repro.loggeddb.snapshot/v1"
+
+#: Signature-index buffer fields persisted per window length, as
+#: ``(export_buffers key, snapshot file suffix)`` pairs.
+_INDEX_COLUMN_FILES = (
+    ("group_keys", "keys"),
+    ("group_offsets", "offsets"),
+    ("stream_codes", "codes"),
+    ("starts", "starts"),
+    ("amplitudes", "amps"),
+    ("durations", "durs"),
+)
 
 
 def atomic_write_text(path: str | Path, text: str) -> None:
@@ -300,9 +329,17 @@ class LoggedBackend(InMemoryBackend):
 
     Layout of ``directory``::
 
-        manifest.json          # patients + stream identity (atomic rewrite)
-        stream-00000.jsonl     # one vertex log per stream
-        stream-00001.jsonl
+        manifest.json               # identity + segment lists (atomic rewrite)
+        stream-00000.jsonl          # journal segments (rotated on compaction:
+        stream-00000.00001.jsonl    #   stream-NNNNN.{rotation:05d}.jsonl)
+        snapshots/
+          snap-000001/              # one dir per retained snapshot generation
+            snapshot.json           #   per-stream watermarks + covered segments
+            col-00000-times.npy     #   per-stream vertex columns
+            col-00000-positions.npy
+            col-00000-states.npy
+            idx-00000-keys.npy      #   signature-index posting buffers
+            ...
 
     * ``add_patient`` / ``add_stream`` / ``remove_stream`` rewrite the
       manifest through a temp-file + :func:`os.replace` dance, so a
@@ -311,11 +348,22 @@ class LoggedBackend(InMemoryBackend):
       then keeps the log open; live commits arrive through
       :meth:`commit_vertices` / :meth:`amend_vertex` (the ingestor's
       event-bus path) and are flushed per record.
+    * :meth:`compact` writes a columnar snapshot of every stream (and
+      optionally the signature index's posting buffers), rotates each
+      journal to a fresh segment — ``amend_vertex`` therefore never
+      rewrites history — and commits by atomically swapping the
+      manifest.  The previous snapshot generation and every segment it
+      does not cover are retained, so a torn snapshot manifest falls
+      back one generation with a full tail replay.
     * Constructing a ``LoggedBackend`` over a directory that already
-      holds a manifest **reopens** it: logs are replayed via
-      :func:`read_vertex_log`, a torn final record (crash mid-write) is
-      healed by rewriting the clean prefix, and the logs are reopened
-      for further appends.
+      holds a manifest **reopens** it: snapshot columns are
+      memory-mapped into lazily materialised series, only the journal
+      tail past the snapshot watermark is replayed, and a torn final
+      record (crash mid-write) is healed by truncating to the clean
+      prefix.  :attr:`reopen_stats` records what the reopen touched;
+      :attr:`loaded_index_buffers` carries the memory-mapped index
+      payload for :meth:`StateSignatureIndex.restore_buffers
+      <repro.database.index.StateSignatureIndex.restore_buffers>`.
 
     Parameters
     ----------
@@ -323,16 +371,47 @@ class LoggedBackend(InMemoryBackend):
         The database directory (created if missing).
     injector:
         Optional fault injector, forwarded to the reopened log writers
-        (chaos tests only).
+        (chaos tests only).  Compaction fires the ``compact.columns``,
+        ``compact.index``, ``compact.snapshot_manifest`` (kinds
+        ``crash`` / ``torn_manifest``), ``compact.rotate`` (per
+        stream), ``compact.commit`` and ``compact.cleanup`` sites.
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry` bound at construction so
+        the reopen path itself can record (the facade's setter only
+        runs afterwards): spans ``backend.compact`` /
+        ``backend.snapshot_load``, counters for segments rotated /
+        compacted and columns memory-mapped.
     """
 
-    def __init__(self, directory: str | Path, injector=None) -> None:
+    def __init__(
+        self, directory: str | Path, injector=None, telemetry=None
+    ) -> None:
         super().__init__(injector)
+        if telemetry is not None:
+            self.telemetry = telemetry
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self._writers: dict[str, VertexLogWriter] = {}
-        self._files: dict[str, str] = {}
+        #: Ordered journal segments per stream (oldest retained first).
+        self._segments: dict[str, list[str]] = {}
+        #: Lifetime rotation count per stream (never reused, so rotated
+        #: segment names cannot collide with deleted predecessors).
+        self._rotations: dict[str, int] = {}
         self._counter = 0
+        self._snapshot_counter = 0
+        #: Retained snapshot ids, oldest first (at most two generations).
+        self._snapshot_chain: list[int] = []
+        #: True until compaction first prunes a segment; while set, the
+        #: journal segments alone can still rebuild every stream from
+        #: genesis (the fallback of last resort).
+        self._history_complete = True
+        #: Memory-mapped index buffers recovered by the last reopen, in
+        #: :meth:`~repro.database.index.StateSignatureIndex.export_buffers`
+        #: layout; ``None`` when the directory was fresh or the loaded
+        #: snapshot carried no index.
+        self.loaded_index_buffers: dict | None = None
+        #: What the last reopen read and replayed (tests and benchmarks).
+        self.reopen_stats: dict = {}
         if self._manifest_path.exists():
             self._reopen()
 
@@ -340,12 +419,22 @@ class LoggedBackend(InMemoryBackend):
     def _manifest_path(self) -> Path:
         return self.directory / "manifest.json"
 
+    @property
+    def _snapshots_dir(self) -> Path:
+        return self.directory / "snapshots"
+
+    def _snapshot_dir(self, snapshot_id: int) -> Path:
+        return self._snapshots_dir / f"snap-{snapshot_id:06d}"
+
     # -- manifest -------------------------------------------------------------
 
     def _write_manifest(self) -> None:
         payload = {
             "format": _MANIFEST_FORMAT,
             "counter": self._counter,
+            "snapshot_counter": self._snapshot_counter,
+            "snapshots": list(self._snapshot_chain),
+            "history_complete": self._history_complete,
             "patients": [
                 {
                     "patient_id": patient.patient_id,
@@ -359,7 +448,11 @@ class LoggedBackend(InMemoryBackend):
                     "patient_id": record.patient_id,
                     "session_id": record.session_id,
                     "metadata": record.metadata,
-                    "file": self._files[record.stream_id],
+                    # Legacy v1 key, kept for tooling that only knows
+                    # single-segment layouts.
+                    "file": self._segments[record.stream_id][0],
+                    "segments": list(self._segments[record.stream_id]),
+                    "rotations": self._rotations[record.stream_id],
                 }
                 for record in self.iter_streams()
             ],
@@ -368,54 +461,404 @@ class LoggedBackend(InMemoryBackend):
         if self.telemetry is not None:
             self.telemetry.inc("backend.manifest_fsyncs")
 
+    # -- reopen ---------------------------------------------------------------
+
     def _reopen(self) -> None:
-        """Rebuild the in-memory state from the manifest and the logs."""
+        """Rebuild in-memory state: mmap the snapshot, replay the tail."""
+        if self.telemetry is None:
+            self._reopen_inner()
+        else:
+            with self.telemetry.span("backend.snapshot_load"):
+                self._reopen_inner()
+
+    def _reopen_inner(self) -> None:
+        stats = {
+            "snapshot_id": None,
+            "torn_snapshots": 0,
+            "streams_from_snapshot": 0,
+            "segments_replayed": 0,
+            "tombstones_skipped": 0,
+            "index_lengths_loaded": 0,
+            "files_read": [],
+        }
+        self.reopen_stats = stats
         payload = json.loads(self._manifest_path.read_text())
-        if payload.get("format") != _MANIFEST_FORMAT:
+        if payload.get("format") not in (_MANIFEST_FORMAT, _MANIFEST_FORMAT_V1):
             raise ValueError("not a repro logged-database manifest")
         self._counter = int(payload.get("counter", 0))
+        self._snapshot_counter = int(payload.get("snapshot_counter", 0))
+        self._history_complete = bool(payload.get("history_complete", True))
+        chain = [int(i) for i in payload.get("snapshots", [])]
+        # Journal base name per live stream — the incarnation identity.
+        # Segment names are never reused, so a stream removed and later
+        # re-created under the same id gets a different base, and stale
+        # snapshot entries for the dead incarnation are detectable.
+        stream_bases = {
+            s["stream_id"]: (s.get("segments") or [s["file"]])[0].split(".")[0]
+            for s in payload["streams"]
+        }
+
+        # Walk the snapshot chain newest-first; a torn or incomplete
+        # snapshot falls back to the previous generation (whose tail
+        # segments were retained for exactly this).
+        snapshot: dict | None = None
+        self._snapshot_chain = []
+        for snap_id in reversed(chain):
+            snapshot = self._load_snapshot(snap_id, stream_bases, stats)
+            if snapshot is not None:
+                stats["snapshot_id"] = snap_id
+                self._snapshot_chain = [i for i in chain if i <= snap_id]
+                break
+            stats["torn_snapshots"] += 1
+        if chain and snapshot is None:
+            if self._history_complete:
+                # Nothing has been pruned yet (at most one generation
+                # ever committed): the journal segments alone rebuild
+                # every stream from genesis.
+                self._snapshot_chain = []
+            else:
+                # Segments covered by the oldest retained generation
+                # are gone, so replaying without any snapshot would
+                # silently truncate history.  Every generation torn
+                # means corruption beyond the crash-consistency
+                # contract: refuse loudly.
+                raise ValueError(
+                    "no loadable snapshot generation "
+                    f"(tried {list(reversed(chain))})"
+                )
+
         for patient_payload in payload["patients"]:
             attrs_payload = patient_payload.get("attributes")
             attributes = (
                 PatientAttributes(**attrs_payload) if attrs_payload else None
             )
             super().add_patient(patient_payload["patient_id"], attributes)
+
         for stream_payload in payload["streams"]:
             stream_id = stream_payload["stream_id"]
-            file_name = stream_payload["file"]
-            path = self.directory / file_name
-            recovered = read_vertex_log(path)
-            if recovered.truncated:
-                self._heal_torn_log(path, recovered.header, recovered.series)
+            segments = list(
+                stream_payload.get("segments") or [stream_payload["file"]]
+            )
+            self._segments[stream_id] = segments
+            self._rotations[stream_id] = int(stream_payload.get("rotations", 0))
+            entry = (
+                snapshot["streams"].get(stream_id)
+                if snapshot is not None
+                else None
+            )
+            if entry is not None:
+                # O(1) adoption: the mmap'd columns back a lazy series;
+                # Python-level vertices materialise only on first edit.
+                series = PLRSeries.from_dense(
+                    entry["times"], entry["positions"], entry["states"]
+                )
+                tail = [s for s in segments if s not in entry["covered"]]
+                stats["streams_from_snapshot"] += 1
+                if self.telemetry is not None:
+                    self.telemetry.inc("backend.columns_mmapped", 3)
+            else:
+                series = None
+                tail = segments
+            for name in tail:
+                path = self.directory / name
+                stats["files_read"].append(name)
+                recovered = read_vertex_log(path, into=series)
+                series = recovered.series
+                stats["segments_replayed"] += 1
+                if recovered.truncated:
+                    heal_torn_log(path, recovered)
             super().add_stream(
                 patient_id=stream_payload["patient_id"],
                 session_id=stream_payload["session_id"],
-                series=recovered.series,
+                series=series if series is not None else PLRSeries(),
                 stream_id=stream_id,
                 metadata=stream_payload.get("metadata", {}),
             )
-            self._files[stream_id] = file_name
             self._writers[stream_id] = VertexLogWriter(
-                path, injector=self.injector, append=True
+                self.directory / segments[-1],
+                injector=self.injector,
+                append=True,
             )
 
-    @staticmethod
-    def _heal_torn_log(
-        path: Path, header: dict, series: PLRSeries
-    ) -> None:
-        """Rewrite a crash-torn log as its cleanly recovered prefix."""
-        lines = [json.dumps(header)]
-        for vertex in series:
-            lines.append(
-                json.dumps(
+    def _load_snapshot(
+        self, snapshot_id: int, stream_bases: dict, stats: dict
+    ) -> dict | None:
+        """Memory-map one snapshot generation; ``None`` when unusable.
+
+        Any unreadable file — a torn ``snapshot.json``, a missing or
+        corrupt column — invalidates the whole generation, so the caller
+        falls back to the previous one.  Streams no longer in the
+        manifest (removed after the snapshot was cut), and entries whose
+        journal base no longer matches the live stream's (removed, then
+        re-created under the same id), are skipped without touching
+        their files — the live incarnation replays from its own journal.
+        """
+        snap_dir = self._snapshot_dir(snapshot_id)
+        manifest_path = snap_dir / "snapshot.json"
+        try:
+            stats["files_read"].append(
+                str(manifest_path.relative_to(self.directory))
+            )
+            payload = json.loads(manifest_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != _SNAPSHOT_FORMAT
+            or payload.get("snapshot_id") != snapshot_id
+        ):
+            return None
+        streams: dict[str, dict] = {}
+        index_buffers: dict[int, dict] = {}
+        #: Stream ids whose snapshot entry belongs to a dead incarnation.
+        stale: set[str] = set()
+        try:
+            for entry in payload["streams"]:
+                stream_id = entry["stream_id"]
+                base = entry["covered"][0].split(".")[0]
+                if stream_bases.get(stream_id) != base:
+                    stale.add(stream_id)
+                    stats["tombstones_skipped"] += 1
+                    continue
+                prefix = entry["prefix"]
+                columns = {}
+                for column in ("times", "positions", "states"):
+                    path = snap_dir / f"{prefix}-{column}.npy"
+                    stats["files_read"].append(
+                        str(path.relative_to(self.directory))
+                    )
+                    columns[column] = np.load(path, mmap_mode="r")
+                streams[stream_id] = {
+                    "covered": set(entry["covered"]),
+                    **columns,
+                }
+            for entry in payload.get("index", []):
+                # Postings referencing removed or re-created streams are
+                # stale; drop the length (it rebuilds lazily) without
+                # reading its buffers.
+                if any(
+                    name in stale or name not in stream_bases
+                    for name in entry["stream_names"]
+                ):
+                    continue
+                prefix = entry["prefix"]
+                arrays = {}
+                for field, suffix in _INDEX_COLUMN_FILES:
+                    path = snap_dir / f"{prefix}-{suffix}.npy"
+                    stats["files_read"].append(
+                        str(path.relative_to(self.directory))
+                    )
+                    arrays[field] = np.load(path, mmap_mode="r")
+                index_buffers[int(entry["n_vertices"])] = {
+                    "stream_names": list(entry["stream_names"]),
+                    "next_start": dict(entry["next_start"]),
+                    **arrays,
+                }
+                stats["index_lengths_loaded"] += 1
+        except (OSError, ValueError, KeyError):
+            return None
+        self.loaded_index_buffers = index_buffers or None
+        return {"streams": streams}
+
+    # -- compaction -----------------------------------------------------------
+
+    def compact(self, index=None) -> dict:
+        """Write a columnar snapshot, rotate every journal, swap manifests.
+
+        Steps, in crash-consistency order (the manifest swap in step 5
+        is the single atomic commit point — a crash anywhere before it
+        reopens to the exact pre-compaction state, a crash anywhere
+        after it to the post-compaction state):
+
+        1. Write every stream's vertex columns into a fresh snapshot
+           directory, recording which journal segments the snapshot
+           covers.
+        2. Export the signature index's posting buffers (when an
+           ``index`` is passed) alongside them.
+        3. Write ``snapshot.json`` atomically inside the snapshot dir.
+        4. Rotate each stream's journal to a fresh segment, so the
+           snapshot's covered set stays immutable and amendments never
+           rewrite compacted history.
+        5. Prune segments covered by the *previous* generation from the
+           segment lists and atomically rewrite the top-level manifest
+           (the commit).
+        6. Delete unreferenced segment files and snapshot generations
+           older than the previous one (opportunistic; orphans from a
+           crash here are removed by the next compaction).
+
+        Returns a stats dict and publishes ``backend_compacted``.
+        """
+        if self.telemetry is None:
+            return self._compact_inner(index)
+        with self.telemetry.span("backend.compact"):
+            stats = self._compact_inner(index)
+        self.telemetry.inc("backend.compactions")
+        self.telemetry.inc(
+            "backend.segments_rotated", stats["segments_rotated"]
+        )
+        self.telemetry.inc(
+            "backend.segments_compacted", stats["segments_deleted"]
+        )
+        return stats
+
+    def _compact_inner(self, index) -> dict:
+        injector = self.injector
+        snapshot_id = self._snapshot_counter + 1
+        snap_dir = self._snapshot_dir(snapshot_id)
+        if snap_dir.exists():
+            # Leftover from a compaction that crashed before its commit
+            # (the counter only advances on commit).
+            shutil.rmtree(snap_dir)
+        snap_dir.mkdir(parents=True)
+
+        # 1. vertex columns + covered-segment watermarks.
+        if injector is not None:
+            injector.fire("compact.columns")
+        stream_entries = []
+        for i, record in enumerate(self.iter_streams()):
+            prefix = f"col-{i:05d}"
+            series = record.series
+            np.save(snap_dir / f"{prefix}-times.npy", series.times)
+            np.save(snap_dir / f"{prefix}-positions.npy", series.positions)
+            np.save(snap_dir / f"{prefix}-states.npy", series.states)
+            stream_entries.append(
+                {
+                    "stream_id": record.stream_id,
+                    "n_vertices": len(series),
+                    "prefix": prefix,
+                    "covered": list(self._segments[record.stream_id]),
+                }
+            )
+
+        # 2. signature-index posting buffers.
+        if injector is not None:
+            injector.fire("compact.index")
+        index_entries = []
+        if index is not None:
+            for j, (m, state) in enumerate(sorted(index.export_buffers().items())):
+                prefix = f"idx-{j:05d}"
+                for field, suffix in _INDEX_COLUMN_FILES:
+                    np.save(snap_dir / f"{prefix}-{suffix}.npy", state[field])
+                index_entries.append(
                     {
-                        "t": vertex.time,
-                        "p": list(vertex.position),
-                        "s": int(vertex.state),
+                        "n_vertices": m,
+                        "prefix": prefix,
+                        "stream_names": state["stream_names"],
+                        "next_start": state["next_start"],
                     }
                 )
+
+        # 3. the snapshot's own manifest (atomic within the snapshot dir).
+        text = json.dumps(
+            {
+                "format": _SNAPSHOT_FORMAT,
+                "snapshot_id": snapshot_id,
+                "streams": stream_entries,
+                "index": index_entries,
+            }
+        )
+        spec = (
+            injector.fire("compact.snapshot_manifest")
+            if injector is not None
+            else None
+        )
+        if spec is not None and spec.kind == "torn_manifest":
+            # Simulated fsync reordering: the snapshot manifest reaches
+            # disk torn while the commit below survives; reopen must
+            # fall back to the previous generation.
+            surviving = int(spec.payload)
+            if not 0 < surviving < len(text):
+                surviving = max(1, len(text) // 2)
+            (snap_dir / "snapshot.json").write_text(text[:surviving])
+        else:
+            atomic_write_text(snap_dir / "snapshot.json", text)
+
+        # 4. rotate every journal to a fresh segment.
+        segments_rotated = 0
+        for record in list(self.iter_streams()):
+            if injector is not None:
+                injector.fire("compact.rotate")
+            stream_id = record.stream_id
+            writer = self._writers.get(stream_id)
+            if writer is not None:
+                writer.close()
+            self._rotations[stream_id] += 1
+            base = self._segments[stream_id][0].split(".")[0]
+            name = f"{base}.{self._rotations[stream_id]:05d}.jsonl"
+            self._segments[stream_id].append(name)
+            self._writers[stream_id] = VertexLogWriter(
+                self.directory / name,
+                stream_id=stream_id,
+                patient_id=record.patient_id,
+                injector=self.injector,
             )
-        atomic_write_text(path, "\n".join(lines) + "\n")
+            segments_rotated += 1
+
+        # 5. commit: prune segments the previous generation covers (they
+        # are no longer needed by any fallback path), then swap the
+        # manifest.
+        if injector is not None:
+            injector.fire("compact.commit")
+        previous_id = self._snapshot_chain[-1] if self._snapshot_chain else None
+        previous_covered = self._snapshot_covered(previous_id)
+        for stream_id, segments in self._segments.items():
+            covered = previous_covered.get(stream_id, set())
+            kept = [s for s in segments if s not in covered]
+            if len(kept) < len(segments):
+                self._history_complete = False
+            self._segments[stream_id] = kept
+        self._snapshot_counter = snapshot_id
+        self._snapshot_chain = (
+            [snapshot_id]
+            if previous_id is None
+            else [previous_id, snapshot_id]
+        )
+        self._write_manifest()
+
+        # 6. opportunistic cleanup of everything no longer referenced.
+        if injector is not None:
+            injector.fire("compact.cleanup")
+        referenced = {
+            name for segments in self._segments.values() for name in segments
+        }
+        segments_deleted = 0
+        for path in self.directory.glob("stream-*.jsonl"):
+            if path.name not in referenced:
+                path.unlink()
+                segments_deleted += 1
+        keep = {self._snapshot_dir(i).name for i in self._snapshot_chain}
+        for old_dir in self._snapshots_dir.glob("snap-*"):
+            if old_dir.name not in keep:
+                shutil.rmtree(old_dir, ignore_errors=True)
+
+        stats = {
+            "snapshot_id": snapshot_id,
+            "n_streams": len(stream_entries),
+            "n_index_lengths": len(index_entries),
+            "segments_rotated": segments_rotated,
+            "segments_deleted": segments_deleted,
+        }
+        self.events.publish("backend_compacted", **stats)
+        return stats
+
+    def _snapshot_covered(self, snapshot_id: int | None) -> dict[str, set]:
+        """Per-stream covered-segment sets of one snapshot generation.
+
+        Conservatively empty when the snapshot is missing or unreadable
+        — pruning then retains everything, which is always safe.
+        """
+        if snapshot_id is None:
+            return {}
+        try:
+            payload = json.loads(
+                (self._snapshot_dir(snapshot_id) / "snapshot.json").read_text()
+            )
+            return {
+                entry["stream_id"]: set(entry["covered"])
+                for entry in payload["streams"]
+            }
+        except (OSError, ValueError, KeyError, TypeError):
+            return {}
 
     # -- writes ---------------------------------------------------------------
 
@@ -439,7 +882,8 @@ class LoggedBackend(InMemoryBackend):
         )
         file_name = f"stream-{self._counter:05d}.jsonl"
         self._counter += 1
-        self._files[record.stream_id] = file_name
+        self._segments[record.stream_id] = [file_name]
+        self._rotations[record.stream_id] = 0
         writer = VertexLogWriter(
             self.directory / file_name,
             stream_id=record.stream_id,
@@ -457,12 +901,15 @@ class LoggedBackend(InMemoryBackend):
         writer = self._writers.pop(stream_id, None)
         if writer is not None:
             writer.close()
-        file_name = self._files.pop(stream_id, None)
-        if file_name is not None:
+        for file_name in self._segments.pop(stream_id, []):
             try:
                 (self.directory / file_name).unlink()
             except OSError:
                 pass  # the manifest no longer references it
+        self._rotations.pop(stream_id, None)
+        # Snapshot columns of the removed stream stay on disk until the
+        # next compaction; reopen skips them via the manifest (the
+        # tombstone contract — no I/O on removed streams).
         self._write_manifest()
 
     def commit_vertices(
@@ -498,16 +945,21 @@ BACKEND_NAMES = ("in_memory", "logged")
 
 
 def create_backend(
-    name: str, directory: str | Path | None = None, injector=None
+    name: str,
+    directory: str | Path | None = None,
+    injector=None,
+    telemetry=None,
 ) -> StorageBackend:
     """Build a backend by registry name.
 
-    ``"in_memory"`` ignores ``directory``; ``"logged"`` requires it.
+    ``"in_memory"`` ignores ``directory`` and ``telemetry``; ``"logged"``
+    requires a directory and binds the telemetry before reopening so the
+    snapshot-load path records.
     """
     if name == "in_memory":
         return InMemoryBackend(injector)
     if name == "logged":
         if directory is None:
             raise ValueError("the logged backend needs a directory")
-        return LoggedBackend(directory, injector)
+        return LoggedBackend(directory, injector, telemetry=telemetry)
     raise ValueError(f"unknown backend {name!r} (choose from {BACKEND_NAMES})")

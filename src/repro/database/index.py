@@ -253,6 +253,30 @@ class _ColumnarPostings:
         self.n = n + 1
         self._stacked = None
 
+    def adopt(
+        self,
+        stream_codes: np.ndarray,
+        starts: np.ndarray,
+        amplitudes: np.ndarray,
+        durations: np.ndarray,
+    ) -> None:
+        """Take ownership of prebuilt column slices (the mmap-import path).
+
+        The arrays may be read-only views of memory-mapped snapshot
+        buffers: capacity is pinned to the current length, so the first
+        post-import append triggers a :meth:`_reserve` copy into fresh
+        writable buffers while lookups keep serving zero-copy slices of
+        the maps.
+        """
+        n = len(starts)
+        self._stream_codes = stream_codes
+        self._starts = starts
+        self._amplitudes = amplitudes
+        self._durations = durations
+        self.n = n
+        self._capacity = n
+        self._stacked = None
+
     def stacked(self, stream_names: np.ndarray) -> CandidateSet:
         """The posting list as a :class:`CandidateSet` (cached).
 
@@ -614,6 +638,114 @@ class StateSignatureIndex:
         if telemetry is not None:
             self._c_hits.inc()
         return posting.stacked(length_index.stream_names())
+
+    # -- snapshot export / import ----------------------------------------------
+
+    def export_buffers(self) -> dict[int, dict[str, object]]:
+        """Pack every materialised length index into flat columnar buffers.
+
+        The storage layer persists these arrays verbatim inside a
+        snapshot segment (see
+        :meth:`~repro.database.backend.LoggedBackend.compact`) and hands
+        them back — memory-mapped — to :meth:`restore_buffers` on
+        reopen, so a reopened index answers lookups with **zero
+        rebuild**: only windows appended after the export watermark
+        (``next_start``) are ever re-indexed.
+
+        Per window length the payload carries the intern table and
+        catch-up watermarks (JSON-safe) plus five arrays: the sorted
+        posting keys, group offsets into the concatenated columns, and
+        the stream-code/start/amplitude/duration columns themselves.
+        Lengths whose signatures exceed :data:`MAX_RADIX_SEGMENTS` use
+        raw-byte keys and are skipped — they rebuild lazily on first
+        lookup instead.
+        """
+        payload: dict[int, dict[str, object]] = {}
+        for n_vertices, length_index in self._by_length.items():
+            n_segments = n_vertices - 1
+            if n_segments > MAX_RADIX_SEGMENTS:
+                continue
+            keys: list[int] = []
+            offsets = [0]
+            codes_parts, starts_parts = [], []
+            amp_parts, dur_parts = [], []
+            total = 0
+            for key, posting in length_index.postings.items():
+                if posting.n == 0:
+                    continue
+                keys.append(int(key))
+                total += posting.n
+                offsets.append(total)
+                codes_parts.append(posting._stream_codes[: posting.n])
+                starts_parts.append(posting._starts[: posting.n])
+                amp_parts.append(posting._amplitudes[: posting.n])
+                dur_parts.append(posting._durations[: posting.n])
+            empty2 = np.empty((0, n_segments), dtype=float)
+            payload[n_vertices] = {
+                "stream_names": list(length_index._stream_names),
+                "next_start": dict(length_index._next_start),
+                "group_keys": np.asarray(keys, dtype=np.int64),
+                "group_offsets": np.asarray(offsets, dtype=np.int64),
+                "stream_codes": (
+                    np.concatenate(codes_parts)
+                    if codes_parts
+                    else np.empty(0, dtype=np.int32)
+                ),
+                "starts": (
+                    np.concatenate(starts_parts)
+                    if starts_parts
+                    else np.empty(0, dtype=np.int64)
+                ),
+                "amplitudes": (
+                    np.concatenate(amp_parts) if amp_parts else empty2
+                ),
+                "durations": (
+                    np.concatenate(dur_parts) if dur_parts else empty2
+                ),
+            }
+        return payload
+
+    def restore_buffers(self, payload: dict[int, dict[str, object]]) -> int:
+        """Adopt :meth:`export_buffers` output (typically memory-mapped).
+
+        Numeric columns become the postings' live buffers without a
+        copy; appends past the snapshot watermark migrate a posting to
+        fresh writable buffers on demand.  A length whose intern table
+        references a stream no longer in the database is skipped — it
+        rebuilds lazily, mirroring the removal-epoch invalidation path.
+        Returns the number of length indexes restored.
+        """
+        restored = 0
+        for n_vertices, state in payload.items():
+            names = list(state["stream_names"])
+            if any(name not in self.database for name in names):
+                continue
+            length_index = _LengthIndex(int(n_vertices))
+            length_index._stream_names = names
+            length_index._stream_codes = {
+                name: code for code, name in enumerate(names)
+            }
+            length_index._next_start = {
+                stream_id: int(start)
+                for stream_id, start in dict(state["next_start"]).items()
+            }
+            keys = np.asarray(state["group_keys"], dtype=np.int64)
+            offsets = np.asarray(state["group_offsets"], dtype=np.int64)
+            codes = state["stream_codes"]
+            starts = state["starts"]
+            amplitudes = state["amplitudes"]
+            durations = state["durations"]
+            for g in range(len(keys)):
+                b, e = int(offsets[g]), int(offsets[g + 1])
+                posting = _ColumnarPostings(int(n_vertices) - 1)
+                posting.adopt(
+                    codes[b:e], starts[b:e], amplitudes[b:e], durations[b:e]
+                )
+                length_index.postings[int(keys[g])] = posting
+            self._by_length[int(n_vertices)] = length_index
+            restored += 1
+        self._removal_epoch = self.database.removal_epoch
+        return restored
 
     def _check_removals(self) -> None:
         """Drop length indexes holding windows of since-removed streams.

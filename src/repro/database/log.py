@@ -32,12 +32,18 @@ nothing and pay one ``is None`` check per record.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import IO, NamedTuple
 
 from ..core.model import BreathingState, PLRSeries, Vertex
 
-__all__ = ["RecoveredLog", "VertexLogWriter", "read_vertex_log"]
+__all__ = [
+    "RecoveredLog",
+    "VertexLogWriter",
+    "read_vertex_log",
+    "heal_torn_log",
+]
 
 _FORMAT = "repro.vertexlog/v1"
 
@@ -54,11 +60,17 @@ class RecoveredLog(NamedTuple):
     truncated:
         True when the log ended in a torn record (crash mid-write); the
         recovered prefix is still safe to use.
+    clean_bytes:
+        Byte length of the cleanly parseable prefix (header included).
+        :func:`heal_torn_log` truncates the file to exactly this length,
+        which drops the torn record while preserving every clean line —
+        amendment markers included — byte for byte.
     """
 
     header: dict
     series: PLRSeries
     truncated: bool
+    clean_bytes: int = 0
 
 
 class VertexLogWriter:
@@ -172,7 +184,9 @@ class VertexLogWriter:
         self.close()
 
 
-def read_vertex_log(path: str | Path) -> RecoveredLog:
+def read_vertex_log(
+    path: str | Path, into: PLRSeries | None = None
+) -> RecoveredLog:
     """Replay a vertex log into a series.
 
     Returns the header metadata, the recovered PLR and a ``truncated``
@@ -181,15 +195,28 @@ def read_vertex_log(path: str | Path) -> RecoveredLog:
     stops there, the cleanly recovered prefix is returned and
     ``truncated`` is set.  Only an unreadable *header* raises, because
     then nothing about the log can be trusted.
+
+    Parameters
+    ----------
+    path:
+        The log file.
+    into:
+        Optional existing series to replay *into* — the journal-tail
+        path: a snapshot-loaded series absorbs only the records written
+        after the snapshot watermark.  An amendment as the first tail
+        record re-labels the snapshot's final vertex, exactly as it
+        would have live.  When omitted a fresh series is built.
     """
     path = Path(path)
-    series = PLRSeries()
+    series = PLRSeries() if into is None else into
     header: dict | None = None
     truncated = False
+    clean_bytes = 0
     with path.open() as handle:
-        for line_no, line in enumerate(handle):
-            line = line.strip()
+        for line_no, raw_line in enumerate(handle):
+            line = raw_line.strip()
             if not line:
+                clean_bytes += len(raw_line.encode("utf-8"))
                 continue
             if line_no == 0:
                 try:
@@ -199,6 +226,7 @@ def read_vertex_log(path: str | Path) -> RecoveredLog:
                 if not isinstance(payload, dict) or payload.get("format") != _FORMAT:
                     raise ValueError("not a repro vertex log")
                 header = payload
+                clean_bytes += len(raw_line.encode("utf-8"))
                 continue
             try:
                 payload = json.loads(line)
@@ -220,6 +248,19 @@ def read_vertex_log(path: str | Path) -> RecoveredLog:
             ):
                 truncated = True
                 break  # torn tail; everything before it is safe
+            clean_bytes += len(raw_line.encode("utf-8"))
     if header is None:
         raise ValueError("vertex log is empty")
-    return RecoveredLog(header, series, truncated)
+    return RecoveredLog(header, series, truncated, clean_bytes)
+
+
+def heal_torn_log(path: str | Path, recovered: RecoveredLog) -> None:
+    """Drop a torn final record by truncating the file to its clean prefix.
+
+    O(1) in log length — the clean lines (amendments included) are left
+    byte-identical on disk, only the torn suffix disappears.  A no-op
+    when the log was not truncated.
+    """
+    if not recovered.truncated:
+        return
+    os.truncate(Path(path), recovered.clean_bytes)

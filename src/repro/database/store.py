@@ -173,6 +173,22 @@ class MotionDatabase:
         """Release backend resources (open journal files)."""
         self._backend.close()
 
+    def compact(self, index=None) -> dict | None:
+        """Compact the backend into a columnar snapshot, if it supports it.
+
+        Delegates to
+        :meth:`~repro.database.backend.LoggedBackend.compact`: the
+        current state of every stream (and, when ``index`` is passed, the
+        signature index's posting buffers) is written to a snapshot,
+        journals are rotated, and the next reopen replays only the tail.
+        Returns the backend's compaction stats, or ``None`` for backends
+        without compaction (the in-memory default).
+        """
+        compact = getattr(self._backend, "compact", None)
+        if compact is None:
+            return None
+        return compact(index=index)
+
     # -- reads ----------------------------------------------------------------
 
     def patient(self, patient_id: str) -> PatientRecord:

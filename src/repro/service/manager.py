@@ -338,6 +338,23 @@ class SessionManager:
             self.close_session(stream_id, keep_stream=keep_streams)
         self.database.close()
 
+    def compact(self) -> dict | None:
+        """Snapshot the durable backend, including the shared index.
+
+        Safe to call between ticks on a live service: every journal
+        record is flushed as written, so the snapshot captures exactly
+        the committed state; journals rotate underneath the open
+        sessions without touching their in-memory series.  Publishes
+        the compaction stats as a ``backend_compacted`` event on the
+        manager's bus (the backend's own bus carries one too) and
+        returns them; ``None`` when the backend has no compaction (the
+        in-memory default).
+        """
+        stats = self.database.compact(index=self.matcher.index)
+        if stats is not None:
+            self.events.publish("backend_compacted", **stats)
+        return stats
+
     def __enter__(self) -> "SessionManager":
         return self
 

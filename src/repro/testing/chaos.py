@@ -30,6 +30,23 @@ the streaming pipeline end to end, deterministically from a single seed:
    re-ordered and NaN frames; the session must finish, count every
    corruption, satisfy the PLR structural invariants and end up
    byte-identical to a clean session fed only the surviving frames.
+7. **Compaction crashes** — seed a durable
+   :class:`~repro.database.backend.LoggedBackend` (one committed
+   snapshot generation plus a journal tail with an amendment), then
+   kill :meth:`~repro.database.backend.LoggedBackend.compact` at every
+   injection point it fires (``compact.columns`` / ``compact.index`` /
+   ``compact.snapshot_manifest`` / ``compact.rotate`` per stream /
+   ``compact.commit`` / ``compact.cleanup``).  Reopening the crashed
+   directory must recover every stream byte-identical to the golden
+   state, the restored signature index must serve the same candidates
+   as one rebuilt from scratch, and a follow-up *uninjected* compaction
+   over the crash debris must succeed and stay byte-identical.
+8. **Torn snapshot manifest** — the ``torn_manifest`` kind at
+   ``compact.snapshot_manifest`` writes a torn ``snapshot.json`` while
+   the rest of the compaction commits (the fsync-reordering hazard).
+   Reopen must fall back — to the previous snapshot generation when one
+   exists, to a genesis journal replay for a first-generation tear —
+   and recover byte-identically either way.
 
 Every broken contract raises :class:`ChaosFailure` naming the injection
 point, so a red chaos run is replayable from ``(seed, site, ordinal,
@@ -48,10 +65,12 @@ from pathlib import Path
 import numpy as np
 
 from ..core.matching import Match, SubsequenceMatcher
-from ..core.model import PLRSeries
+from ..core.model import BreathingState, PLRSeries, Vertex
 from ..core.online import OnlineAnalysisSession, OnlineSessionConfig
 from ..core.query import generate_query
 from ..core.segmentation import segment_signal
+from ..database.backend import LoggedBackend
+from ..database.index import StateSignatureIndex
 from ..database.log import VertexLogWriter, read_vertex_log
 from ..database.store import MotionDatabase
 from ..events import EventBus
@@ -70,6 +89,17 @@ __all__ = [
 
 #: Log-site fault kinds cycled across injection points.
 _LOG_KINDS = ("torn_write", "fsync_loss", "crash")
+
+#: Injection sites fired by ``LoggedBackend.compact``, in firing order
+#: (``compact.rotate`` fires once per stream).
+_COMPACTION_SITES = (
+    "compact.columns",
+    "compact.index",
+    "compact.snapshot_manifest",
+    "compact.rotate",
+    "compact.commit",
+    "compact.cleanup",
+)
 
 _LIVE_SESSION_ID = "LIVE"
 
@@ -93,11 +123,12 @@ class ChaosConfig:
         Shape of the seeded historical database.
     sample_rate:
         Raw acquisition rate in Hz.
-    max_log_points / max_index_points:
+    max_log_points / max_index_points / max_compaction_points:
         Cap on exercised injection points per site (``None`` = every
         point); the quick tier-1 variant caps tightly, the chaos job
         runs wide.  Capped index points are spread evenly across the
-        run, first and last included.
+        run, first and last included.  The torn-snapshot-manifest
+        scenarios run regardless of the compaction cap.
     n_sample_faults:
         Planned raw-sample corruptions in the sample-fault scenario.
     """
@@ -110,6 +141,7 @@ class ChaosConfig:
     sample_rate: float = 30.0
     max_log_points: int | None = None
     max_index_points: int | None = 16
+    max_compaction_points: int | None = None
     n_sample_faults: int = 8
 
 
@@ -121,6 +153,8 @@ class CrashRecoveryReport:
     n_log_points: int = 0
     n_index_points: int = 0
     n_removal_points: int = 0
+    n_compaction_points: int = 0
+    n_torn_manifest_points: int = 0
     n_sample_faults: int = 0
     n_oracle_checks: int = 0
     n_byte_identical_recoveries: int = 0
@@ -607,6 +641,266 @@ def _sample_faults(
     report.sites.append(f"online.observe:{','.join(sorted(set(kinds)))}")
 
 
+# -- scenarios 7-8: compaction crashes & torn snapshot manifests ---------------
+
+
+def _seed_durable(history: MotionDatabase, directory: Path) -> MotionDatabase:
+    """Copy the in-memory history into a fresh logged-backend directory."""
+    db = MotionDatabase(backend=LoggedBackend(directory))
+    for patient in history.iter_patients():
+        db.add_patient(patient.patient_id, patient.attributes)
+        for record in patient.streams.values():
+            db.add_stream(
+                patient.patient_id,
+                record.session_id,
+                copy.deepcopy(record.series),
+                record.stream_id,
+                dict(record.metadata),
+            )
+    return db
+
+
+def _probe_signature(db: MotionDatabase) -> tuple[int, ...]:
+    """A signature guaranteed to occur: the first stream's opening states."""
+    states = db.stream(db.stream_ids[0]).series.states
+    return tuple(int(s) for s in states[:4])
+
+
+def _extend_tail(db: MotionDatabase) -> None:
+    """Journal a few appends plus an amendment on the first stream.
+
+    Run after a compaction, this lands real records — an amendment
+    included — in the rotated tail segments, so every injected reopen
+    exercises snapshot adoption *and* tail replay.
+    """
+    stream_id = db.stream_ids[0]
+    series = db.stream(stream_id).series
+    t = series.end_time
+    position = series.vertex(len(series) - 1).position
+    vertices = [
+        Vertex(t + 1.0, position, BreathingState.IN),
+        Vertex(t + 2.0, position, BreathingState.EOE),
+        Vertex(t + 3.0, position, BreathingState.EX),
+    ]
+    for vertex in vertices:
+        series.append(vertex)
+    db.commit_vertices(stream_id, vertices)
+    amended = Vertex(t + 3.0, position, BreathingState.IRR)
+    series.replace_last(amended)
+    db.amend_vertex(stream_id, amended)
+
+
+def _durable_golden(
+    history: MotionDatabase, tmp: Path
+) -> tuple[Path, dict[str, bytes], tuple[int, ...]]:
+    """The compaction scenarios' golden directory.
+
+    Holds one committed snapshot generation (so injected compactions
+    exercise pruning and the two-generation fallback chain) plus a
+    journal tail with appends and an amendment.  Returns the directory,
+    per-stream byte fingerprints and a probe signature.
+    """
+    golden_dir = tmp / "compaction-golden"
+    db = _seed_durable(history, golden_dir)
+    signature = _probe_signature(db)
+    index = StateSignatureIndex(db)
+    index.candidates(signature)
+    db.compact(index=index)
+    _extend_tail(db)
+    golden = {s: _series_key(db.stream(s).series) for s in db.stream_ids}
+    db.close()
+    return golden_dir, golden, signature
+
+
+def _candidate_key(candidates) -> list[tuple]:
+    """Order-independent fingerprint of a candidate set."""
+    if candidates is None:
+        return []
+    return sorted(
+        zip(
+            (str(s) for s in candidates.stream_ids),
+            (int(s) for s in candidates.starts),
+            (tuple(map(float, row)) for row in candidates.amplitudes),
+            (tuple(map(float, row)) for row in candidates.durations),
+        )
+    )
+
+
+def _verify_durable_recovery(
+    directory: Path,
+    golden: dict[str, bytes],
+    signature: tuple[int, ...],
+    context: str,
+    report: CrashRecoveryReport,
+) -> dict:
+    """Reopen a (possibly crash-debris) directory and check the contracts.
+
+    Every stream must be byte-identical to the golden state, and the
+    snapshot-restored signature index must serve exactly the candidates
+    a from-scratch index over the recovered database serves.  Returns
+    the backend's ``reopen_stats`` for scenario-specific assertions.
+    """
+    db = MotionDatabase(backend=LoggedBackend(directory))
+    try:
+        if set(db.stream_ids) != set(golden):
+            raise ChaosFailure(
+                f"{context}: recovered streams {sorted(db.stream_ids)} != "
+                f"golden {sorted(golden)}"
+            )
+        for stream_id, key in golden.items():
+            if _series_key(db.stream(stream_id).series) != key:
+                raise ChaosFailure(
+                    f"{context}: stream {stream_id!r} differs from the "
+                    f"golden state after recovery"
+                )
+        restored = SubsequenceMatcher(db).index
+        fresh = StateSignatureIndex(db)
+        if _candidate_key(restored.candidates(signature)) != _candidate_key(
+            fresh.candidates(signature)
+        ):
+            raise ChaosFailure(
+                f"{context}: snapshot-restored index diverges from a "
+                f"from-scratch rebuild"
+            )
+        report.n_byte_identical_recoveries += 1
+        return db.backend.reopen_stats
+    finally:
+        db.close()
+
+
+def _compaction_crash_points(
+    config: ChaosConfig,
+    history: MotionDatabase,
+    tmp: Path,
+    report: CrashRecoveryReport,
+) -> None:
+    """Kill ``compact`` at every injection point; recovery must be exact."""
+    golden_dir, golden, signature = _durable_golden(history, tmp)
+
+    # Dry run on a scratch copy to count per-site arrivals (rotate fires
+    # once per stream).
+    scratch = tmp / "compaction-dry"
+    shutil.copytree(golden_dir, scratch)
+    counting = FaultInjector(FaultPlan())
+    db = MotionDatabase(backend=LoggedBackend(scratch, injector=counting))
+    index = StateSignatureIndex(db)
+    index.candidates(signature)
+    db.compact(index=index)
+    db.close()
+    points = [
+        (site, ordinal)
+        for site in _COMPACTION_SITES
+        for ordinal in range(counting.arrivals(site))
+    ]
+    if not points:
+        raise ChaosFailure("dry-run compaction fired no injection sites")
+    if config.max_compaction_points is not None:
+        points = points[: config.max_compaction_points]
+
+    for site, ordinal in points:
+        context = f"{site}#{ordinal} (crash)"
+        crash_dir = tmp / f"compaction-{site.replace('.', '-')}-{ordinal}"
+        shutil.copytree(golden_dir, crash_dir)
+        injector = FaultInjector(FaultPlan.crash_at(site, ordinal))
+        db = MotionDatabase(backend=LoggedBackend(crash_dir, injector=injector))
+        index = StateSignatureIndex(db)
+        index.candidates(signature)
+        try:
+            db.compact(index=index)
+        except SimulatedCrash:
+            pass
+        else:
+            raise ChaosFailure(f"{context}: planned crash never fired")
+        finally:
+            db.close()
+        _verify_durable_recovery(crash_dir, golden, signature, context, report)
+
+        # The next, uninjected compaction must digest the crash debris
+        # (orphan segments, half-written snapshot dirs) and stay exact.
+        db = MotionDatabase(backend=LoggedBackend(crash_dir))
+        index = StateSignatureIndex(db)
+        index.candidates(signature)
+        db.compact(index=index)
+        db.close()
+        _verify_durable_recovery(
+            crash_dir, golden, signature, f"{context} + recompact", report
+        )
+        report.n_compaction_points += 1
+        report.sites.append(f"{site}#{ordinal}:crash")
+
+
+def _torn_snapshot_manifests(
+    config: ChaosConfig,
+    history: MotionDatabase,
+    tmp: Path,
+    report: CrashRecoveryReport,
+) -> None:
+    """A torn ``snapshot.json`` must fall back a generation, byte-exactly."""
+    golden_dir, golden, signature = _durable_golden(history, tmp / "torn")
+
+    # (a) second generation torn: fall back to the previous snapshot
+    # plus a full tail replay.
+    torn_dir = tmp / "torn-gen2"
+    shutil.copytree(golden_dir, torn_dir)
+    plan = FaultPlan([FaultSpec("compact.snapshot_manifest", "torn_manifest", 0)])
+    injector = FaultInjector(plan)
+    db = MotionDatabase(backend=LoggedBackend(torn_dir, injector=injector))
+    index = StateSignatureIndex(db)
+    index.candidates(signature)
+    db.compact(index=index)  # completes: the tear is silent until reopen
+    db.close()
+    if not injector.exhausted:
+        raise ChaosFailure("torn_manifest (gen2): planned fault never fired")
+    stats = _verify_durable_recovery(
+        torn_dir, golden, signature, "torn_manifest (gen2)", report
+    )
+    if stats["torn_snapshots"] != 1 or stats["snapshot_id"] != 1:
+        raise ChaosFailure(
+            "torn_manifest (gen2): reopen did not fall back to the "
+            f"previous generation (stats: {stats})"
+        )
+    report.n_torn_manifest_points += 1
+    report.sites.append("compact.snapshot_manifest#0:torn_manifest(gen2)")
+
+    # (b) first generation torn: nothing pruned yet, so reopen falls all
+    # the way back to a genesis journal replay.
+    gen1_dir = tmp / "torn-gen1"
+    db = _seed_durable(history, gen1_dir)
+    gen1_golden = {s: _series_key(db.stream(s).series) for s in db.stream_ids}
+    db.injector = FaultInjector(
+        FaultPlan([FaultSpec("compact.snapshot_manifest", "torn_manifest", 0)])
+    )
+    index = StateSignatureIndex(db)
+    index.candidates(signature)
+    db.compact(index=index)
+    db.close()
+    stats = _verify_durable_recovery(
+        gen1_dir, gen1_golden, signature, "torn_manifest (gen1)", report
+    )
+    if stats["torn_snapshots"] != 1 or stats["snapshot_id"] is not None:
+        raise ChaosFailure(
+            "torn_manifest (gen1): reopen did not fall back to a genesis "
+            f"replay (stats: {stats})"
+        )
+    # A later, healthy compaction must re-establish a loadable generation.
+    db = MotionDatabase(backend=LoggedBackend(gen1_dir))
+    index = StateSignatureIndex(db)
+    index.candidates(signature)
+    db.compact(index=index)
+    db.close()
+    stats = _verify_durable_recovery(
+        gen1_dir, gen1_golden, signature, "torn_manifest (gen1) + recompact",
+        report,
+    )
+    if stats["torn_snapshots"] != 0 or stats["snapshot_id"] is None:
+        raise ChaosFailure(
+            "torn_manifest (gen1): follow-up compaction did not restore a "
+            f"loadable snapshot (stats: {stats})"
+        )
+    report.n_torn_manifest_points += 1
+    report.sites.append("compact.snapshot_manifest#0:torn_manifest(gen1)")
+
+
 # -- entry point ---------------------------------------------------------------
 
 
@@ -668,7 +962,7 @@ def run_crash_recovery(
     if arrivals["log.append"] == 0:
         raise ChaosFailure("golden run committed no vertices")
 
-    # 2-6. the injected scenarios.
+    # 2-8. the injected scenarios.
     golden_replays = _truncated_replays(golden_path, tmp)
     _log_crash_points(
         config, history, samples, golden_records, golden_replays,
@@ -681,6 +975,8 @@ def run_crash_recovery(
     _removal_mid_catch_up(config, history, samples, report)
     _store_crash(history, report)
     _sample_faults(config, history, samples, report)
+    _compaction_crash_points(config, history, tmp, report)
+    _torn_snapshot_manifests(config, history, tmp, report)
     if cleanup:
         shutil.rmtree(tmp, ignore_errors=True)
     return report

@@ -22,15 +22,21 @@ machinery the chaos suite uses to *prove* that:
 Injection sites compiled into the pipeline
 ------------------------------------------
 
-=====================  ==========================================================
-site                   armed in
-=====================  ==========================================================
-``log.append``         :meth:`repro.database.log.VertexLogWriter.append`
-``log.amend``          :meth:`repro.database.log.VertexLogWriter.amend`
-``store.remove_stream``:meth:`repro.database.store.MotionDatabase.remove_stream`
-``index.catch_up``     per-stream inside ``StateSignatureIndex`` catch-up batches
-``online.observe``     :meth:`repro.core.online.OnlineAnalysisSession.observe`
-=====================  ==========================================================
+==========================  =====================================================
+site                        armed in
+==========================  =====================================================
+``log.append``              :meth:`repro.database.log.VertexLogWriter.append`
+``log.amend``               :meth:`repro.database.log.VertexLogWriter.amend`
+``store.remove_stream``     :meth:`repro.database.store.MotionDatabase.remove_stream`
+``index.catch_up``          per-stream inside ``StateSignatureIndex`` catch-up batches
+``online.observe``          :meth:`repro.core.online.OnlineAnalysisSession.observe`
+``compact.columns``         ``LoggedBackend.compact`` before the column writes
+``compact.index``           before the index-buffer export
+``compact.snapshot_manifest``  before ``snapshot.json`` lands (also ``torn_manifest``)
+``compact.rotate``          once per stream, before its journal rotates
+``compact.commit``          before the atomic manifest swap (the commit point)
+``compact.cleanup``         after commit, before orphan deletion
+==========================  =====================================================
 
 Fault kinds
 -----------
@@ -45,6 +51,11 @@ Fault kinds
 ``drop`` / ``duplicate`` / ``out_of_order`` / ``nan``
     ``online.observe`` only: lose the raw sample, deliver it twice,
     deliver it with a stale timestamp, or replace the position with NaN.
+``torn_manifest``
+    ``compact.snapshot_manifest`` only: the snapshot's own manifest
+    reaches disk as a byte prefix while the compaction *commits* (the
+    fsync-reordering hazard) — reopen must fall back to the previous
+    snapshot generation and a longer journal-tail replay.
 ``remove_stream``
     Any site, via a callback: lets a plan mutate the database mid
     catch-up (the concurrent-removal hazard).

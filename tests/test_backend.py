@@ -241,6 +241,161 @@ class TestLoggedBackend:
         third.close()
 
 
+class TestCompaction:
+    def test_compact_writes_snapshot_and_rotates_journals(self, tmp_path):
+        db = _populate(LoggedBackend(tmp_path))
+        stats = db.compact()
+        assert stats["snapshot_id"] == 1
+        assert stats["n_streams"] == 2
+        assert stats["segments_rotated"] == 2
+        assert stats["segments_deleted"] == 0  # nothing covered twice yet
+        snap_dir = tmp_path / "snapshots" / "snap-000001"
+        manifest = json.loads((snap_dir / "snapshot.json").read_text())
+        assert manifest["format"] == "repro.loggeddb.snapshot/v1"
+        assert {s["stream_id"] for s in manifest["streams"]} == {
+            "PA/S00", "PB/S00",
+        }
+        for entry in manifest["streams"]:
+            for column in ("times", "positions", "states"):
+                assert (snap_dir / f"{entry['prefix']}-{column}.npy").exists()
+        # Journals rotated: the pre-compaction segments are retained
+        # (fallback material) and a fresh tail segment opened per stream.
+        root = json.loads((tmp_path / "manifest.json").read_text())
+        for stream in root["streams"]:
+            assert len(stream["segments"]) == 2
+            assert stream["rotations"] == 1
+        db.close()
+
+    def test_reopen_after_compact_replays_only_the_tail(self, tmp_path):
+        original = _populate(LoggedBackend(tmp_path))
+        original.compact()
+        original.close()
+
+        backend = LoggedBackend(tmp_path)
+        reopened = MotionDatabase(backend=backend)
+        stats = backend.reopen_stats
+        assert stats["snapshot_id"] == 1
+        assert stats["torn_snapshots"] == 0
+        assert stats["streams_from_snapshot"] == 2
+        # Only the rotated (empty) tail segments are replayed — the
+        # covered pre-compaction journals are never opened.
+        assert stats["segments_replayed"] == 2
+        assert not any(
+            name == "stream-00000.jsonl" for name in stats["files_read"]
+        )
+        for stream_id in original.stream_ids:
+            a = original.stream(stream_id).series
+            b = reopened.stream(stream_id).series
+            np.testing.assert_array_equal(a.times, b.times)
+            np.testing.assert_array_equal(a.positions, b.positions)
+            np.testing.assert_array_equal(a.states, b.states)
+        reopened.close()
+
+    def test_tail_written_after_compact_survives_reopen(self, tmp_path):
+        db = _populate(LoggedBackend(tmp_path))
+        n_before = len(db.stream("PA/S00").series)
+        db.compact()
+        extra = make_series(2, start=100.0)
+        db.commit_vertices("PA/S00", list(extra))
+        db.close()
+
+        reopened = MotionDatabase(backend=LoggedBackend(tmp_path))
+        assert len(reopened.stream("PA/S00").series) == n_before + len(extra)
+        reopened.close()
+
+    def test_removed_stream_costs_no_io_on_reopen(self, tmp_path):
+        """Streams tombstoned after the snapshot was cut are skipped
+        without touching their column files (the no-I/O regression)."""
+        db = _populate(LoggedBackend(tmp_path))
+        db.compact()
+        db.remove_stream("PA/S00")
+        db.close()
+
+        snap_dir = tmp_path / "snapshots" / "snap-000001"
+        manifest = json.loads((snap_dir / "snapshot.json").read_text())
+        dead_prefix = next(
+            s["prefix"]
+            for s in manifest["streams"]
+            if s["stream_id"] == "PA/S00"
+        )
+
+        backend = LoggedBackend(tmp_path)
+        reopened = MotionDatabase(backend=backend)
+        stats = backend.reopen_stats
+        assert reopened.stream_ids == ("PB/S00",)
+        assert stats["tombstones_skipped"] == 1
+        assert not any(
+            dead_prefix in name for name in stats["files_read"]
+        )
+        reopened.close()
+
+    def test_recreated_stream_ignores_dead_incarnation_snapshot(
+        self, tmp_path
+    ):
+        """A stream removed after the snapshot and re-created under the
+        same id must not adopt the dead incarnation's columns: segment
+        base names are never reused, so reopen tells them apart."""
+        db = _populate(LoggedBackend(tmp_path))
+        db.compact()
+        db.remove_stream("PA/S00")
+        db.add_stream("PA", "S00", series=make_series(1, start=50.0))
+        n_new = len(db.stream("PA/S00").series)
+        db.close()
+
+        backend = LoggedBackend(tmp_path)
+        reopened = MotionDatabase(backend=backend)
+        assert len(reopened.stream("PA/S00").series) == n_new
+        assert reopened.stream("PA/S00").series.times[0] == 50.0
+        assert backend.reopen_stats["tombstones_skipped"] == 1
+        reopened.close()
+
+    def test_second_compact_prunes_covered_segments(self, tmp_path):
+        db = _populate(LoggedBackend(tmp_path))
+        n_before = len(db.stream("PA/S00").series)
+        db.compact()
+        extra = make_series(2, start=100.0)
+        # Mirror the ingest path: the live series and journal advance
+        # together (compaction snapshots the in-memory state).
+        live = db.stream("PA/S00").series
+        for vertex in extra:
+            live.append(vertex)
+        db.commit_vertices("PA/S00", list(extra))
+        stats = db.compact()
+        assert stats["snapshot_id"] == 2
+        # Segments covered by snapshot 1 are no longer fallback material
+        # for snapshot 2 and were deleted.
+        assert stats["segments_deleted"] == 2
+        db.close()
+        root = json.loads((tmp_path / "manifest.json").read_text())
+        assert root["snapshots"] == [1, 2]
+        assert root["history_complete"] is False
+        assert not (tmp_path / "stream-00000.jsonl").exists()
+        # Generation 1 itself is retained as the torn-manifest fallback.
+        assert (tmp_path / "snapshots" / "snap-000001").exists()
+
+        reopened = MotionDatabase(backend=LoggedBackend(tmp_path))
+        assert (
+            len(reopened.stream("PA/S00").series) == n_before + len(extra)
+        )
+        reopened.close()
+
+    def test_in_memory_backend_has_no_compaction(self):
+        db = MotionDatabase()
+        db.add_patient("PA")
+        db.add_stream("PA", "S00", series=make_series(2))
+        assert db.compact() is None
+
+    def test_compaction_event_is_published(self, tmp_path):
+        db = _populate(LoggedBackend(tmp_path))
+        seen = []
+        db.events.subscribe("backend_compacted", seen.append)
+        db.compact()
+        db.close()
+        assert len(seen) == 1
+        assert seen[0]["snapshot_id"] == 1
+        assert seen[0]["n_streams"] == 2
+
+
 @pytest.mark.parametrize("backend_name", BACKEND_NAMES)
 class TestFacadeOverBothBackends:
     def _db(self, backend_name, tmp_path):

@@ -22,13 +22,18 @@ class TestQuickCampaign:
             history_duration=30.0,
             max_log_points=6,
             max_index_points=4,
+            max_compaction_points=3,
             n_sample_faults=4,
         )
         report = run_crash_recovery(config, workdir=tmp_path)
         assert report.n_log_points == 6
-        assert report.n_byte_identical_recoveries == 6
+        # 6 log recoveries + 2 per compaction point (crash + recompact)
+        # + 3 across the two torn-manifest scenarios.
+        assert report.n_byte_identical_recoveries == 15
         assert report.n_index_points == 4
         assert report.n_removal_points == 1
+        assert report.n_compaction_points == 3
+        assert report.n_torn_manifest_points == 2
         assert report.n_sample_faults == 4
         assert report.n_oracle_checks > 0
 
@@ -41,11 +46,17 @@ class TestFullCampaign:
         report = run_crash_recovery(
             ChaosConfig(seed=seed), workdir=tmp_path
         )
-        # Every vertex-log write was killed and recovered byte-identically.
-        assert report.n_log_points == report.n_byte_identical_recoveries
+        # Every vertex-log write was killed and recovered byte-identically,
+        # plus two verifications per compaction crash point (crash +
+        # recompact) and three across the torn-manifest scenarios.
+        assert report.n_byte_identical_recoveries == (
+            report.n_log_points + 2 * report.n_compaction_points + 3
+        )
         assert report.n_log_points > 0
         assert report.n_index_points > 0
         assert report.n_removal_points == 1
+        assert report.n_compaction_points > 0
+        assert report.n_torn_manifest_points == 2
         assert report.n_sample_faults > 0
         assert report.n_oracle_checks > 0
 
@@ -56,3 +67,40 @@ class TestFullCampaign:
             ChaosConfig(seed=3), workdir=tmp_path
         )
         assert any(site.startswith("log.amend#") for site in report.sites)
+
+
+@pytest.mark.chaos
+class TestCompactionCampaign:
+    """The dedicated compaction seed: every fault point inside
+    ``LoggedBackend.compact``, uncapped, plus both torn-snapshot-manifest
+    fallbacks.  Log/index points are capped to a token presence — they
+    have their own seeds above."""
+
+    def test_every_compaction_fault_point(self, tmp_path):
+        config = ChaosConfig(
+            seed=11,
+            duration=18.0,
+            history_duration=30.0,
+            max_log_points=1,
+            max_index_points=1,
+            n_sample_faults=2,
+        )
+        report = run_crash_recovery(config, workdir=tmp_path)
+        compact_sites = {
+            site.split("#")[0]
+            for site in report.sites
+            if site.startswith("compact.")
+        }
+        assert compact_sites == {
+            "compact.columns",
+            "compact.index",
+            "compact.snapshot_manifest",
+            "compact.rotate",
+            "compact.commit",
+            "compact.cleanup",
+        }
+        # rotate fires per stream: strictly more points than sites.
+        assert report.n_compaction_points > len(compact_sites)
+        assert report.n_torn_manifest_points == 2
+        assert any("torn_manifest(gen2)" in site for site in report.sites)
+        assert any("torn_manifest(gen1)" in site for site in report.sites)

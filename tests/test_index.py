@@ -1,5 +1,7 @@
 """Tests for the state-signature index."""
 
+import math
+
 import numpy as np
 import pytest
 
@@ -231,3 +233,133 @@ class TestIncrementality:
         got = all_candidates(index, signature)
         assert got == brute_force(db, signature)
         assert got  # the pattern repeats, so there are hits
+
+
+class TestBufferRoundTrip:
+    """Exported posting buffers survive ``save -> mmap -> restore`` with
+    zero re-indexing (the snapshot storage contract)."""
+
+    ARRAY_FIELDS = (
+        "group_keys", "group_offsets", "stream_codes",
+        "starts", "amplitudes", "durations",
+    )
+
+    def _mmap_round_trip(self, buffers, tmp_path):
+        """Persist each exported array and hand back mmap'd views —
+        exactly what ``LoggedBackend`` does inside a snapshot segment."""
+        loaded = {}
+        for n_vertices, state in buffers.items():
+            entry = {
+                "stream_names": list(state["stream_names"]),
+                "next_start": dict(state["next_start"]),
+            }
+            for field in self.ARRAY_FIELDS:
+                path = tmp_path / f"idx-{n_vertices}-{field}.npy"
+                np.save(path, state[field])
+                entry[field] = np.load(path, mmap_mode="r")
+            loaded[n_vertices] = entry
+        return loaded
+
+    def _signatures(self, db, m):
+        """Every distinct length-``m`` window signature in the database."""
+        seen = set()
+        for record in db.iter_streams():
+            states = record.series.states
+            for start in range(len(record.series) - m + 1):
+                seen.add(tuple(int(s) for s in states[start : start + m - 1]))
+        return sorted(seen)
+
+    def test_restored_index_answers_without_rebuild(self, db, tmp_path):
+        from repro.obs import Telemetry
+
+        original = StateSignatureIndex(db)
+        lengths = (3, 4, 5)
+        for m in lengths:  # materialise several length indexes
+            for signature in self._signatures(db, m):
+                original.candidates(signature)
+
+        buffers = self._mmap_round_trip(original.export_buffers(), tmp_path)
+
+        telemetry = Telemetry()
+        restored = StateSignatureIndex(db, telemetry=telemetry)
+        assert restored.restore_buffers(buffers) == len(lengths)
+        for m in lengths:
+            for signature in self._signatures(db, m):
+                assert all_candidates(restored, signature) == all_candidates(
+                    original, signature
+                )
+        # The watermarks covered every window: nothing was re-indexed.
+        windows = telemetry.registry.counter("index.windows_indexed")
+        assert windows.value == 0
+
+    def test_restored_index_passes_oracle_sweep(self, db, tmp_path):
+        from repro.core.matching import SubsequenceMatcher
+        from repro.core.similarity import SimilarityParams
+        from repro.testing.oracle import check_equivalence, reference_matches
+
+        original = StateSignatureIndex(db)
+        for m in (3, 4):
+            for signature in self._signatures(db, m):
+                original.candidates(signature)
+        buffers = self._mmap_round_trip(original.export_buffers(), tmp_path)
+
+        restored = StateSignatureIndex(db)
+        restored.restore_buffers(buffers)
+        params = SimilarityParams()
+        matcher = SubsequenceMatcher(db, params, index=restored)
+        query_stream = db.stream_ids[0]
+        series = db.stream(query_stream).series
+        for m in (3, 4):
+            for start in range(0, len(series) - m, 3):
+                query = series.subsequence(start, start + m)
+                engine = matcher.find_matches(
+                    query, query_stream, threshold=math.inf
+                )
+                oracle = reference_matches(
+                    db, query, query_stream,
+                    threshold=math.inf, params=params,
+                )
+                check_equivalence(engine, oracle)
+
+    def test_appends_after_restore_migrate_off_the_mmap(self, db, tmp_path):
+        """Adopted buffers are read-only views; the first append past the
+        watermark must copy the posting into writable storage."""
+        original = StateSignatureIndex(db)
+        signature = (int(IN), int(EX), int(EOE))
+        original.candidates(signature)
+        buffers = self._mmap_round_trip(original.export_buffers(), tmp_path)
+
+        restored = StateSignatureIndex(db)
+        restored.restore_buffers(buffers)
+        before = all_candidates(restored, signature)
+        series = db.stream("PA/S00").series
+        t = series.end_time
+        series.append(Vertex(t + 1.0, (10.0,), EX))
+        series.append(Vertex(t + 2.0, (0.0,), EOE))
+        series.append(Vertex(t + 3.0, (0.0,), IN))
+        after = all_candidates(restored, signature)
+        assert after == brute_force(db, signature)
+        assert len(after) > len(before)
+
+    def test_restore_skips_lengths_with_removed_streams(self, db, tmp_path):
+        original = StateSignatureIndex(db)
+        signature = (int(IN), int(EX), int(EOE))
+        original.candidates(signature)
+        buffers = self._mmap_round_trip(original.export_buffers(), tmp_path)
+
+        db.remove_stream("PB/S00")
+        restored = StateSignatureIndex(db)
+        assert restored.restore_buffers(buffers) == 0
+        # The skipped length rebuilds lazily and stays correct.
+        assert all_candidates(restored, signature) == brute_force(db, signature)
+
+    def test_bytes_keyed_lengths_are_not_exported(self):
+        db = MotionDatabase()
+        db.add_patient("PA")
+        db.add_stream("PA", "S00", series=make_series(cycles=14))
+        index = StateSignatureIndex(db)
+        n_segments = MAX_RADIX_SEGMENTS + 2
+        series = db.stream("PA/S00").series
+        signature = tuple(int(s) for s in series.states[:n_segments])
+        index.candidates(signature)
+        assert index.export_buffers() == {}

@@ -1,0 +1,210 @@
+"""Property-based storage equivalence: compaction + reopen is invisible.
+
+For any random interleaving of stream adds, vertex appends, amendments,
+stream removals and compactions, a :class:`LoggedBackend` that is
+compacted mid-stream, closed and reopened must present *byte-identical*
+PLR series — and index postings equivalent down to the feature columns —
+to a reference database that executed the same script and was never
+closed.
+
+The reference side runs on the backend selected by
+``REPRO_TEST_BACKEND`` (the CI matrix), so the property doubles as an
+in-memory-vs-logged cross-check; the durable side is always a
+``LoggedBackend`` in its own directory.
+"""
+
+import tempfile
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.matching import SubsequenceMatcher
+from repro.core.model import BreathingState, PLRSeries, Vertex
+from repro.database.backend import LoggedBackend
+from repro.database.index import StateSignatureIndex
+from repro.database.store import MotionDatabase
+
+from conftest import make_test_database
+
+_STATES = (
+    BreathingState.IN,
+    BreathingState.EX,
+    BreathingState.EOE,
+    BreathingState.IRR,
+)
+
+#: Window lengths the index comparison sweeps.
+_LENGTHS = (3, 4)
+
+
+def _vertex_params(draw):
+    state = draw(st.sampled_from(range(len(_STATES))))
+    position = draw(
+        st.floats(-20.0, 20.0, allow_nan=False, allow_infinity=False)
+    )
+    delta = draw(st.floats(0.5, 2.0, allow_nan=False, allow_infinity=False))
+    return state, position, delta
+
+
+@st.composite
+def _script(draw):
+    """A random operation interleaving over up to three streams."""
+    ops = []
+    n_ops = draw(st.integers(3, 14))
+    for _ in range(n_ops):
+        kind = draw(
+            st.sampled_from(
+                ("add", "append", "append", "amend", "remove", "compact")
+            )
+        )
+        idx = draw(st.integers(0, 2))
+        if kind == "add":
+            n_initial = draw(st.integers(0, 5))
+            initial = [_vertex_params(draw) for _ in range(n_initial)]
+            ops.append(("add", idx, initial))
+        elif kind == "append":
+            n = draw(st.integers(1, 4))
+            ops.append(("append", idx, [_vertex_params(draw) for _ in range(n)]))
+        elif kind == "amend":
+            ops.append(("amend", idx, draw(st.integers(0, 3))))
+        elif kind == "remove":
+            ops.append(("remove", idx))
+        else:
+            ops.append(("compact",))
+    return ops
+
+
+def _stream_id(idx):
+    return f"P0/S{idx:02d}"
+
+
+def _apply(db, ops, clocks, index=None):
+    """Execute the script; ``index`` marks the durable side (compactions
+    export its buffers).  The reference side ignores ``compact`` ops."""
+    for op in ops:
+        kind = op[0]
+        if kind == "add":
+            _, idx, initial = op
+            sid = _stream_id(idx)
+            if sid in db:
+                continue
+            series = PLRSeries()
+            t = clocks.get(sid, 0.0)
+            for state, position, delta in initial:
+                t += delta
+                series.append(Vertex(t, (position,), _STATES[state]))
+            clocks[sid] = t
+            db.add_stream("P0", f"S{idx:02d}", series=series, stream_id=sid)
+        elif kind == "append":
+            _, idx, vertices = op
+            sid = _stream_id(idx)
+            if sid not in db:
+                continue
+            series = db.stream(sid).series
+            t = clocks[sid]
+            batch = []
+            for state, position, delta in vertices:
+                t += delta
+                batch.append(Vertex(t, (position,), _STATES[state]))
+            clocks[sid] = t
+            # Mirror the ingest path: live series and journal advance
+            # together.
+            for vertex in batch:
+                series.append(vertex)
+            db.commit_vertices(sid, batch)
+        elif kind == "amend":
+            _, idx, state = op
+            sid = _stream_id(idx)
+            if sid not in db or len(db.stream(sid).series) == 0:
+                continue
+            series = db.stream(sid).series
+            old = series.vertex(-1)
+            amended = Vertex(old.time, old.position, _STATES[state])
+            series.replace_last(amended)
+            db.amend_vertex(sid, amended)
+        elif kind == "remove":
+            sid = _stream_id(op[1])
+            if sid not in db:
+                continue
+            db.remove_stream(sid)
+        elif kind == "compact" and index is not None:
+            _touch(index, db)
+            db.compact(index=index)
+
+
+def _signatures(db, m):
+    seen = set()
+    for record in db.iter_streams():
+        states = record.series.states
+        for start in range(len(record.series) - m + 1):
+            seen.add(tuple(int(s) for s in states[start : start + m - 1]))
+    return sorted(seen)
+
+
+def _touch(index, db):
+    """Force catch-up on the sweep lengths so exports carry postings."""
+    for m in _LENGTHS:
+        for signature in _signatures(db, m):
+            index.candidates(signature)
+
+
+def _candidate_table(index, db):
+    """Every posting the index answers for the sweep lengths, with the
+    full feature columns — the byte-level equivalence witness."""
+    table = {}
+    for m in _LENGTHS:
+        for signature in _signatures(db, m):
+            candidates = index.candidates(signature)
+            if candidates is None:
+                table[signature] = ()
+                continue
+            rows = sorted(
+                (
+                    str(candidates.stream_ids[i]),
+                    int(candidates.starts[i]),
+                    candidates.amplitudes[i].tobytes(),
+                    candidates.durations[i].tobytes(),
+                )
+                for i in range(candidates.n_candidates)
+            )
+            table[signature] = tuple(rows)
+    return table
+
+
+class TestCompactionTransparency:
+    @settings(max_examples=25, deadline=None)
+    @given(ops=_script())
+    def test_snapshot_reopen_replay_is_byte_identical(self, ops):
+        reference = make_test_database()
+        reference.add_patient("P0")
+        _apply(reference, ops, clocks={})
+
+        tmp = tempfile.TemporaryDirectory(prefix="repro-prop-")
+        durable = MotionDatabase(backend=LoggedBackend(tmp.name))
+        durable.add_patient("P0")
+        durable_index = StateSignatureIndex(durable)
+        _apply(durable, ops, clocks={}, index=durable_index)
+        durable.close()
+
+        reopened = MotionDatabase(backend=LoggedBackend(tmp.name))
+        try:
+            assert reopened.stream_ids == reference.stream_ids
+            for sid in reference.stream_ids:
+                a = reference.stream(sid).series
+                b = reopened.stream(sid).series
+                np.testing.assert_array_equal(a.times, b.times)
+                np.testing.assert_array_equal(a.positions, b.positions)
+                np.testing.assert_array_equal(a.states, b.states)
+
+            # Index postings: the reopened matcher (restored from the
+            # snapshot's buffers when one was cut) must answer exactly
+            # like a fresh index over the reference database.
+            restored = SubsequenceMatcher(reopened).index
+            fresh = StateSignatureIndex(reference)
+            assert _candidate_table(restored, reopened) == _candidate_table(
+                fresh, reference
+            )
+        finally:
+            reopened.close()
+            tmp.cleanup()

@@ -31,9 +31,22 @@ serving is no longer dominated by an opaque per-tenant
 ``prediction.plan_serve`` (one batched dispatch per frame), leaving
 per-sample segmentation inside ``service.tick`` as the main cost.
 
+With ``--workers N [N ...]`` the benchmark additionally sweeps the
+**sharded multi-process tier** (:mod:`repro.service.sharding`) over a
+large tenant fleet (500 tenants full, 24 quick): the historical cohort
+is partitioned into per-shard durable directories, one coordinator
+scatters the same tick + fleet-prediction schedule over N worker
+processes, and the sweep records per-worker-count throughput, the
+2-vs-1-worker scaling factor, and asserts every sharded run's
+predictions and final match sets are **byte-identical** to the
+single-process manager's.  On a single-core host the scaling factor
+records honestly below 1 (two workers timeshare one CPU); the payload
+carries ``cpu_count`` so readers can interpret it.
+
 Run from the repo root::
 
     PYTHONPATH=src python benchmarks/bench_service.py [--quick]
+    PYTHONPATH=src python benchmarks/bench_service.py --workers 1 2
 """
 
 from __future__ import annotations
@@ -41,7 +54,9 @@ from __future__ import annotations
 import argparse
 import copy
 import json
+import os
 import platform
+import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -51,7 +66,9 @@ import numpy as np
 from repro.analysis.experiments import CohortConfig, build_cohort
 from repro.core.online import OnlineAnalysisSession, OnlineSessionConfig
 from repro.obs import Telemetry
+from repro.service.builder import PipelineBuilder
 from repro.service.manager import SessionManager
+from repro.service.sharding import ShardCoordinator, partition_database
 from repro.signals.respiratory import RespiratorySimulator, SessionConfig
 
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
@@ -154,6 +171,167 @@ def serve_solo(db, raws):
     for session, _ in sessions.values():
         session.finish(keep_stream=False)
     return elapsed, len(times), predictions
+
+
+@dataclass(frozen=True)
+class ShardedWorkload:
+    cohort: CohortConfig
+    tenants_per_patient: int
+    live_duration: float
+
+
+#: 50 patients x 10 live sessions each = 500 tenants (the acceptance
+#: fleet size for the sharded tier), over a 100-stream historical cohort.
+SHARDED_FULL = ShardedWorkload(
+    cohort=CohortConfig(
+        n_patients=50,
+        sessions_per_patient=2,
+        session_duration=45.0,
+        live_duration=30.0,
+        seed=1,
+    ),
+    tenants_per_patient=10,
+    live_duration=8.0,
+)
+SHARDED_QUICK = ShardedWorkload(
+    cohort=CohortConfig(
+        n_patients=8,
+        sessions_per_patient=2,
+        session_duration=45.0,
+        live_duration=30.0,
+        seed=1,
+    ),
+    tenants_per_patient=3,
+    live_duration=6.0,
+)
+
+
+def build_sharded_workload(workload: ShardedWorkload):
+    """Historical cohort + ``tenants_per_patient`` raw sessions each."""
+    cohort = build_cohort(workload.cohort)
+    session_config = SessionConfig(duration=workload.live_duration)
+    raws = {}
+    for i, profile in enumerate(cohort.profiles):
+        for k in range(workload.tenants_per_patient):
+            raws[(profile.patient_id, f"T{k:02d}")] = RespiratorySimulator(
+                profile, session_config
+            ).generate_session(900 + k, seed=5000 + 37 * i + k)
+    return cohort.db, raws
+
+
+def serve_fleet_single_process(db, raws, builder):
+    """The whole tenant fleet through one in-process manager (timed)."""
+    manager = SessionManager(copy.deepcopy(db), builder=builder)
+    by_stream = {}
+    for (patient_id, session_id), raw in raws.items():
+        session = manager.open_session(patient_id, session_id)
+        by_stream[session.stream_id] = raw
+    times = next(iter(by_stream.values())).times
+    predictions = {sid: [] for sid in by_stream}
+
+    t0 = time.perf_counter()
+    for i, t in enumerate(times):
+        manager.tick(
+            float(t), {sid: raw.values[i] for sid, raw in by_stream.items()}
+        )
+        served = manager.predict_ahead_all(LATENCY)
+        for sid in by_stream:
+            predictions[sid].append(served[sid])
+    elapsed = time.perf_counter() - t0
+
+    matches = {sid: list(manager.session(sid).matches) for sid in by_stream}
+    manager.close(keep_streams=False)
+    return elapsed, len(times), predictions, matches
+
+
+def serve_fleet_sharded(db, raws, builder, n_workers, root):
+    """The same fleet through ``n_workers`` shard processes (timed).
+
+    Partitioning the cohort into per-shard directories is setup, not
+    serving, and stays outside the timed window — only the tick +
+    fleet-prediction loop over the wire is measured.
+    """
+    partition_database(db, root, n_workers)
+    with ShardCoordinator(root, n_workers, builder=builder) as coordinator:
+        by_stream = {}
+        for (patient_id, session_id), raw in raws.items():
+            sid = coordinator.open_session(patient_id, session_id)
+            by_stream[sid] = raw
+        times = next(iter(by_stream.values())).times
+        predictions = {sid: [] for sid in by_stream}
+
+        t0 = time.perf_counter()
+        for i, t in enumerate(times):
+            coordinator.tick(
+                float(t),
+                {sid: raw.values[i] for sid, raw in by_stream.items()},
+            )
+            served = coordinator.predict_ahead_all(LATENCY)
+            for sid in by_stream:
+                predictions[sid].append(served[sid])
+        elapsed = time.perf_counter() - t0
+
+        matches = {sid: coordinator.matches_of(sid) for sid in by_stream}
+    return elapsed, len(times), predictions, matches
+
+
+def run_sharded(quick: bool, worker_counts: list[int]) -> dict:
+    """Sweep the sharded tier over ``worker_counts``, oracled against the
+    single-process manager (byte-identical predictions and matches)."""
+    workload = SHARDED_QUICK if quick else SHARDED_FULL
+    db, raws = build_sharded_workload(workload)
+    builder = PipelineBuilder.from_session_config(OnlineSessionConfig())
+
+    t_solo, n_frames, p_solo, m_solo = serve_fleet_single_process(
+        db, raws, builder
+    )
+    n_tenants = len(raws)
+    frames_total = n_tenants * n_frames
+
+    per_workers = {}
+    for n in worker_counts:
+        with tempfile.TemporaryDirectory(prefix="bench-shards-") as root:
+            t_n, _, p_n, m_n = serve_fleet_sharded(db, raws, builder, n, root)
+        identical_p = identical_predictions(p_solo, p_n)
+        identical_m = m_solo == m_n
+        assert identical_p, (
+            f"sharded serve ({n} workers) predictions diverged from the "
+            "single-process manager"
+        )
+        assert identical_m, (
+            f"sharded serve ({n} workers) match sets diverged from the "
+            "single-process manager"
+        )
+        per_workers[str(n)] = {
+            "elapsed_s": t_n,
+            "frames_per_s": frames_total / t_n,
+            "identical_predictions": identical_p,
+            "identical_matches": identical_m,
+        }
+
+    section = {
+        "n_tenants": n_tenants,
+        "n_patients": workload.cohort.n_patients,
+        "n_frames_per_tenant": n_frames,
+        "single_process": {
+            "elapsed_s": t_solo,
+            "frames_per_s": frames_total / t_solo,
+        },
+        "workers": per_workers,
+        "cpu_count": os.cpu_count(),
+        "usable_cpus": len(os.sched_getaffinity(0)),
+    }
+    if "1" in per_workers and "2" in per_workers:
+        section["speedup_2_workers_vs_1"] = (
+            per_workers["2"]["frames_per_s"] / per_workers["1"]["frames_per_s"]
+        )
+    if section["usable_cpus"] < 2:
+        section["note"] = (
+            "host exposes a single usable CPU: worker processes "
+            "timeshare one core, so the 2-vs-1-worker factor measures "
+            "wire+merge overhead only, not parallel scaling"
+        )
+    return section
 
 
 def identical_predictions(a, b) -> bool:
@@ -282,6 +460,16 @@ def main(argv: list[str] | None = None) -> int:
         help="small cohort, three tenants (CI smoke run)",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="N",
+        help="also sweep the sharded multi-process tier over these "
+        "worker counts (e.g. --workers 1 2), oracled byte-identical "
+        "against the single-process manager",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=OUTPUT,
@@ -290,6 +478,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     payload = run(args.quick)
+    if args.workers:
+        payload["sharded"] = run_sharded(args.quick, args.workers)
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
 
     workload = payload["workload"]
@@ -317,6 +507,28 @@ def main(argv: list[str] | None = None) -> int:
         f"{attribution['index_catch_up_share_of_serve'] * 100:.1f}% "
         "(the only stage sharing deduplicates)"
     )
+    if "sharded" in payload:
+        sharded = payload["sharded"]
+        print(
+            f"sharded tier: {sharded['n_tenants']} tenants x "
+            f"{sharded['n_frames_per_tenant']} frames "
+            f"({sharded['usable_cpus']} usable CPU(s))"
+        )
+        print(
+            "  single-process: "
+            f"{sharded['single_process']['frames_per_s']:.0f} frames/s"
+        )
+        for n, stats in sharded["workers"].items():
+            print(
+                f"  {n} worker(s): {stats['frames_per_s']:.0f} frames/s, "
+                f"identical predictions: {stats['identical_predictions']}, "
+                f"identical matches: {stats['identical_matches']}"
+            )
+        if "speedup_2_workers_vs_1" in sharded:
+            print(
+                "  2 workers vs 1: "
+                f"{sharded['speedup_2_workers_vs_1']:.2f}x"
+            )
     print(f"wrote {args.output}")
     return 0
 

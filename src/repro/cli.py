@@ -6,17 +6,22 @@ Small operational commands over the library::
     python -m repro inspect cohort.json
     python -m repro replay cohort.json --patient P000 --horizon 0.2
     python -m repro serve-replay cohort.json --live 3 --latency 0.2
+    python -m repro serve-replay cohort.json --live 6 --workers 2
     python -m repro cluster cohort.json -k 3
+    python -m repro compact ./durable-db
     python -m repro metrics cohort.json --live 3 --json
 
 ``simulate`` builds a synthetic cohort database snapshot; ``inspect``
 summarises one; ``replay`` runs the online prediction pipeline for one
 patient's fresh session against it; ``serve-replay`` replays several
 patients *concurrently* through the multi-tenant session service (a
-smoke test of the service layer); ``cluster`` runs the offline
-Definition 3/4 + k-medoids analysis; ``metrics`` runs the same
-multi-tenant replay fully instrumented and prints the final telemetry
-snapshot (text or ``--json``).
+smoke test of the service layer — with ``--workers N`` the fleet runs
+through the sharded multi-process tier instead); ``cluster`` runs the
+offline Definition 3/4 + k-medoids analysis; ``compact`` rolls a
+durable database directory (or every ``shard-NNN`` under a sharded
+root) into a fresh columnar snapshot generation; ``metrics`` runs the
+same multi-tenant replay fully instrumented and prints the final
+telemetry snapshot (text or ``--json``).
 """
 
 from __future__ import annotations
@@ -77,6 +82,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--latency", type=float, default=0.2,
                        help="prediction look-ahead in seconds")
     p_srv.add_argument("--seed", type=int, default=99)
+    p_srv.add_argument("--workers", type=int, default=1,
+                       help="shard worker processes (1 = in-process "
+                       "single-manager serving, the default)")
+
+    p_cmp = sub.add_parser(
+        "compact",
+        help="compact a durable (logged-backend) database directory "
+        "into a fresh columnar snapshot generation",
+    )
+    p_cmp.add_argument("directory",
+                       help="a LoggedBackend directory, or a sharded "
+                       "root holding shard-NNN subdirectories")
+    p_cmp.add_argument("--no-index", action="store_true",
+                       help="skip snapshotting the signature index")
 
     p_clu = sub.add_parser(
         "cluster", help="offline stream/patient clustering of a snapshot"
@@ -229,6 +248,8 @@ def _cmd_serve_replay(args) -> int:
     raws = _live_raws(db, args.live, args.duration, args.seed)
     if raws is None:
         return 2
+    if args.workers > 1:
+        return _serve_replay_sharded(db, raws, args)
 
     manager = SessionManager(db)
     by_stream = {}
@@ -259,6 +280,93 @@ def _cmd_serve_replay(args) -> int:
         f"served {len(by_stream)} concurrent sessions over "
         f"{db.n_streams} historical streams"
     )
+    return 0
+
+
+def _serve_replay_sharded(db, raws, args) -> int:
+    """The ``--workers N`` serve-replay path: a real multi-process tier.
+
+    Partitions the snapshot into per-shard durable directories under a
+    temporary root, spawns the workers, and drives the same tick +
+    predict loop through the coordinator.  Results are byte-identical
+    to the single-process path by the sharding tier's contract.
+    """
+    import tempfile
+
+    from .service.sharding import ShardCoordinator, partition_database
+
+    with tempfile.TemporaryDirectory(prefix="repro-shards-") as root:
+        partition_database(db, root, args.workers)
+        coordinator = ShardCoordinator(root, args.workers)
+        try:
+            by_stream = {}
+            for patient_id, raw in raws.items():
+                stream_id = coordinator.open_session(patient_id, "SERVE")
+                by_stream[stream_id] = raw
+
+            times = next(iter(by_stream.values())).times
+            n_predictions = {stream_id: 0 for stream_id in by_stream}
+            for i in range(len(times)):
+                coordinator.tick(
+                    float(times[i]),
+                    {sid: raw.values[i] for sid, raw in by_stream.items()},
+                )
+                served = coordinator.predict_ahead_all(args.latency)
+                for stream_id in by_stream:
+                    if served[stream_id] is not None:
+                        n_predictions[stream_id] += 1
+
+            for stream_id in by_stream:
+                shard = coordinator.shard_of_stream(stream_id)
+                print(
+                    f"{stream_id} [shard {shard}]: "
+                    f"{coordinator.stream_length(stream_id)} vertices, "
+                    f"{n_predictions[stream_id]}/{len(times)} frames "
+                    f"predicted at {args.latency * 1000:.0f} ms"
+                )
+            print(
+                f"served {len(by_stream)} concurrent sessions over "
+                f"{db.n_streams} historical streams "
+                f"across {args.workers} shard workers"
+            )
+        finally:
+            coordinator.close()
+    return 0
+
+
+def _cmd_compact(args) -> int:
+    from pathlib import Path
+
+    from .database.backend import LoggedBackend, list_shards, shard_directory
+    from .database.index import StateSignatureIndex
+    from .database.store import MotionDatabase
+
+    root = Path(args.directory)
+    if not root.is_dir():
+        print(f"error: {root} is not a directory", file=sys.stderr)
+        return 2
+    shards = list_shards(root)
+    targets = (
+        [(f"shard {s}", shard_directory(root, s)) for s in shards]
+        if shards
+        else [(str(root), root)]
+    )
+    for label, directory in targets:
+        db = MotionDatabase(backend=LoggedBackend(directory))
+        try:
+            index = None
+            if not args.no_index:
+                index = StateSignatureIndex(db)
+            stats = db.compact(index=index)
+        finally:
+            db.close()
+        print(
+            f"{label}: snapshot {stats['snapshot_id']}, "
+            f"{stats['n_streams']} streams "
+            f"({stats['n_index_lengths']} index lengths), "
+            f"{stats['segments_rotated']} segments rotated / "
+            f"{stats['segments_deleted']} deleted"
+        )
     return 0
 
 
@@ -328,6 +436,7 @@ _COMMANDS = {
     "replay": _cmd_replay,
     "serve-replay": _cmd_serve_replay,
     "cluster": _cmd_cluster,
+    "compact": _cmd_compact,
     "metrics": _cmd_metrics,
 }
 

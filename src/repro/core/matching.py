@@ -46,7 +46,13 @@ from ..database.store import MotionDatabase
 from .model import Subsequence
 from .similarity import SimilarityParams, SourceRelation, batch_distance
 
-__all__ = ["Match", "SubsequenceMatcher"]
+__all__ = [
+    "Match",
+    "PartialTopK",
+    "QueryView",
+    "SubsequenceMatcher",
+    "match_sort_key",
+]
 
 
 @dataclass(frozen=True)
@@ -63,6 +69,96 @@ class Match:
         """Materialise the matched window from the database."""
         series = database.stream(self.stream_id).series
         return series.subsequence(self.start, self.start + self.n_vertices)
+
+
+def match_sort_key(match: Match) -> tuple[float, str, int]:
+    """The canonical retrieval order: ``(distance, stream_id, start)``.
+
+    This is the same total order ``_rank`` realises with ``np.lexsort``
+    (lexicographic stream-id codes), so sorting any set of matches with
+    this key reproduces the matcher's deterministic ordering exactly.
+    """
+    return (match.distance, match.stream_id, match.start)
+
+
+@dataclass(frozen=True)
+class QueryView:
+    """The portable projection of a query window.
+
+    A remote shard scores a query it cannot materialise (the live
+    series lives on the home shard), so this view carries exactly the
+    fields the ``query_stream_id=None`` retrieval path reads: the
+    segment-state signature for candidate generation and the per-segment
+    amplitude/duration features for :func:`batch_distance`.  Arrays
+    round-trip through JSON float ``repr`` bit-exactly, keeping remote
+    distances byte-identical to a local computation.
+    """
+
+    segment_states: np.ndarray
+    amplitudes: np.ndarray
+    durations: np.ndarray
+    n_vertices: int
+
+    @property
+    def n_segments(self) -> int:
+        return self.n_vertices - 1
+
+    @classmethod
+    def from_query(cls, query: Subsequence) -> "QueryView":
+        """Project a live query window into its portable view."""
+        return cls(
+            segment_states=np.asarray(query.segment_states, dtype=np.int8),
+            amplitudes=np.asarray(query.amplitudes, dtype=float),
+            durations=np.asarray(query.durations, dtype=float),
+            n_vertices=int(query.n_vertices),
+        )
+
+    def to_payload(self) -> dict:
+        """JSON-serialisable form (inverse of :meth:`from_payload`)."""
+        return {
+            "states": [int(s) for s in self.segment_states],
+            "amplitudes": self.amplitudes.tolist(),
+            "durations": self.durations.tolist(),
+            "n_vertices": self.n_vertices,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "QueryView":
+        return cls(
+            segment_states=np.asarray(payload["states"], dtype=np.int8),
+            amplitudes=np.asarray(payload["amplitudes"], dtype=float),
+            durations=np.asarray(payload["durations"], dtype=float),
+            n_vertices=int(payload["n_vertices"]),
+        )
+
+
+@dataclass(frozen=True)
+class PartialTopK:
+    """One shard's contribution to a scattered retrieval.
+
+    Holds the shard-local top-``max_matches`` in canonical order.  The
+    coordinator folds any number of partials with :meth:`merge`: since
+    every shard list is the head of its shard's full ranking under the
+    *same* total order, each shard's contribution to the global top-k is
+    a prefix of its partial — merging the lists and truncating is
+    exactly the single-process result.
+    """
+
+    matches: tuple[Match, ...]
+    max_matches: int | None = None
+
+    @staticmethod
+    def merge(
+        parts: Iterable["PartialTopK"], max_matches: int | None = None
+    ) -> list[Match]:
+        """Global top-k across shards (deterministic canonical order)."""
+        merged: list[Match] = []
+        for part in parts:
+            merged.extend(part.matches)
+        merged.sort(key=match_sort_key)
+        if max_matches is not None:
+            del merged[max_matches:]
+        return merged
 
 
 class SubsequenceMatcher:
@@ -223,6 +319,35 @@ class SubsequenceMatcher:
         self._c_ranked.inc(stats["ranked"])
         self._c_matches.inc(len(matches))
         return matches
+
+    def find_partial(
+        self,
+        view: QueryView,
+        threshold: float | None = None,
+        max_matches: int | None = None,
+        restrict_patients: Iterable[str] | None = None,
+        exclude_streams: Iterable[str] | None = None,
+        params: SimilarityParams | None = None,
+    ) -> PartialTopK:
+        """This shard's top-k for a remote query, as a mergeable partial.
+
+        Scores a :class:`QueryView` with ``query_stream_id=None``: every
+        local candidate is, by construction of the patient-sharded
+        layout, another patient's stream relative to the remote query,
+        so the ``w_s`` weighting here equals what a single process would
+        assign those same candidates.  The caller merges partials with
+        :meth:`PartialTopK.merge`.
+        """
+        matches = self.find_matches(
+            view,  # duck-typed: the None-stream path reads only the view's fields
+            query_stream_id=None,
+            threshold=threshold,
+            max_matches=max_matches,
+            restrict_patients=restrict_patients,
+            exclude_streams=exclude_streams,
+            params=params,
+        )
+        return PartialTopK(matches=tuple(matches), max_matches=max_matches)
 
     def _find(
         self,

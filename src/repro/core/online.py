@@ -169,6 +169,10 @@ class OnlineAnalysisSession:
         self._query: Subsequence | None = None
         self._matches: list[Match] = []
         self._plan: PredictionPlan | None = None
+        # Bit-exact copies of other shards' historical series, keyed by
+        # stream id; populated through adopt_matches() when this session
+        # runs inside a shard worker.  Always empty in solo mode.
+        self._foreign_series: dict = {}
         self._now: float | None = None
         self.n_dropped = 0
         self.n_stale = 0
@@ -325,6 +329,33 @@ class OnlineAnalysisSession:
                 )
         return committed
 
+    def adopt_matches(self, matches, foreign_series=None) -> None:
+        """Replace the current match set with a globally merged one.
+
+        The sharded coordinator merges this session's local matches with
+        other shards' partial top-k lists and hands the result back
+        here.  ``foreign_series`` maps stream ids that live on other
+        shards to bit-exact :class:`PLRSeries` copies, so plan building
+        can resolve every match; adopted series stay cached for the
+        session's lifetime (cross-shard matches only ever reference
+        immutable historical streams).  Invalidates the cached plan.
+        """
+        self._matches = list(matches)
+        if foreign_series:
+            self._foreign_series.update(foreign_series)
+        if self._plan is not None:
+            self._plan = None
+            if self._t is not None:
+                self._c_plan_invalidations.inc()
+        if self._t is not None:
+            self._g_matches.set(len(self._matches))
+
+    def _series_of(self, stream_id: str):
+        """Resolve a match's series locally, else from adopted copies."""
+        if stream_id in self.db:
+            return self.db.stream(stream_id).series
+        return self._foreign_series[stream_id]
+
     def prediction_plan(self) -> PredictionPlan | None:
         """The packed plan over the current matches (``None`` in warm-up).
 
@@ -341,15 +372,22 @@ class OnlineAnalysisSession:
             if self._t is not None:
                 self._c_plan_hits.inc()
             return plan
+        series_of = self._series_of if self._foreign_series else None
         if self._t is None:
             plan = self.predictor.build_plan(
-                self._query, self._matches, params=self.config.similarity
+                self._query,
+                self._matches,
+                params=self.config.similarity,
+                series_of=series_of,
             )
         else:
             span = self._plan_span
             with span:
                 plan = self.predictor.build_plan(
-                    self._query, self._matches, params=self.config.similarity
+                    self._query,
+                    self._matches,
+                    params=self.config.similarity,
+                    series_of=series_of,
                 )
             self._h_plan_build.observe(span.wall)
             self._c_plan_builds.inc()

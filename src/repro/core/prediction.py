@@ -307,11 +307,20 @@ def build_prediction_plan(
     params: SimilarityParams,
     anchor: str = "last",
     distance_weighted: bool = False,
+    series_of=None,
 ) -> PredictionPlan:
     """Pack ``matches`` into a :class:`PredictionPlan`.
 
     One pass groups the matches by stream so each stream's time/position
     arrays are gathered vectorised (matches concentrate on few streams).
+
+    ``series_of`` optionally overrides how a match's stream id resolves
+    to its :class:`PLRSeries` (default: ``database.stream(id).series``).
+    The sharded serving tier passes a resolver that falls back to a
+    cache of shipped foreign series for matches whose streams live on
+    another shard; since the packed columns and the overflow fallback
+    both read only the resolved series, a bit-exact copy yields a
+    bit-exact plan.
     """
     if anchor == "last":
         anchor_position = query.last_vertex.position_array()
@@ -333,7 +342,11 @@ def build_prediction_plan(
     for j, match in enumerate(matches):
         entry = groups.get(match.stream_id)
         if entry is None:
-            entry = (database.stream(match.stream_id).series, [])
+            if series_of is None:
+                series = database.stream(match.stream_id).series
+            else:
+                series = series_of(match.stream_id)
+            entry = (series, [])
             groups[match.stream_id] = entry
         entry[1].append(j)
         row_series[j] = entry[0]
@@ -495,11 +508,14 @@ class OnlinePredictor:
         query: Subsequence,
         matches: list[Match],
         params: SimilarityParams | None = None,
+        series_of=None,
     ) -> PredictionPlan:
         """Pack ``matches`` into a reusable :class:`PredictionPlan`.
 
         Build once per match refresh, then serve every tick/horizon from
         the plan; outputs are byte-identical to :meth:`combine`.
+        ``series_of`` optionally resolves stream ids that are not in the
+        local database (shard workers resolve shipped foreign series).
         """
         return build_prediction_plan(
             self.database,
@@ -508,6 +524,7 @@ class OnlinePredictor:
             params=params or self.matcher.params,
             anchor=self.anchor,
             distance_weighted=self.distance_weighted,
+            series_of=series_of,
         )
 
     def combine(

@@ -266,7 +266,14 @@ def batch_distance(
         query.n_segments,
         params.vertex_base_weight if params.use_vertex_weights else 1.0,
     )
-    base = costs @ weights
+    # Row-wise multiply + pairwise-sum instead of ``costs @ weights``:
+    # BLAS gemv picks different accumulation orders depending on the
+    # matrix *height*, so the same candidate row can yield different
+    # bits when scored inside a different-sized batch.  Sharded serving
+    # scores each shard's candidate subset separately and must merge
+    # per-shard distances byte-identically with the single-process full
+    # batch, so every row's reduction has to depend only on that row.
+    base = (costs * weights).sum(axis=1)
     if params.normalize_inner_sum:
         base = base / weights.sum()
     if not params.use_source_weights:

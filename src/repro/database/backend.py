@@ -62,6 +62,8 @@ __all__ = [
     "BACKEND_NAMES",
     "create_backend",
     "atomic_write_text",
+    "list_shards",
+    "shard_directory",
 ]
 
 _MANIFEST_FORMAT = "repro.loggeddb/v2"
@@ -414,6 +416,20 @@ class LoggedBackend(InMemoryBackend):
         self.reopen_stats: dict = {}
         if self._manifest_path.exists():
             self._reopen()
+
+    @classmethod
+    def open_shard(
+        cls, root: str | Path, shard: int, injector=None, telemetry=None
+    ) -> "LoggedBackend":
+        """Open (or create) worker ``shard``'s directory under ``root``.
+
+        Sugar over :func:`shard_directory`; the returned backend is an
+        ordinary :class:`LoggedBackend`, so reopen-from-journal,
+        snapshots and compaction behave exactly as in the solo path.
+        """
+        return cls(
+            shard_directory(root, shard), injector, telemetry=telemetry
+        )
 
     @property
     def _manifest_path(self) -> Path:
@@ -963,3 +979,39 @@ def create_backend(
             raise ValueError("the logged backend needs a directory")
         return LoggedBackend(directory, injector, telemetry=telemetry)
     raise ValueError(f"unknown backend {name!r} (choose from {BACKEND_NAMES})")
+
+
+# -- shard layout --------------------------------------------------------------
+#
+# A sharded serving tier keeps one self-contained LoggedBackend directory
+# per worker under a common root:
+#
+#     root/
+#       shard-000/   manifest.json, journals, snapshots/ ...
+#       shard-001/   ...
+#
+# Each shard directory is a complete durable store on its own — journal
+# replay, snapshot generations and torn-tail healing all apply per shard,
+# so a crashed worker recovers by simply reopening its directory.
+
+
+def shard_directory(root: str | Path, shard: int) -> Path:
+    """The directory owned by worker ``shard`` under ``root``."""
+    if shard < 0:
+        raise ValueError("shard must be >= 0")
+    return Path(root) / f"shard-{shard:03d}"
+
+
+def list_shards(root: str | Path) -> list[int]:
+    """Shard numbers present under ``root``, ascending."""
+    root = Path(root)
+    if not root.is_dir():
+        return []
+    shards = []
+    for entry in root.iterdir():
+        name = entry.name
+        if entry.is_dir() and name.startswith("shard-"):
+            suffix = name[len("shard-"):]
+            if suffix.isdigit():
+                shards.append(int(suffix))
+    return sorted(shards)

@@ -66,6 +66,29 @@ class MotionDatabase:
         if telemetry is not None:
             self.telemetry = telemetry
 
+    @classmethod
+    def open_shard(
+        cls,
+        root: str | Path,
+        shard: int,
+        injector=None,
+        telemetry=None,
+    ) -> "MotionDatabase":
+        """Open worker ``shard``'s durable store under a sharded root.
+
+        Convenience over :meth:`LoggedBackend.open_shard
+        <repro.database.backend.LoggedBackend.open_shard>`: the shard's
+        directory is a self-contained logged store, so journal replay
+        and snapshot recovery run exactly as for a solo database.
+        """
+        from .backend import LoggedBackend
+
+        return cls(
+            backend=LoggedBackend.open_shard(
+                root, shard, injector, telemetry=telemetry
+            )
+        )
+
     @property
     def backend(self) -> StorageBackend:
         """The storage implementation behind this facade."""

@@ -5,12 +5,24 @@
 * :class:`~repro.service.manager.SessionManager` — N concurrent live
   sessions over one shared database + signature index, with per-tenant
   isolation and a shared event bus.
+* :mod:`~repro.service.sharding` — the multi-process tier: a
+  :class:`~repro.service.sharding.ShardRouter` consistent-hashes
+  patients onto worker processes, a
+  :class:`~repro.service.sharding.ShardCoordinator` scatters ticks and
+  retrievals and merges per-shard top-k lists byte-identically to the
+  single-process path, with journal-replayed worker-crash recovery.
 * :mod:`~repro.service.wiring` — standard bus subscribers (vertex log,
   monitors, alarms, gating).
 """
 
 from .builder import Pipeline, PipelineBuilder
 from .manager import SessionManager
+from .sharding import (
+    ShardCoordinator,
+    ShardRouter,
+    WorkerCrashed,
+    partition_database,
+)
 from .wiring import (
     GatingRecorder,
     TelemetryRecorder,
@@ -23,9 +35,13 @@ __all__ = [
     "Pipeline",
     "PipelineBuilder",
     "SessionManager",
+    "ShardCoordinator",
+    "ShardRouter",
+    "WorkerCrashed",
     "attach_vertex_log",
     "attach_monitor",
     "attach_alarm",
+    "partition_database",
     "GatingRecorder",
     "TelemetryRecorder",
 ]

@@ -263,6 +263,10 @@ class SessionManager:
             self.database, injector=injector, telemetry=self.telemetry
         )
         self._sessions: dict[str, OnlineAnalysisSession] = {}
+        #: Shard-level pool of adopted foreign series: one shipped copy
+        #: serves every tenant on this manager (the coordinator dedups
+        #: shipping per shard, not per session).
+        self._foreign_series: dict = {}
         self._fleet: _FleetDispatch | None = None
         self._horizons_buf: np.ndarray | None = None
 
@@ -528,6 +532,48 @@ class SessionManager:
                     n_matches=int(counts[k]),
                 )
         return results
+
+    # -- shard-worker hooks ------------------------------------------------------
+
+    def query_view(self, stream_id: str):
+        """The portable projection of one tenant's current query.
+
+        ``None`` during warm-up.  A shard worker ships this to the
+        coordinator after each query refresh so sibling shards can score
+        the query against their own historical streams.
+        """
+        from ..core.matching import QueryView
+
+        query = self._sessions[stream_id]._query
+        if query is None:
+            return None
+        return QueryView.from_query(query)
+
+    def adopt_matches(
+        self, stream_id: str, matches, foreign_series=None
+    ) -> None:
+        """Install a globally merged match set on one tenant.
+
+        Delegates to :meth:`OnlineAnalysisSession.adopt_matches
+        <repro.core.online.OnlineAnalysisSession.adopt_matches>`; the
+        coordinator calls this after scatter/gather so the tenant's next
+        prediction plan covers cross-shard matches too.
+
+        Shipped series pool at the manager level: the coordinator sends
+        each foreign stream to a shard **once**, so a later adoption by
+        a different tenant may reference a stream shipped for an earlier
+        one.  Every adoption re-resolves its matches against the pool,
+        which makes per-shard shipping dedup safe across tenants.
+        """
+        if foreign_series:
+            self._foreign_series.update(foreign_series)
+        pooled = {
+            match.stream_id: self._foreign_series[match.stream_id]
+            for match in matches
+            if match.stream_id not in self.database
+            and match.stream_id in self._foreign_series
+        }
+        self._sessions[stream_id].adopt_matches(matches, pooled or None)
 
     # -- introspection ----------------------------------------------------------
 

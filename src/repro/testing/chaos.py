@@ -47,6 +47,15 @@ the streaming pipeline end to end, deterministically from a single seed:
    Reopen must fall back — to the previous snapshot generation when one
    exists, to a genesis journal replay for a first-generation tear —
    and recover byte-identically either way.
+9. **Worker crash mid-serve** — run the fleet through the sharded
+   multi-process tier (:mod:`repro.service.sharding`), kill one shard
+   worker at a mid-run journal append (the planned ``log.append`` crash
+   fires inside the worker process, which dies without replying), and
+   let the coordinator recover it: journal replay of the shard
+   directory, stale live streams dropped, sessions re-opened and
+   re-fed from the coordinator's frame log.  Every served prediction,
+   every final match set and every per-shard series digest must be
+   byte-identical to an uninterrupted sharded run.
 
 Every broken contract raises :class:`ChaosFailure` naming the injection
 point, so a red chaos run is replayable from ``(seed, site, ordinal,
@@ -74,6 +83,9 @@ from ..database.index import StateSignatureIndex
 from ..database.log import VertexLogWriter, read_vertex_log
 from ..database.store import MotionDatabase
 from ..events import EventBus
+from ..obs.telemetry import Telemetry
+from ..service.builder import PipelineBuilder
+from ..service.sharding import ShardCoordinator, partition_database
 from ..service.wiring import attach_vertex_log
 from ..signals.patients import generate_population
 from ..signals.respiratory import RespiratorySimulator, SessionConfig
@@ -131,6 +143,9 @@ class ChaosConfig:
         scenarios run regardless of the compaction cap.
     n_sample_faults:
         Planned raw-sample corruptions in the sample-fault scenario.
+    worker_crash:
+        Run the sharded worker-crash-mid-serve scenario (spawns real
+        worker processes; disable for single-process-only campaigns).
     """
 
     seed: int = 0
@@ -143,6 +158,7 @@ class ChaosConfig:
     max_index_points: int | None = 16
     max_compaction_points: int | None = None
     n_sample_faults: int = 8
+    worker_crash: bool = True
 
 
 @dataclass
@@ -155,6 +171,7 @@ class CrashRecoveryReport:
     n_removal_points: int = 0
     n_compaction_points: int = 0
     n_torn_manifest_points: int = 0
+    n_worker_crash_points: int = 0
     n_sample_faults: int = 0
     n_oracle_checks: int = 0
     n_byte_identical_recoveries: int = 0
@@ -901,6 +918,136 @@ def _torn_snapshot_manifests(
     report.sites.append("compact.snapshot_manifest#0:torn_manifest(gen1)")
 
 
+# -- scenario 9: sharded worker crash mid-serve --------------------------------
+
+
+def _serve_sharded(
+    history: MotionDatabase,
+    raws: dict,
+    root: Path,
+    faults: dict | None,
+    telemetry,
+) -> tuple[dict, dict, dict, dict[int, int]]:
+    """One sharded run: predictions, matches, shard digests, appends."""
+    partition_database(history, root, 2)
+    builder = PipelineBuilder.from_session_config(OnlineSessionConfig())
+    coordinator = ShardCoordinator(
+        root, 2, builder=builder, faults=faults, telemetry=telemetry
+    )
+    try:
+        by_stream = {}
+        for patient_id, raw in raws.items():
+            sid = coordinator.open_session(patient_id, _LIVE_SESSION_ID)
+            by_stream[sid] = raw
+        times = next(iter(by_stream.values())).times
+        predictions: dict[str, list] = {sid: [] for sid in by_stream}
+        appends: dict[int, int] = {0: 0, 1: 0}
+        for i in range(len(times)):
+            counts = coordinator.tick(
+                float(times[i]),
+                {sid: raw.values[i] for sid, raw in by_stream.items()},
+            )
+            for sid, n in counts.items():
+                appends[coordinator.shard_of_stream(sid)] += n
+            if i % 3 == 0:
+                served = coordinator.predict_ahead_all(0.2)
+                for sid in by_stream:
+                    predictions[sid].append(served[sid])
+        matches = {sid: coordinator.matches_of(sid) for sid in by_stream}
+        digests = {
+            shard: coordinator.digests(shard) for shard in range(2)
+        }
+        return predictions, matches, digests, appends
+    finally:
+        coordinator.close()
+
+
+def _worker_crash_mid_serve(
+    config: ChaosConfig, tmp: Path, report: CrashRecoveryReport
+) -> None:
+    """Kill a shard worker mid-serve; recovery must resume byte-exactly.
+
+    Compares a crashed-and-recovered sharded run against an
+    uninterrupted sharded golden run: served predictions, final match
+    sets and the byte-level digests of every stream on both shards must
+    all be identical, and the coordinator must report exactly one crash
+    and one recovery.
+    """
+    from dataclasses import replace
+
+    # A fleet-sized variant of the campaign: enough patients that the
+    # consistent-hash ring realistically populates both shards, and a
+    # shorter live window (two full multi-process runs are paid here).
+    shard_config = replace(
+        config,
+        n_patients=max(config.n_patients, 4),
+        duration=min(config.duration, 12.0),
+        history_duration=min(config.history_duration, 30.0),
+    )
+    history = _build_history(shard_config)
+    profiles = generate_population(
+        shard_config.n_patients, seed=shard_config.seed
+    )
+    session_config = SessionConfig(
+        duration=shard_config.duration, sample_rate=shard_config.sample_rate
+    )
+    raws = {
+        profile.patient_id: RespiratorySimulator(
+            profile, session_config
+        ).generate_session(99, seed=shard_config.seed + 33533 + k)
+        for k, profile in enumerate(profiles)
+    }
+
+    golden_p, golden_m, golden_d, appends = _serve_sharded(
+        history, raws, tmp / "shards-golden", None, None
+    )
+    # Crash a shard that actually journals live vertices, halfway
+    # through its golden append stream.
+    crash_shard = max(appends, key=appends.get)
+    if appends[crash_shard] < 4:
+        raise ChaosFailure("sharded golden run journalled too few vertices")
+    at = appends[crash_shard] // 2
+    context = f"shard{crash_shard}/log.append#{at} (worker crash)"
+
+    telemetry = Telemetry()
+    crash_p, crash_m, crash_d, _ = _serve_sharded(
+        history,
+        raws,
+        tmp / "shards-crash",
+        {crash_shard: {"site": "log.append", "at": at}},
+        telemetry,
+    )
+    merged = telemetry.snapshot().merged
+    crashes = merged.counter("router.worker_crashes")
+    recoveries = merged.counter("router.recoveries")
+    if crashes != 1 or recoveries != 1:
+        raise ChaosFailure(
+            f"{context}: expected exactly one crash and one recovery, "
+            f"saw {crashes:.0f}/{recoveries:.0f}"
+        )
+    for sid in golden_p:
+        for k, (a, b) in enumerate(zip(golden_p[sid], crash_p[sid])):
+            if (a is None) != (b is None) or (
+                a is not None and not np.array_equal(a, b)
+            ):
+                raise ChaosFailure(
+                    f"{context}: prediction {k} for {sid!r} diverged "
+                    f"after recovery"
+                )
+        if golden_m[sid] != crash_m[sid]:
+            raise ChaosFailure(
+                f"{context}: final matches for {sid!r} diverged after "
+                f"recovery"
+            )
+    if golden_d != crash_d:
+        raise ChaosFailure(
+            f"{context}: per-shard series digests diverged after recovery"
+        )
+    report.n_worker_crash_points += 1
+    report.n_byte_identical_recoveries += 1
+    report.sites.append(f"{context.split(' ')[0]}:worker-crash")
+
+
 # -- entry point ---------------------------------------------------------------
 
 
@@ -977,6 +1124,8 @@ def run_crash_recovery(
     _sample_faults(config, history, samples, report)
     _compaction_crash_points(config, history, tmp, report)
     _torn_snapshot_manifests(config, history, tmp, report)
+    if config.worker_crash:
+        _worker_crash_mid_serve(config, tmp, report)
     if cleanup:
         shutil.rmtree(tmp, ignore_errors=True)
     return report

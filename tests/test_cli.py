@@ -78,3 +78,51 @@ class TestCommands:
     def test_serve_replay_too_few_patients(self, snapshot, capsys):
         assert main(["serve-replay", str(snapshot), "--live", "9"]) == 2
         assert "only 2 patients" in capsys.readouterr().err
+
+
+class TestShardedServeReplay:
+    def test_workers_flag_defaults_to_single_process(self):
+        args = build_parser().parse_args(["serve-replay", "x.json"])
+        assert args.workers == 1
+
+    def test_serve_replay_sharded(self, snapshot, capsys):
+        code = main([
+            "serve-replay", str(snapshot), "--live", "2",
+            "--duration", "10", "--workers", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "across 2 shard workers" in out
+        assert "[shard" in out
+
+
+class TestCompact:
+    def test_compact_logged_directory(self, tmp_path, capsys):
+        from repro.database.backend import LoggedBackend
+        from repro.database.store import MotionDatabase
+
+        from conftest import make_series
+
+        directory = tmp_path / "store"
+        db = MotionDatabase(backend=LoggedBackend(directory))
+        db.add_patient("PA")
+        db.add_stream("PA", "S00", series=make_series(cycles=6))
+        db.close()
+
+        assert main(["compact", str(directory)]) == 0
+        out = capsys.readouterr().out
+        assert "snapshot 1" in out and "1 streams" in out
+
+    def test_compact_shard_root(self, tmp_path, capsys):
+        from repro.analysis.experiments import CohortConfig, build_cohort
+        from repro.service.sharding import partition_database
+
+        cohort = build_cohort(CohortConfig(
+            n_patients=2, sessions_per_patient=1,
+            session_duration=30.0, live_duration=20.0, seed=4,
+        ))
+        partition_database(cohort.db, tmp_path, 2)
+
+        assert main(["compact", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "shard 0:" in out and "shard 1:" in out

@@ -28,12 +28,14 @@ class TestQuickCampaign:
         report = run_crash_recovery(config, workdir=tmp_path)
         assert report.n_log_points == 6
         # 6 log recoveries + 2 per compaction point (crash + recompact)
-        # + 3 across the two torn-manifest scenarios.
-        assert report.n_byte_identical_recoveries == 15
+        # + 3 across the two torn-manifest scenarios + 1 sharded
+        # worker-crash recovery.
+        assert report.n_byte_identical_recoveries == 16
         assert report.n_index_points == 4
         assert report.n_removal_points == 1
         assert report.n_compaction_points == 3
         assert report.n_torn_manifest_points == 2
+        assert report.n_worker_crash_points == 1
         assert report.n_sample_faults == 4
         assert report.n_oracle_checks > 0
 
@@ -48,15 +50,17 @@ class TestFullCampaign:
         )
         # Every vertex-log write was killed and recovered byte-identically,
         # plus two verifications per compaction crash point (crash +
-        # recompact) and three across the torn-manifest scenarios.
+        # recompact), three across the torn-manifest scenarios and one
+        # sharded worker-crash recovery.
         assert report.n_byte_identical_recoveries == (
-            report.n_log_points + 2 * report.n_compaction_points + 3
+            report.n_log_points + 2 * report.n_compaction_points + 4
         )
         assert report.n_log_points > 0
         assert report.n_index_points > 0
         assert report.n_removal_points == 1
         assert report.n_compaction_points > 0
         assert report.n_torn_manifest_points == 2
+        assert report.n_worker_crash_points == 1
         assert report.n_sample_faults > 0
         assert report.n_oracle_checks > 0
 

@@ -640,3 +640,68 @@ class TestEnabledDisabledIdentity:
         assert snap.counter("session.samples") == len(raw.times)
         assert snap.counter("session.predictions_served") > 0
         assert snap.histograms["session.observe_s"].count == len(raw.times)
+
+
+# -- cross-process registry decode + fleet merge -------------------------------
+
+
+class TestCrossProcessRegistries:
+    """Shard workers report registries as JSON payloads; the coordinator
+    decodes them with :func:`registry_snapshot_from_payload` and folds
+    shards into one fleet view.  Counters and histogram buckets are
+    exact (integer counts, sums of repr-round-tripped floats), so the
+    merged fleet numbers must equal a single-process registry's."""
+
+    def test_payload_decode_inverts_encoding(self):
+        from repro.obs.exposition import registry_snapshot_from_payload
+
+        merged = _sample_snapshot().merged
+        wire = json.loads(json.dumps(snapshot_payload(_sample_snapshot())))
+        decoded = registry_snapshot_from_payload(wire["merged"])
+        assert decoded.counters == merged.counters
+        assert decoded.gauges == merged.gauges
+        assert set(decoded.histograms) == set(merged.histograms)
+        for name, hist in merged.histograms.items():
+            got = decoded.histograms[name]
+            assert got.bounds == hist.bounds
+            assert got.counts == hist.counts
+            assert got.total == hist.total and got.count == hist.count
+            # Empty histograms restore the +-inf merge identities.
+            assert got.vmin == hist.vmin and got.vmax == hist.vmax
+
+    def test_fleet_merge_over_wire_is_exact(self):
+        from repro.obs.exposition import registry_snapshot_from_payload
+
+        # Three "workers" with known per-shard counts.
+        workers = []
+        for shard, n in enumerate((3, 5, 7)):
+            telemetry = Telemetry()
+            telemetry.inc("shard.rpcs", float(n))
+            telemetry.inc(f"shard.only_{shard}", 1.0)
+            for k in range(n):
+                telemetry.observe("service.tick_s", 0.001 * (k + 1))
+            workers.append(telemetry.snapshot())
+
+        live = RegistrySnapshot.empty()
+        over_wire = RegistrySnapshot.empty()
+        for snap in workers:
+            live = live.merge(snap.merged)
+            payload = json.loads(json.dumps(snapshot_payload(snap)))
+            over_wire = over_wire.merge(
+                registry_snapshot_from_payload(payload["merged"])
+            )
+
+        # Exact-count oracle: the fleet view equals the arithmetic sum.
+        assert over_wire.counter("shard.rpcs") == 3 + 5 + 7
+        for shard in range(3):
+            assert over_wire.counter(f"shard.only_{shard}") == 1.0
+        hist = over_wire.histograms["service.tick_s"]
+        assert hist.count == 3 + 5 + 7
+        # And the wire adds nothing: identical to merging live snapshots.
+        assert over_wire.counters == live.counters
+        assert over_wire.gauges == live.gauges
+        for name, reference in live.histograms.items():
+            got = over_wire.histograms[name]
+            assert got.counts == reference.counts
+            assert got.total == reference.total
+            assert got.vmin == reference.vmin and got.vmax == reference.vmax

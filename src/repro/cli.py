@@ -85,6 +85,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--workers", type=int, default=1,
                        help="shard worker processes (1 = in-process "
                        "single-manager serving, the default)")
+    p_srv.add_argument("--match-mode", default="rigid",
+                       choices=["rigid", "normalized", "warped"],
+                       help="similarity regime for every session's "
+                       "retrieval (default: rigid)")
 
     p_cmp = sub.add_parser(
         "compact",
@@ -119,7 +123,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="snapshot publication interval in stream-seconds")
     p_met.add_argument("--json", action="store_true",
                        help="emit the machine-readable JSON exposition")
+    p_met.add_argument("--match-mode", default="rigid",
+                       choices=["rigid", "normalized", "warped"],
+                       help="similarity regime for every session's "
+                       "retrieval (default: rigid)")
     return parser
+
+
+def _mode_builder(match_mode: str):
+    """A :class:`PipelineBuilder` carrying the requested match mode.
+
+    The mode rides :class:`SimilarityParams`, so it threads through the
+    session manager and the sharded wire protocol unchanged; with
+    ``rigid`` the builder equals the managers' default.
+    """
+    from .core.similarity import SimilarityParams
+    from .service.builder import PipelineBuilder
+
+    return PipelineBuilder(similarity=SimilarityParams(mode=match_mode))
 
 
 def _cmd_simulate(args) -> int:
@@ -251,7 +272,7 @@ def _cmd_serve_replay(args) -> int:
     if args.workers > 1:
         return _serve_replay_sharded(db, raws, args)
 
-    manager = SessionManager(db)
+    manager = SessionManager(db, builder=_mode_builder(args.match_mode))
     by_stream = {}
     for patient_id, raw in raws.items():
         session = manager.open_session(patient_id, session_id="SERVE")
@@ -297,7 +318,9 @@ def _serve_replay_sharded(db, raws, args) -> int:
 
     with tempfile.TemporaryDirectory(prefix="repro-shards-") as root:
         partition_database(db, root, args.workers)
-        coordinator = ShardCoordinator(root, args.workers)
+        coordinator = ShardCoordinator(
+            root, args.workers, builder=_mode_builder(args.match_mode)
+        )
         try:
             by_stream = {}
             for patient_id, raw in raws.items():
@@ -384,7 +407,9 @@ def _cmd_metrics(args) -> int:
         return 2
 
     telemetry = Telemetry(snapshot_interval=args.interval)
-    manager = SessionManager(db, telemetry=telemetry)
+    manager = SessionManager(
+        db, builder=_mode_builder(args.match_mode), telemetry=telemetry
+    )
     recorder = TelemetryRecorder(manager.events)
     by_stream = {}
     for patient_id, raw in raws.items():

@@ -40,11 +40,20 @@ from ..database.index import (
     CandidateSet,
     StateSignatureIndex,
     _window_keys,
+    collapse_signature,
     encode_signature,
 )
 from ..database.store import MotionDatabase
 from .model import Subsequence
-from .similarity import SimilarityParams, SourceRelation, batch_distance
+from .query import warped_length_range
+from .similarity import (
+    MatchMode,
+    SimilarityParams,
+    SourceRelation,
+    batch_distance,
+    batch_distance_normalized,
+    batch_warped_distance,
+)
 
 __all__ = [
     "Match",
@@ -71,14 +80,19 @@ class Match:
         return series.subsequence(self.start, self.start + self.n_vertices)
 
 
-def match_sort_key(match: Match) -> tuple[float, str, int]:
-    """The canonical retrieval order: ``(distance, stream_id, start)``.
+def match_sort_key(match: Match) -> tuple[float, str, int, int]:
+    """The canonical retrieval order: ``(distance, stream_id, start,
+    n_vertices)``.
 
     This is the same total order ``_rank`` realises with ``np.lexsort``
     (lexicographic stream-id codes), so sorting any set of matches with
     this key reproduces the matcher's deterministic ordering exactly.
+    The length component only discriminates in warped mode, where one
+    start can match at several window lengths; rigid and normalized
+    retrievals return a single length per query, so their order is the
+    historical ``(distance, stream_id, start)``.
     """
-    return (match.distance, match.stream_id, match.start)
+    return (match.distance, match.stream_id, match.start, match.n_vertices)
 
 
 @dataclass(frozen=True)
@@ -361,10 +375,28 @@ class SubsequenceMatcher:
         stats: dict | None,
     ) -> list[Match]:
         """The retrieval itself; ``stats`` (telemetry only) is filled with
-        candidate counts at each pruning stage."""
+        candidate counts at each pruning stage.
+
+        Dispatches on ``params.mode``: warped retrieval has its own
+        coarse-to-fine pipeline (:meth:`_find_warped`); normalized mode
+        reuses the rigid pipeline with the z-normalized distance kernel
+        swapped in; rigid mode runs the historical path untouched —
+        byte-identical matches to every pre-mode release.
+        """
         params = params or self.params
         if threshold is None:
             threshold = params.distance_threshold
+        if params.mode is MatchMode.WARPED:
+            return self._find_warped(
+                query,
+                query_stream_id,
+                threshold,
+                max_matches,
+                restrict_patients,
+                exclude_streams,
+                params,
+                stats,
+            )
 
         candidates = self._candidates(query)
         if candidates is None or candidates.n_candidates == 0:
@@ -448,7 +480,12 @@ class SubsequenceMatcher:
                 relations = [r for r in relations if r is not None]
         if stats is not None:
             stats["admissible"] = candidates.n_candidates
-        distances = batch_distance(
+        distance_kernel = (
+            batch_distance_normalized
+            if params.mode is MatchMode.NORMALIZED
+            else batch_distance
+        )
+        distances = distance_kernel(
             query,
             candidates.amplitudes,
             candidates.durations,
@@ -540,6 +577,183 @@ class SubsequenceMatcher:
             )
             return sel[order][:max_matches]
         return np.lexsort((starts, codes, distances))
+
+    # -- warped retrieval --------------------------------------------------------
+
+    def _find_warped(
+        self,
+        query: Subsequence,
+        query_stream_id: str | None,
+        threshold: float,
+        max_matches: int | None,
+        restrict_patients: Iterable[str] | None,
+        exclude_streams: Iterable[str] | None,
+        params: SimilarityParams,
+        stats: dict | None,
+    ) -> list[Match]:
+        """Coarse-to-fine warped retrieval.
+
+        For every admissible window length (``warped_length_range``), the
+        candidate universe is the set of fine-signature groups whose
+        run-length-collapsed signature equals the query's — a complete
+        coarse filter for banded alignment (see
+        :func:`~repro.database.index.collapse_signature`).  Each group
+        shares one exact segment-state sequence, so the banded-DTW kernel
+        scores all of its windows vectorised; non-finite distances (no
+        within-band, state-consistent alignment) are refined away.
+
+        Ordering is the canonical ``(distance, stream_id, start,
+        n_vertices)``; own-stream overlap uses the candidate's extent
+        since warped matches may differ in length from the query.
+        """
+        m = query.n_vertices
+        if m < 2:
+            return []
+        q_states = np.asarray(query.segment_states, dtype=np.int8)
+        q_amps = np.asarray(query.amplitudes, dtype=float)
+        q_durs = np.asarray(query.durations, dtype=float)
+        excluded: set[str] | None = None
+        if exclude_streams is not None:
+            excluded = {str(s) for s in exclude_streams}
+            excluded.discard(str(query_stream_id))
+        allowed = None if restrict_patients is None else set(restrict_patients)
+
+        n_generated = n_admissible = n_ranked = 0
+        results: list[Match] = []
+        for length in warped_length_range(m, params.warp_band):
+            for states, cand in self._coarse_groups(q_states, length):
+                n_generated += cand.n_candidates
+                mask = np.ones(cand.n_candidates, dtype=bool)
+                if query_stream_id is not None:
+                    same_stream = cand.stream_ids == query_stream_id
+                    overlaps = (cand.starts < query.stop) & (
+                        cand.starts + length > query.start
+                    )
+                    mask &= ~(same_stream & overlaps)
+                if excluded:
+                    mask &= np.asarray(
+                        [sid not in excluded for sid in cand.stream_ids],
+                        dtype=bool,
+                    )
+                if allowed is not None:
+                    patient_of = self._patient_lookup(cand.stream_ids)
+                    mask &= np.asarray(
+                        [
+                            patient_of[str(sid)] in allowed
+                            for sid in cand.stream_ids
+                        ],
+                        dtype=bool,
+                    )
+                if not mask.any():
+                    continue
+                cand = cand.select(mask)
+                relations, weights, vanished = self._relations_and_weights(
+                    cand.stream_ids, query_stream_id, params
+                )
+                if vanished:
+                    live = np.asarray([r is not None for r in relations])
+                    if not live.any():
+                        continue
+                    cand = cand.select(live)
+                    weights = weights[live]
+                    relations = [r for r in relations if r is not None]
+                n_admissible += cand.n_candidates
+                distances = batch_warped_distance(
+                    q_states,
+                    q_amps,
+                    q_durs,
+                    np.asarray(states, dtype=np.int8),
+                    cand.amplitudes,
+                    cand.durations,
+                    weights,
+                    params,
+                )
+                keep = np.flatnonzero(
+                    (distances <= threshold) & np.isfinite(distances)
+                )
+                n_ranked += len(keep)
+                for i in keep.tolist():
+                    results.append(
+                        Match(
+                            stream_id=str(cand.stream_ids[i]),
+                            start=int(cand.starts[i]),
+                            n_vertices=length,
+                            distance=float(distances[i]),
+                            relation=relations[i],
+                        )
+                    )
+        if stats is not None:
+            stats["generated"] = n_generated
+            stats["admissible"] = n_admissible
+            stats["ranked"] = n_ranked
+        results.sort(key=match_sort_key)
+        if max_matches is not None:
+            del results[max_matches:]
+        return results
+
+    def _coarse_groups(
+        self, query_states: np.ndarray, n_vertices: int
+    ) -> list[tuple[tuple[int, ...], CandidateSet]]:
+        """Fine-signature groups collapse-matching the query, per leg."""
+        if self._index is not None:
+            return self._index.coarse_groups(query_states, n_vertices)
+        return self._scan_coarse(query_states, n_vertices)
+
+    def _scan_coarse(
+        self, query_states: np.ndarray, n_vertices: int
+    ) -> list[tuple[tuple[int, ...], CandidateSet]]:
+        """Linear-scan coarse candidate generation (the ablation baseline).
+
+        Walks every window of every stream, keeps those whose collapsed
+        signature equals the query's, and groups them by exact signature
+        so the caller's per-group DP contract holds.  Deliberately a
+        plain per-window loop — this is the no-index baseline the coarse
+        index path is ablated against.
+        """
+        target = collapse_signature(query_states)
+        n_segments = n_vertices - 1
+        grouped: dict[tuple[int, ...], list[tuple[str, int]]] = {}
+        by_stream: dict[str, object] = {}
+        for record in self.database.iter_streams():
+            series = record.series
+            n = len(series)
+            if n < n_vertices:
+                continue
+            states = series.states
+            by_stream[record.stream_id] = series
+            for start in range(n - n_vertices + 1):
+                window = tuple(
+                    int(s) for s in states[start : start + n_segments]
+                )
+                if collapse_signature(window) != target:
+                    continue
+                grouped.setdefault(window, []).append(
+                    (record.stream_id, start)
+                )
+        groups: list[tuple[tuple[int, ...], CandidateSet]] = []
+        for window, hits in grouped.items():
+            stream_ids = np.empty(len(hits), dtype=object)
+            starts = np.empty(len(hits), dtype=np.int64)
+            amplitudes = np.empty((len(hits), n_segments), dtype=float)
+            durations = np.empty((len(hits), n_segments), dtype=float)
+            for i, (sid, start) in enumerate(hits):
+                series = by_stream[sid]
+                stream_ids[i] = sid
+                starts[i] = start
+                amplitudes[i] = series.amplitudes[start : start + n_segments]
+                durations[i] = series.durations[start : start + n_segments]
+            groups.append(
+                (
+                    window,
+                    CandidateSet(
+                        stream_ids=stream_ids,
+                        starts=starts,
+                        amplitudes=amplitudes,
+                        durations=durations,
+                    ),
+                )
+            )
+        return groups
 
     # -- candidate generation --------------------------------------------------
 

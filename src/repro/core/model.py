@@ -529,6 +529,26 @@ class Subsequence:
             self._features["signature"] = signature
         return signature
 
+    @property
+    def collapsed_signature(self) -> tuple[int, ...]:
+        """The signature with repeated neighbouring states collapsed.
+
+        This is the coarse granularity the warped match mode retrieves
+        candidates at: two windows admit a state-consistent segment
+        alignment only when their collapsed signatures agree (see
+        :func:`~repro.database.index.collapse_signature`).
+        """
+        collapsed = self._features.get("collapsed")
+        if collapsed is None:
+            signature = self.state_signature
+            collapsed = tuple(
+                s
+                for i, s in enumerate(signature)
+                if i == 0 or s != signature[i - 1]
+            )
+            self._features["collapsed"] = collapsed
+        return collapsed
+
     # -- vertices ----------------------------------------------------------
 
     def vertex(self, i: int) -> Vertex:

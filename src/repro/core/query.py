@@ -17,7 +17,12 @@ from dataclasses import dataclass
 from .model import PLRSeries, Subsequence, cycles_to_vertices
 from .stability import StabilityConfig, subsequence_stability
 
-__all__ = ["QueryConfig", "generate_query", "fixed_query"]
+__all__ = [
+    "QueryConfig",
+    "generate_query",
+    "fixed_query",
+    "warped_length_range",
+]
 
 
 @dataclass(frozen=True)
@@ -93,6 +98,23 @@ def generate_query(
             break
         start -= 1
     return series.subsequence(start, end)
+
+
+def warped_length_range(n_vertices: int, band: int) -> range:
+    """Candidate window lengths (in vertices) admissible for a warped match.
+
+    A banded segment alignment can absorb at most ``band`` insertions or
+    deletions, so a query of ``n_vertices`` vertices is only comparable
+    to windows within ``band`` vertices of its own length.  Windows must
+    keep at least one segment (two vertices), hence the floor.
+
+    Both the warped matcher leg and the frozen warped oracle enumerate
+    candidate lengths from this one definition, so they cannot drift
+    apart.
+    """
+    if band < 0:
+        raise ValueError("band must be non-negative")
+    return range(max(2, n_vertices - band), n_vertices + band + 1)
 
 
 def fixed_query(series: PLRSeries, n_cycles: int) -> Subsequence | None:

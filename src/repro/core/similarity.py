@@ -45,10 +45,14 @@ from .model import Subsequence
 
 __all__ = [
     "SourceRelation",
+    "MatchMode",
     "SimilarityParams",
     "vertex_weights",
     "subsequence_distance",
     "batch_distance",
+    "batch_distance_normalized",
+    "batch_warped_distance",
+    "znorm_rows",
 ]
 
 
@@ -58,6 +62,29 @@ class SourceRelation(enum.Enum):
     SAME_SESSION = "same_session"
     SAME_PATIENT = "same_patient"
     OTHER_PATIENT = "other_patient"
+
+
+class MatchMode(str, enum.Enum):
+    """Which similarity regime the matcher runs under.
+
+    ``RIGID`` is the paper's Definition 2: identical state signatures,
+    per-segment L1.  ``NORMALIZED`` z-normalizes each window's amplitude
+    vector before the L1 (KV-match style), so per-stream gain and
+    baseline changes don't defeat retrieval.  ``WARPED`` replaces the
+    positional alignment with banded DTW over segments (Sakoe-Chiba band
+    of ``warp_band`` steps), relaxing the exact-state-sequence
+    requirement to within-band warps.
+
+    The ``str`` mixin makes the enum JSON-transparent: ``asdict`` +
+    ``json.dumps`` emit the raw mode string and
+    ``SimilarityParams(**payload)`` coerces it back (see
+    ``__post_init__``), so the sharded wire protocol carries modes with
+    no bespoke encoding.
+    """
+
+    RIGID = "rigid"
+    NORMALIZED = "normalized"
+    WARPED = "warped"
 
 
 @dataclass(frozen=True)
@@ -90,6 +117,14 @@ class SimilarityParams:
         the distance a per-segment average.  The paper's formula is a plain
         weighted sum (the default); with ~6-27 segments per query that
         makes the threshold ``delta = 8.0`` genuinely selective.
+    mode:
+        Which :class:`MatchMode` the matcher runs under (default
+        ``RIGID``).  String payloads (``"normalized"``) are coerced to
+        the enum, so JSON round-trips reconstruct identical params.
+    warp_band:
+        Sakoe-Chiba band width, in segment steps, for ``WARPED`` mode
+        (default 1).  Band 0 only admits the diagonal alignment and is
+        exactly the rigid distance.  Ignored by the other modes.
     """
 
     amplitude_weight: float = 1.0
@@ -103,8 +138,13 @@ class SimilarityParams:
     use_source_weights: bool = True
     source_weight_multiplies: bool = False
     normalize_inner_sum: bool = False
+    mode: MatchMode = MatchMode.RIGID
+    warp_band: int = 1
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "mode", MatchMode(self.mode))
+        if not isinstance(self.warp_band, int) or self.warp_band < 0:
+            raise ValueError("warp_band must be a non-negative integer")
         if self.amplitude_weight < 0 or self.frequency_weight < 0:
             raise ValueError("feature weights must be non-negative")
         if not 0 < self.vertex_base_weight <= 1.0:
@@ -292,3 +332,146 @@ def _apply_source_weight(
     if params.source_weight_multiplies:
         return base * w_s
     return base / w_s
+
+
+def znorm_rows(rows: np.ndarray) -> np.ndarray:
+    """Z-normalize each row: subtract its mean, divide by its population
+    standard deviation (``ddof=0``).  Constant rows normalize to all
+    zeros rather than dividing by zero — a flat amplitude profile carries
+    no shape information either way.
+    """
+    rows = np.asarray(rows, dtype=float)
+    if rows.size == 0:
+        return rows.copy()
+    mean = rows.mean(axis=-1, keepdims=True)
+    std = rows.std(axis=-1, keepdims=True)
+    safe = np.where(std > 0.0, std, 1.0)
+    return np.where(std > 0.0, (rows - mean) / safe, 0.0)
+
+
+def batch_distance_normalized(
+    query: Subsequence,
+    candidate_amplitudes: np.ndarray,
+    candidate_durations: np.ndarray,
+    source_weights: np.ndarray,
+    params: SimilarityParams | None = None,
+) -> np.ndarray:
+    """The :data:`MatchMode.NORMALIZED` counterpart of :func:`batch_distance`.
+
+    Amplitude vectors are z-normalized per window — separately for the
+    query and for every candidate — before the L1, so the amplitude term
+    compares *shape* and is invariant under per-stream affine rescaling
+    ``a*x + b`` with ``a > 0`` (PLR amplitudes are displacement norms,
+    so the offset ``b`` cancels and the gain ``a`` divides out of the
+    z-score).  Durations are compared raw, and candidate generation is
+    unchanged: signatures must still match exactly.
+    """
+    params = params or SimilarityParams()
+    q_amps = znorm_rows(np.asarray(query.amplitudes, dtype=float))
+    c_amps = znorm_rows(np.asarray(candidate_amplitudes, dtype=float))
+    amp_diff = np.abs(c_amps - q_amps[np.newaxis, :])
+    dur_diff = np.abs(candidate_durations - query.durations[np.newaxis, :])
+    costs = (
+        params.amplitude_weight * amp_diff
+        + params.frequency_weight * dur_diff
+    )
+    weights = vertex_weights(
+        query.n_segments,
+        params.vertex_base_weight if params.use_vertex_weights else 1.0,
+    )
+    # Same row-local reduction contract as batch_distance (see above):
+    # sharded per-shard batches must score byte-identically.
+    base = (costs * weights).sum(axis=1)
+    if params.normalize_inner_sum:
+        base = base / weights.sum()
+    if not params.use_source_weights:
+        return base
+    if params.source_weight_multiplies:
+        return base * source_weights
+    return base / source_weights
+
+
+def batch_warped_distance(
+    query_states: np.ndarray,
+    query_amplitudes: np.ndarray,
+    query_durations: np.ndarray,
+    candidate_states: np.ndarray,
+    candidate_amplitudes: np.ndarray,
+    candidate_durations: np.ndarray,
+    source_weights: np.ndarray,
+    params: SimilarityParams | None = None,
+) -> np.ndarray:
+    """Banded DTW over PLR segments against one fine-signature group.
+
+    All candidates in the batch share one segment-state sequence
+    ``candidate_states`` (the state-signature index stores windows in
+    per-signature postings, so a posting *is* such a group), which lets
+    the state-mismatch mask be computed once and the DP run vectorised
+    over the candidate axis.
+
+    Alignment cells pair query segment ``i`` with candidate segment
+    ``j``; a cell costs ``inf`` when the segment states differ and
+    ``w_i * (w_a*|dA| + w_f*|dT|)`` otherwise, with the recency ramp
+    taken from the *query* side.  Only cells with ``|i - j| <=
+    warp_band`` are reachable (strict Sakoe-Chiba — the band is not
+    widened for unequal lengths; length pairs beyond the band are simply
+    incomparable).  ``inf`` results mean no within-band, state-consistent
+    alignment exists; callers must filter non-finite distances.
+
+    The ``normalize_inner_sum`` ablation divides by the *constant* query
+    weight sum — a path-dependent normalizer would break the DP's
+    optimal-substructure property.
+
+    Returns distances of shape ``(n_candidates,)``.
+    """
+    params = params or SimilarityParams()
+    nq = len(query_states)
+    nc = len(candidate_states)
+    n_candidates = len(candidate_amplitudes)
+    if n_candidates == 0:
+        return np.empty(0, dtype=float)
+    band = params.warp_band
+    if nq < 1 or nc < 1 or abs(nq - nc) > band:
+        return np.full(n_candidates, np.inf)
+
+    weights = vertex_weights(
+        nq, params.vertex_base_weight if params.use_vertex_weights else 1.0
+    )
+    q_amps = np.asarray(query_amplitudes, dtype=float)
+    q_durs = np.asarray(query_durations, dtype=float)
+    c_amps = np.asarray(candidate_amplitudes, dtype=float)
+    c_durs = np.asarray(candidate_durations, dtype=float)
+
+    # cost[i, j, :] — query segment i vs candidate segment j, all
+    # candidates at once.  State mismatches are shared across the group.
+    amp_diff = np.abs(q_amps[:, None, None] - c_amps.T[None, :, :])
+    dur_diff = np.abs(q_durs[:, None, None] - c_durs.T[None, :, :])
+    cost = weights[:, None, None] * (
+        params.amplitude_weight * amp_diff
+        + params.frequency_weight * dur_diff
+    )
+    state_mismatch = (
+        np.asarray(query_states, dtype=np.int64)[:, None]
+        != np.asarray(candidate_states, dtype=np.int64)[None, :]
+    )
+    cost[state_mismatch] = np.inf
+
+    acc = np.full((nq + 1, nc + 1, n_candidates), np.inf)
+    acc[0, 0, :] = 0.0
+    for i in range(1, nq + 1):
+        lo = max(1, i - band)
+        hi = min(nc, i + band)
+        for j in range(lo, hi + 1):
+            best = np.minimum(
+                np.minimum(acc[i - 1, j], acc[i, j - 1]), acc[i - 1, j - 1]
+            )
+            acc[i, j] = cost[i - 1, j - 1] + best
+
+    base = acc[nq, nc].copy()
+    if params.normalize_inner_sum:
+        base = base / weights.sum()
+    if not params.use_source_weights:
+        return base
+    if params.source_weight_multiplies:
+        return base * source_weights
+    return base / source_weights

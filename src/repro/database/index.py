@@ -47,6 +47,7 @@ __all__ = [
     "MAX_RADIX_SEGMENTS",
     "encode_signature",
     "decode_signature",
+    "collapse_signature",
 ]
 
 #: Cardinality of the state alphabet (EX, EOE, IN, IRR).
@@ -109,6 +110,24 @@ def decode_signature(key: int | bytes, n_segments: int) -> tuple[int, ...]:
         states.append(int(key % N_STATES))
         key //= N_STATES
     return tuple(states)
+
+
+def collapse_signature(signature) -> tuple[int, ...]:
+    """Run-length-collapse a state signature (drop repeated neighbours).
+
+    ``(IN, IN, EX, EX, EX, EOE)`` collapses to ``(IN, EX, EOE)``.  This
+    is the index's **coarse** granularity: a banded segment alignment
+    with zero state mismatches exists between two windows *only if*
+    their collapsed signatures are equal (every monotone alignment path
+    visits both sequences' state runs in order), so grouping fine
+    postings by collapsed signature is a complete — never lossy —
+    candidate generator for the warped match mode.
+    """
+    states = np.asarray(signature, dtype=np.int8)
+    if states.size == 0:
+        return ()
+    keep = np.r_[True, states[1:] != states[:-1]]
+    return tuple(int(s) for s in states[keep])
 
 
 def _window_keys(windows: np.ndarray) -> np.ndarray | list[bytes]:
@@ -303,6 +322,11 @@ class _LengthIndex:
     def __init__(self, n_vertices: int) -> None:
         self.n_vertices = n_vertices
         self.postings: dict[int | bytes, _ColumnarPostings] = {}
+        #: Collapsed signature -> fine posting keys carrying it (the
+        #: coarse granularity; see :func:`collapse_signature`).  Filled
+        #: as postings are created, in both the live catch-up path and
+        #: the snapshot restore path.
+        self.coarse: dict[tuple[int, ...], list[int | bytes]] = {}
         self._next_start: dict[str, int] = {}
         self._stream_names: list[str] = []
         self._stream_codes: dict[str, int] = {}
@@ -505,6 +529,8 @@ class _LengthIndex:
         if posting is None:
             posting = _ColumnarPostings(n_segments)
             self.postings[key] = posting
+            coarse_key = collapse_signature(decode_signature(key, n_segments))
+            self.coarse.setdefault(coarse_key, []).append(key)
         return posting
 
 
@@ -600,7 +626,58 @@ class StateSignatureIndex:
             matcher passes ``Subsequence.segment_states`` directly); the
             window vertex count is ``len(signature) + 1``.
         """
-        n_vertices = len(signature) + 1
+        length_index = self._caught_up(len(signature) + 1)
+        telemetry = self._t
+        posting = length_index.postings.get(encode_signature(signature))
+        if posting is None or posting.n == 0:
+            if telemetry is not None:
+                self._c_misses.inc()
+            return None
+        if telemetry is not None:
+            self._c_hits.inc()
+        return posting.stacked(length_index.stream_names())
+
+    def coarse_groups(
+        self, signature, n_vertices: int
+    ) -> list[tuple[tuple[int, ...], CandidateSet]]:
+        """Fine-signature groups matching ``signature`` at coarse granularity.
+
+        Returns one ``(segment_states, candidates)`` entry per indexed
+        fine signature of ``n_vertices``-vertex windows whose
+        run-length-collapsed form equals ``collapse_signature(signature)``
+        — the complete candidate universe for a warped match at that
+        window length (see :func:`collapse_signature`).  All windows in
+        one entry share the entry's exact segment-state sequence, so the
+        caller can evaluate its refinement (e.g. the banded-DTW kernel)
+        vectorised per group.
+
+        Lengths beyond :data:`MAX_RADIX_SEGMENTS` segments use raw-byte
+        fine keys; the coarse map handles both key kinds transparently.
+        """
+        length_index = self._caught_up(n_vertices)
+        telemetry = self._t
+        coarse_key = collapse_signature(signature)
+        groups: list[tuple[tuple[int, ...], CandidateSet]] = []
+        names = None
+        for key in length_index.coarse.get(coarse_key, ()):
+            posting = length_index.postings.get(key)
+            if posting is None or posting.n == 0:
+                continue
+            if names is None:
+                names = length_index.stream_names()
+            states = decode_signature(key, n_vertices - 1)
+            groups.append((states, posting.stacked(names)))
+        if telemetry is not None:
+            (self._c_hits if groups else self._c_misses).inc()
+        return groups
+
+    def _caught_up(self, n_vertices: int) -> _LengthIndex:
+        """The length index for ``n_vertices``, caught up to the database.
+
+        Shared by :meth:`candidates` and :meth:`coarse_groups`; carries
+        the transactional-catch-up and telemetry behaviour documented on
+        :meth:`candidates`.
+        """
         self._check_removals()
         length_index = self._by_length.get(n_vertices)
         if length_index is None:
@@ -630,14 +707,7 @@ class StateSignatureIndex:
             self._g_postings.set(
                 sum(len(li.postings) for li in self._by_length.values())
             )
-        posting = length_index.postings.get(encode_signature(signature))
-        if posting is None or posting.n == 0:
-            if telemetry is not None:
-                self._c_misses.inc()
-            return None
-        if telemetry is not None:
-            self._c_hits.inc()
-        return posting.stacked(length_index.stream_names())
+        return length_index
 
     # -- snapshot export / import ----------------------------------------------
 
@@ -737,11 +807,15 @@ class StateSignatureIndex:
             durations = state["durations"]
             for g in range(len(keys)):
                 b, e = int(offsets[g]), int(offsets[g + 1])
-                posting = _ColumnarPostings(int(n_vertices) - 1)
+                # Route through _posting so the coarse map is registered
+                # exactly as on the live path, then adopt the snapshot
+                # columns as the fresh posting's buffers.
+                posting = length_index._posting(
+                    int(keys[g]), int(n_vertices) - 1
+                )
                 posting.adopt(
                     codes[b:e], starts[b:e], amplitudes[b:e], durations[b:e]
                 )
-                length_index.postings[int(keys[g])] = posting
             self._by_length[int(n_vertices)] = length_index
             restored += 1
         self._removal_epoch = self.database.removal_epoch

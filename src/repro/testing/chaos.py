@@ -47,7 +47,14 @@ the streaming pipeline end to end, deterministically from a single seed:
    Reopen must fall back — to the previous snapshot generation when one
    exists, to a genesis journal replay for a first-generation tear —
    and recover byte-identically either way.
-9. **Worker crash mid-serve** — run the fleet through the sharded
+9. **Match-mode crash/replay** — repeat a reduced log-crash loop with
+   the session pinned to each non-rigid match mode (``normalized`` and
+   ``warped``): a per-mode golden pass, two mid-run vertex-log kills,
+   then replay and assert the recovered series is byte-identical to the
+   golden prefix and a fresh engine over it agrees with the *mode's own*
+   frozen oracle (:func:`~repro.testing.oracle.reference_matches_for_mode`)
+   and the golden run's incremental matches at the same vertex.
+10. **Worker crash mid-serve** — run the fleet through the sharded
    multi-process tier (:mod:`repro.service.sharding`), kill one shard
    worker at a mid-run journal append (the planned ``log.append`` crash
    fires inside the worker process, which dies without replying), and
@@ -68,7 +75,7 @@ import copy
 import json
 import shutil
 import tempfile
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 import numpy as np
@@ -78,6 +85,7 @@ from ..core.model import BreathingState, PLRSeries, Vertex
 from ..core.online import OnlineAnalysisSession, OnlineSessionConfig
 from ..core.query import generate_query
 from ..core.segmentation import segment_signal
+from ..core.similarity import MatchMode
 from ..database.backend import LoggedBackend
 from ..database.index import StateSignatureIndex
 from ..database.log import VertexLogWriter, read_vertex_log
@@ -90,7 +98,11 @@ from ..service.wiring import attach_vertex_log
 from ..signals.patients import generate_population
 from ..signals.respiratory import RespiratorySimulator, SessionConfig
 from .faults import FaultInjector, FaultPlan, FaultSpec, SimulatedCrash
-from .oracle import check_equivalence, check_plr_invariants, reference_matches
+from .oracle import (
+    check_equivalence,
+    check_plr_invariants,
+    reference_matches_for_mode,
+)
 
 __all__ = [
     "ChaosConfig",
@@ -143,6 +155,9 @@ class ChaosConfig:
         scenarios run regardless of the compaction cap.
     n_sample_faults:
         Planned raw-sample corruptions in the sample-fault scenario.
+    match_modes:
+        Run the per-match-mode crash/replay scenario (a reduced
+        log-crash loop under ``normalized`` and ``warped`` retrieval).
     worker_crash:
         Run the sharded worker-crash-mid-serve scenario (spawns real
         worker processes; disable for single-process-only campaigns).
@@ -158,6 +173,7 @@ class ChaosConfig:
     max_index_points: int | None = 16
     max_compaction_points: int | None = None
     n_sample_faults: int = 8
+    match_modes: bool = True
     worker_crash: bool = True
 
 
@@ -172,6 +188,7 @@ class CrashRecoveryReport:
     n_compaction_points: int = 0
     n_torn_manifest_points: int = 0
     n_worker_crash_points: int = 0
+    n_match_mode_points: int = 0
     n_sample_faults: int = 0
     n_oracle_checks: int = 0
     n_byte_identical_recoveries: int = 0
@@ -244,6 +261,7 @@ def _run_session(
     log_path: Path | None,
     injector: FaultInjector | None,
     snapshots: dict[bytes, list[Match]] | None = None,
+    session_config: OnlineSessionConfig | None = None,
 ) -> tuple[OnlineAnalysisSession, MotionDatabase]:
     """Feed the live samples into a fresh session; crashes propagate.
 
@@ -274,7 +292,7 @@ def _run_session(
         db,
         patient_id,
         _LIVE_SESSION_ID,
-        OnlineSessionConfig(),
+        session_config or OnlineSessionConfig(),
         events=events,
         injector=injector,
     )
@@ -351,13 +369,14 @@ def _verify_recovered_matcher(
     snapshots: dict[bytes, list[Match]],
     report: CrashRecoveryReport,
     context: str,
+    session_config: OnlineSessionConfig | None = None,
 ) -> None:
-    """Recovered stream → fresh engine == oracle (== golden incremental)."""
+    """Recovered stream → fresh engine == mode oracle (== golden incremental)."""
     db = copy.deepcopy(history)
     patient_id = _live_patient_id(config)
     stream_id = f"{patient_id}/{_LIVE_SESSION_ID}"
     db.add_stream(patient_id, _LIVE_SESSION_ID, recovered)
-    session_config = OnlineSessionConfig()
+    session_config = session_config or OnlineSessionConfig()
     if len(recovered) < session_config.warmup_vertices:
         return
     query = generate_query(recovered, session_config.query)
@@ -367,7 +386,7 @@ def _verify_recovered_matcher(
     engine = matcher.find_matches(
         query, stream_id, max_matches=session_config.max_matches
     )
-    oracle = reference_matches(
+    oracle = reference_matches_for_mode(
         db,
         query,
         stream_id,
@@ -538,7 +557,7 @@ def _removal_mid_catch_up(
             raise ChaosFailure(
                 "post-removal matches diverge from a fresh engine"
             )
-        oracle = reference_matches(
+        oracle = reference_matches_for_mode(
             db,
             query,
             session.stream_id,
@@ -656,6 +675,95 @@ def _sample_faults(
         )
     report.n_sample_faults = len(kinds)
     report.sites.append(f"online.observe:{','.join(sorted(set(kinds)))}")
+
+
+# -- scenario 9: match-mode crash/replay ---------------------------------------
+
+
+def _match_mode_crash_points(
+    config: ChaosConfig,
+    history: MotionDatabase,
+    samples,
+    tmp: Path,
+    report: CrashRecoveryReport,
+) -> None:
+    """A reduced log-crash loop under each non-rigid match mode.
+
+    Per mode: one golden logged pass with the session pinned to that
+    mode, then two vertex-log kills (mid-run and at the final append).
+    Each recovery must replay byte-identically to the golden prefix and
+    a fresh engine over the recovered stream must agree with the mode's
+    own frozen oracle and the golden run's incremental matches.
+    """
+    base = OnlineSessionConfig()
+    mode_configs = [
+        (
+            "normalized",
+            replace(
+                base, similarity=replace(
+                    base.similarity, mode=MatchMode.NORMALIZED
+                )
+            ),
+        ),
+        (
+            "warped",
+            replace(
+                base, similarity=replace(
+                    base.similarity, mode=MatchMode.WARPED, warp_band=1
+                )
+            ),
+        ),
+    ]
+    for label, session_config in mode_configs:
+        golden_injector = FaultInjector(FaultPlan())
+        golden_path = tmp / f"mode-golden-{label}.jsonl"
+        snapshots: dict[bytes, list[Match]] = {}
+        _run_session(
+            config, history, samples, golden_path, golden_injector,
+            snapshots, session_config,
+        )
+        appends = golden_injector.arrivals("log.append")
+        if appends < 2:
+            raise ChaosFailure(
+                f"match-mode golden run ({label}) committed too few vertices"
+            )
+        golden_records = golden_path.read_text().splitlines()[1:]
+        golden_replays = _truncated_replays(golden_path, tmp)
+        for n, ordinal in enumerate(sorted({appends // 2, appends - 1})):
+            kind = _LOG_KINDS[n % len(_LOG_KINDS)]
+            context = f"log.append#{ordinal} ({kind}, mode={label})"
+            injector = FaultInjector(
+                FaultPlan.crash_at("log.append", ordinal, kind)
+            )
+            crash_path = tmp / f"mode-crash-{label}-{ordinal}.jsonl"
+            try:
+                _run_session(
+                    config, history, samples, crash_path, injector,
+                    None, session_config,
+                )
+            except SimulatedCrash:
+                pass
+            else:
+                raise ChaosFailure(f"{context}: planned crash never fired")
+            durable = _golden_write_index(
+                golden_records, "log.append", ordinal
+            )
+            recovered = read_vertex_log(crash_path)
+            _assert_series_identical(
+                recovered.series, golden_replays[durable], context
+            )
+            if (kind == "torn_write") != recovered.truncated:
+                raise ChaosFailure(
+                    f"{context}: truncated={recovered.truncated} — only a "
+                    f"torn write leaves a partial line behind"
+                )
+            check_plr_invariants(recovered.series)
+            _verify_recovered_matcher(
+                config, history, recovered.series, snapshots, report,
+                context, session_config,
+            )
+            report.n_match_mode_points += 1
+            report.sites.append(f"log.append#{ordinal}:{kind}:{label}")
 
 
 # -- scenarios 7-8: compaction crashes & torn snapshot manifests ---------------
@@ -918,7 +1026,7 @@ def _torn_snapshot_manifests(
     report.sites.append("compact.snapshot_manifest#0:torn_manifest(gen1)")
 
 
-# -- scenario 9: sharded worker crash mid-serve --------------------------------
+# -- scenario 10: sharded worker crash mid-serve -------------------------------
 
 
 def _serve_sharded(
@@ -973,8 +1081,6 @@ def _worker_crash_mid_serve(
     all be identical, and the coordinator must report exactly one crash
     and one recovery.
     """
-    from dataclasses import replace
-
     # A fleet-sized variant of the campaign: enough patients that the
     # consistent-hash ring realistically populates both shards, and a
     # shorter live window (two full multi-process runs are paid here).
@@ -1109,7 +1215,7 @@ def run_crash_recovery(
     if arrivals["log.append"] == 0:
         raise ChaosFailure("golden run committed no vertices")
 
-    # 2-8. the injected scenarios.
+    # 2-10. the injected scenarios.
     golden_replays = _truncated_replays(golden_path, tmp)
     _log_crash_points(
         config, history, samples, golden_records, golden_replays,
@@ -1122,6 +1228,8 @@ def run_crash_recovery(
     _removal_mid_catch_up(config, history, samples, report)
     _store_crash(history, report)
     _sample_faults(config, history, samples, report)
+    if config.match_modes:
+        _match_mode_crash_points(config, history, samples, tmp, report)
     _compaction_crash_points(config, history, tmp, report)
     _torn_snapshot_manifests(config, history, tmp, report)
     if config.worker_crash:

@@ -43,8 +43,9 @@ import numpy as np
 from ..core.fsm import FiniteStateAutomaton, respiratory_fsa
 from ..core.matching import Match
 from ..core.model import BreathingState, PLRSeries, Subsequence, Vertex
+from ..core.query import warped_length_range
 from ..core.segmentation import SegmenterConfig
-from ..core.similarity import SimilarityParams, SourceRelation
+from ..core.similarity import MatchMode, SimilarityParams, SourceRelation
 from ..database.store import MotionDatabase
 
 __all__ = [
@@ -52,7 +53,12 @@ __all__ = [
     "check_equivalence",
     "check_plr_invariants",
     "reference_distance",
+    "reference_distance_normalized",
+    "reference_distance_warped",
     "reference_matches",
+    "reference_matches_for_mode",
+    "reference_matches_normalized",
+    "reference_matches_warped",
     "reference_prediction",
     "reference_segment",
 ]
@@ -167,6 +173,299 @@ def reference_matches(
     if max_matches is not None:
         scored = scored[:max_matches]
     return scored
+
+
+# -- reference match modes -----------------------------------------------------
+#
+# The pluggable match modes keep the same freeze discipline as the rigid
+# matcher: each mode's semantics are *defined* by the naive spelling
+# below, and the vectorised engine must reproduce it.  Changes to mode
+# behaviour land here first.
+
+
+def _reference_znorm(values: Sequence[float]) -> list[float]:
+    """Z-normalize one amplitude vector in plain Python (``ddof=0``).
+
+    A constant vector normalizes to all zeros — its shape carries no
+    information — matching :func:`repro.core.similarity.znorm_rows`.
+    """
+    values = [float(v) for v in values]
+    n = len(values)
+    if n == 0:
+        return []
+    mean = sum(values) / n
+    std = math.sqrt(sum((v - mean) ** 2 for v in values) / n)
+    if std == 0.0:
+        return [0.0] * n
+    return [(v - mean) / std for v in values]
+
+
+def reference_distance_normalized(
+    query: Subsequence,
+    candidate: Subsequence,
+    params: SimilarityParams | None = None,
+    relation: SourceRelation = SourceRelation.SAME_SESSION,
+) -> float:
+    """The amplitude/offset-normalized distance, one segment at a time.
+
+    Identical to :func:`reference_distance` except both windows'
+    amplitude vectors are z-normalized (each against its own mean and
+    population std) before the per-segment L1.  Durations stay raw, and
+    condition 1 is unchanged: different signatures are incomparable.
+    """
+    params = params or SimilarityParams()
+    if query.state_signature != candidate.state_signature:
+        return math.inf
+    n_segments = query.n_segments
+    base_weight = (
+        params.vertex_base_weight if params.use_vertex_weights else 1.0
+    )
+    q_amp = _reference_znorm(query.amplitudes)
+    c_amp = _reference_znorm(candidate.amplitudes)
+    q_dur = [float(d) for d in query.durations]
+    c_dur = [float(d) for d in candidate.durations]
+    total = 0.0
+    weight_sum = 0.0
+    for i in range(n_segments):
+        w_i = _reference_vertex_weight(i, n_segments, base_weight)
+        cost = params.amplitude_weight * abs(
+            q_amp[i] - c_amp[i]
+        ) + params.frequency_weight * abs(q_dur[i] - c_dur[i])
+        total += w_i * cost
+        weight_sum += w_i
+    if params.normalize_inner_sum:
+        total /= weight_sum
+    if not params.use_source_weights:
+        return total
+    w_s = params.source_weight(relation)
+    return total * w_s if params.source_weight_multiplies else total / w_s
+
+
+def reference_distance_warped(
+    query: Subsequence,
+    candidate: Subsequence,
+    params: SimilarityParams | None = None,
+    relation: SourceRelation = SourceRelation.SAME_SESSION,
+) -> float:
+    """Banded DTW over PLR segments, as a plain-Python DP.
+
+    Query segment ``i`` may align with candidate segment ``j`` only when
+    ``|i - j| <= warp_band`` (strict Sakoe-Chiba; the band is *not*
+    widened for unequal lengths) and the two segments share a state —
+    mismatched states cost ``inf``.  Cell cost is
+    ``w_i * (w_a*|dA| + w_f*|dT|)`` with the recency ramp taken from the
+    query side.  Returns ``math.inf`` when no within-band,
+    state-consistent alignment exists.  With ``warp_band=0`` only the
+    diagonal path is legal and the distance equals
+    :func:`reference_distance` exactly.
+    """
+    params = params or SimilarityParams()
+    nq = query.n_segments
+    nc = candidate.n_segments
+    band = params.warp_band
+    if nq < 1 or nc < 1 or abs(nq - nc) > band:
+        return math.inf
+    base_weight = (
+        params.vertex_base_weight if params.use_vertex_weights else 1.0
+    )
+    q_states = [int(s) for s in query.segment_states]
+    c_states = [int(s) for s in candidate.segment_states]
+    q_amp = [float(a) for a in query.amplitudes]
+    q_dur = [float(d) for d in query.durations]
+    c_amp = [float(a) for a in candidate.amplitudes]
+    c_dur = [float(d) for d in candidate.durations]
+
+    acc = [[math.inf] * (nc + 1) for _ in range(nq + 1)]
+    acc[0][0] = 0.0
+    for i in range(1, nq + 1):
+        w_i = _reference_vertex_weight(i - 1, nq, base_weight)
+        for j in range(max(1, i - band), min(nc, i + band) + 1):
+            if q_states[i - 1] != c_states[j - 1]:
+                continue  # mismatched states: cell stays inf
+            cost = w_i * (
+                params.amplitude_weight * abs(q_amp[i - 1] - c_amp[j - 1])
+                + params.frequency_weight * abs(q_dur[i - 1] - c_dur[j - 1])
+            )
+            best = min(acc[i - 1][j], acc[i][j - 1], acc[i - 1][j - 1])
+            acc[i][j] = cost + best
+
+    total = acc[nq][nc]
+    if math.isinf(total):
+        return math.inf
+    if params.normalize_inner_sum:
+        weight_sum = sum(
+            _reference_vertex_weight(i, nq, base_weight) for i in range(nq)
+        )
+        total /= weight_sum
+    if not params.use_source_weights:
+        return total
+    w_s = params.source_weight(relation)
+    return total * w_s if params.source_weight_multiplies else total / w_s
+
+
+def reference_matches_normalized(
+    database: MotionDatabase,
+    query: Subsequence,
+    query_stream_id: str | None = None,
+    threshold: float | None = None,
+    max_matches: int | None = None,
+    restrict_patients: Iterable[str] | None = None,
+    params: SimilarityParams | None = None,
+) -> list[Match]:
+    """Normalized-mode retrieval by exhaustive scan (no index).
+
+    Same candidate universe as :func:`reference_matches` — exact-length
+    windows with the query's signature, own-stream overlaps excluded —
+    scored with :func:`reference_distance_normalized` and sorted by the
+    canonical ``(distance, stream_id, start, n_vertices)`` order.
+    """
+    params = params or SimilarityParams()
+    if threshold is None:
+        threshold = params.distance_threshold
+    allowed = None if restrict_patients is None else set(restrict_patients)
+    m = query.n_vertices
+    signature = query.state_signature
+
+    scored: list[Match] = []
+    for record in database.iter_streams():
+        if allowed is not None and record.patient_id not in allowed:
+            continue
+        series = record.series
+        if query_stream_id is None:
+            relation = SourceRelation.OTHER_PATIENT
+        else:
+            relation = database.relation(query_stream_id, record.stream_id)
+        for start in range(len(series) - m + 1):
+            candidate = series.subsequence(start, start + m)
+            if candidate.state_signature != signature:
+                continue
+            if (
+                record.stream_id == query_stream_id
+                and start < query.stop
+                and start + m > query.start
+            ):
+                continue  # own-stream overlap: no usable future
+            distance = reference_distance_normalized(
+                query, candidate, params, relation
+            )
+            if distance <= threshold:
+                scored.append(
+                    Match(
+                        stream_id=record.stream_id,
+                        start=start,
+                        n_vertices=m,
+                        distance=distance,
+                        relation=relation,
+                    )
+                )
+    scored.sort(
+        key=lambda match: (
+            match.distance, match.stream_id, match.start, match.n_vertices,
+        )
+    )
+    if max_matches is not None:
+        scored = scored[:max_matches]
+    return scored
+
+
+def reference_matches_warped(
+    database: MotionDatabase,
+    query: Subsequence,
+    query_stream_id: str | None = None,
+    threshold: float | None = None,
+    max_matches: int | None = None,
+    restrict_patients: Iterable[str] | None = None,
+    params: SimilarityParams | None = None,
+) -> list[Match]:
+    """Warped-mode retrieval by exhaustive scan over *every* window of
+    every admissible length (no index, no coarse pre-filter).
+
+    Candidate lengths come from
+    :func:`~repro.core.query.warped_length_range`; every window of each
+    length is scored with :func:`reference_distance_warped` and
+    non-finite distances (no within-band alignment) are dropped.
+    Own-stream overlap uses the *candidate's* extent, since warped
+    matches may be shorter or longer than the query.  Ordering is the
+    canonical ``(distance, stream_id, start, n_vertices)`` — the length
+    component matters here because windows at one start can match at
+    several lengths.
+    """
+    params = params or SimilarityParams()
+    if threshold is None:
+        threshold = params.distance_threshold
+    allowed = None if restrict_patients is None else set(restrict_patients)
+    m = query.n_vertices
+    if m < 2:
+        return []
+
+    scored: list[Match] = []
+    for record in database.iter_streams():
+        if allowed is not None and record.patient_id not in allowed:
+            continue
+        series = record.series
+        if query_stream_id is None:
+            relation = SourceRelation.OTHER_PATIENT
+        else:
+            relation = database.relation(query_stream_id, record.stream_id)
+        for length in warped_length_range(m, params.warp_band):
+            for start in range(len(series) - length + 1):
+                if (
+                    record.stream_id == query_stream_id
+                    and start < query.stop
+                    and start + length > query.start
+                ):
+                    continue  # own-stream overlap: no usable future
+                candidate = series.subsequence(start, start + length)
+                distance = reference_distance_warped(
+                    query, candidate, params, relation
+                )
+                if math.isinf(distance) or distance > threshold:
+                    continue
+                scored.append(
+                    Match(
+                        stream_id=record.stream_id,
+                        start=start,
+                        n_vertices=length,
+                        distance=distance,
+                        relation=relation,
+                    )
+                )
+    scored.sort(
+        key=lambda match: (
+            match.distance, match.stream_id, match.start, match.n_vertices,
+        )
+    )
+    if max_matches is not None:
+        scored = scored[:max_matches]
+    return scored
+
+
+def reference_matches_for_mode(
+    database: MotionDatabase,
+    query: Subsequence,
+    query_stream_id: str | None = None,
+    threshold: float | None = None,
+    max_matches: int | None = None,
+    restrict_patients: Iterable[str] | None = None,
+    params: SimilarityParams | None = None,
+) -> list[Match]:
+    """Dispatch to the frozen reference matching ``params.mode``."""
+    params = params or SimilarityParams()
+    if params.mode is MatchMode.NORMALIZED:
+        reference = reference_matches_normalized
+    elif params.mode is MatchMode.WARPED:
+        reference = reference_matches_warped
+    else:
+        reference = reference_matches
+    return reference(
+        database,
+        query,
+        query_stream_id=query_stream_id,
+        threshold=threshold,
+        max_matches=max_matches,
+        restrict_patients=restrict_patients,
+        params=params,
+    )
 
 
 # -- reference segmenter -------------------------------------------------------

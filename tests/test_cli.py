@@ -96,6 +96,36 @@ class TestShardedServeReplay:
         assert "[shard" in out
 
 
+class TestMatchModeFlag:
+    def test_defaults_to_rigid(self):
+        for command in ("serve-replay", "metrics"):
+            args = build_parser().parse_args([command, "x.json"])
+            assert args.match_mode == "rigid"
+
+    def test_known_modes_parse(self):
+        for mode in ("rigid", "normalized", "warped"):
+            args = build_parser().parse_args(
+                ["serve-replay", "x.json", "--match-mode", mode]
+            )
+            assert args.match_mode == mode
+
+    @pytest.mark.parametrize("command", ["serve-replay", "metrics"])
+    def test_unknown_mode_fails_clearly(self, command, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, "x.json", "--match-mode", "fuzzy"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice" in err and "fuzzy" in err
+
+    def test_serve_replay_normalized_mode(self, snapshot, capsys):
+        code = main([
+            "serve-replay", str(snapshot), "--live", "2",
+            "--duration", "20", "--match-mode", "normalized",
+        ])
+        assert code == 0
+        assert "served 2 concurrent sessions" in capsys.readouterr().out
+
+
 class TestCompact:
     def test_compact_logged_directory(self, tmp_path, capsys):
         from repro.database.backend import LoggedBackend

@@ -36,6 +36,8 @@ class TestQuickCampaign:
         assert report.n_compaction_points == 3
         assert report.n_torn_manifest_points == 2
         assert report.n_worker_crash_points == 1
+        # 2 non-rigid modes x 2 log-crash points each.
+        assert report.n_match_mode_points == 4
         assert report.n_sample_faults == 4
         assert report.n_oracle_checks > 0
 
@@ -61,6 +63,7 @@ class TestFullCampaign:
         assert report.n_compaction_points > 0
         assert report.n_torn_manifest_points == 2
         assert report.n_worker_crash_points == 1
+        assert report.n_match_mode_points == 4
         assert report.n_sample_faults > 0
         assert report.n_oracle_checks > 0
 
@@ -71,6 +74,32 @@ class TestFullCampaign:
             ChaosConfig(seed=3), workdir=tmp_path
         )
         assert any(site.startswith("log.amend#") for site in report.sites)
+
+
+@pytest.mark.chaos
+class TestMatchModeCampaign:
+    """The dedicated match-mode seed: crash/replay under ``normalized``
+    and ``warped`` retrieval, with the other scenarios capped to a token
+    presence (they have their own seeds above)."""
+
+    def test_mode_crash_replay_points(self, tmp_path):
+        config = ChaosConfig(
+            seed=21,
+            duration=18.0,
+            history_duration=30.0,
+            max_log_points=1,
+            max_index_points=1,
+            max_compaction_points=1,
+            n_sample_faults=2,
+            worker_crash=False,
+        )
+        report = run_crash_recovery(config, workdir=tmp_path)
+        assert report.n_match_mode_points == 4
+        mode_sites = [site for site in report.sites if site.count(":") == 2]
+        assert {site.rsplit(":", 1)[1] for site in mode_sites} == {
+            "normalized",
+            "warped",
+        }
 
 
 @pytest.mark.chaos

@@ -21,6 +21,7 @@ import pytest
 from repro.analysis.experiments import CohortConfig, build_cohort
 from repro.core.matching import Match, SourceRelation
 from repro.core.online import OnlineSessionConfig
+from repro.core.similarity import MatchMode, SimilarityParams
 from repro.database.store import MotionDatabase
 from repro.obs import Telemetry
 from repro.obs.exposition import registry_snapshot_from_payload
@@ -227,6 +228,30 @@ class TestShardedServeIdentity:
         assert any(
             p is not None for series in p_solo.values() for p in series
         )
+
+    @pytest.mark.parametrize(
+        "similarity",
+        [
+            SimilarityParams(mode=MatchMode.NORMALIZED),
+            SimilarityParams(mode=MatchMode.WARPED, warp_band=1),
+        ],
+        ids=["normalized", "warped"],
+    )
+    def test_sharded_fleet_identical_under_non_rigid_modes(
+        self, tmp_path, similarity
+    ):
+        """The wire protocol carries the match mode: same contract per mode."""
+        db, raws = build_fleet()
+        builder = PipelineBuilder.from_session_config(
+            OnlineSessionConfig(similarity=similarity)
+        )
+        p_solo, m_solo = serve_single_process(db, raws, builder)
+        p_sharded, m_sharded, _, _ = serve_sharded(
+            db, raws, builder, tmp_path
+        )
+        assert_identical_predictions(p_solo, p_sharded)
+        assert m_solo == m_sharded
+        assert any(m for m in m_solo.values())
 
 
 class TestWorkerCrashRecovery:

@@ -1,0 +1,229 @@
+"""Analytics benchmark: signature-indexed motif mining vs brute force.
+
+Builds a fleet of repeating-cycle PLR streams with drifting amplitudes,
+then measures fleet-wide motif discovery + anomaly scoring three ways:
+
+* **brute force** — the frozen naive oracle
+  (:func:`repro.testing.oracle.reference_motifs`), which scores every
+  window pair with a scalar ``reference_distance`` call,
+* **index engine, live** — :func:`repro.analytics.fleet_motifs` over the
+  :class:`StateSignatureIndex`'s posting groups (cross-signature pairs
+  are never computed; within-group distances are one vectorised
+  reduction per window),
+* **index engine, snapshot** — the same engine over read-only
+  memory-mapped snapshot scans (:class:`SnapshotHarvest`), the batch
+  runner's path.
+
+The payload is **identity-gated**: both engine paths must return the
+byte-identical motif list and anomaly set as the oracle before any
+timing is reported.  Written to ``BENCH_analytics.json`` at the repo
+root; the full run enforces the acceptance floor of a >= 10x engine
+speedup over brute force.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_analytics.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import platform
+import sys
+import time
+from pathlib import Path
+from tempfile import TemporaryDirectory
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import numpy as np
+
+from repro.analytics import (
+    SnapshotHarvest,
+    discover_motifs,
+    fleet_anomalies,
+    fleet_motifs,
+    score_anomalies,
+)
+from repro.core.model import BreathingState, PLRSeries, Vertex
+from repro.database.backend import LoggedBackend, open_snapshot_scan
+from repro.database.index import StateSignatureIndex
+from repro.database.store import MotionDatabase
+from repro.testing.oracle import reference_anomalies, reference_motifs
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_analytics.json"
+
+FULL_SCALE = {"n_streams": 8, "vertices_per_stream": 120, "length": 8}
+QUICK_SCALE = {"n_streams": 4, "vertices_per_stream": 40, "length": 6}
+
+_PATTERN = (BreathingState.IN, BreathingState.EX, BreathingState.EOE)
+
+
+def best_of(repeats: int, func):
+    """Minimum wall-clock of ``repeats`` runs (returns seconds, result)."""
+    best = None
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = func()
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def make_stream(n_vertices: int, seed: int) -> PLRSeries:
+    """Regular respiratory cycles with drifting, occasionally wild amps."""
+    rng = np.random.default_rng(seed)
+    amplitudes = 10.0 + 3.0 * np.sin(np.arange(n_vertices) / 15.0)
+    amplitudes += rng.normal(0.0, 0.4, n_vertices)
+    # A few outlier excursions so the anomaly miner has work to do.
+    outliers = rng.integers(0, n_vertices, size=max(1, n_vertices // 40))
+    amplitudes[outliers] += rng.uniform(25.0, 60.0, size=outliers.size)
+    series = PLRSeries()
+    t = 0.0
+    for i in range(n_vertices):
+        state = _PATTERN[i % 3]
+        position = float(amplitudes[i]) if state is BreathingState.EX else 0.0
+        series.append(Vertex(t, (position,), state))
+        t += float(rng.uniform(0.8, 1.2))
+    return series
+
+
+def build_fleet(directory: Path, scale: dict) -> MotionDatabase:
+    db = MotionDatabase(backend=LoggedBackend(directory))
+    db.add_patient("P0")
+    for i in range(scale["n_streams"]):
+        db.add_stream(
+            "P0",
+            f"S{i:02d}",
+            series=make_stream(scale["vertices_per_stream"], seed=100 + i),
+        )
+    return db
+
+
+def motif_rows(motifs):
+    return [(m.stream_id, m.start, m.count, m.matches) for m in motifs]
+
+
+def run(quick: bool) -> dict:
+    scale = QUICK_SCALE if quick else FULL_SCALE
+    repeats = 1 if quick else 3
+    length = scale["length"]
+    n_total = scale["n_streams"] * scale["vertices_per_stream"]
+
+    with TemporaryDirectory(prefix="repro-bench-analytics-") as tmp:
+        directory = Path(tmp) / "db"
+        db = build_fleet(directory, scale)
+
+        # -- brute force (frozen oracle): one timed pass ---------------------
+        t_oracle, oracle = best_of(
+            1, lambda: reference_motifs(db, length)
+        )
+        oracle_anomalies = reference_anomalies(db, length)
+
+        # -- index engine over the live database -----------------------------
+        index = StateSignatureIndex(db)
+        t_live, live = best_of(
+            repeats, lambda: fleet_motifs(db, length, index=index)
+        )
+        live_report = fleet_anomalies(db, length, index=index)
+
+        # -- index engine over mmap'd snapshot scans -------------------------
+        list(index.posting_groups(length))  # export complete buffers
+        db.compact(index=index)
+
+        def snapshot_pass():
+            harvest = SnapshotHarvest(open_snapshot_scan(directory))
+            return discover_motifs(harvest, length)
+
+        t_snapshot, snapped = best_of(repeats, snapshot_pass)
+        snapshot_harvest = SnapshotHarvest(open_snapshot_scan(directory))
+        snapshot_report = score_anomalies(snapshot_harvest, length)
+        n_windows = sum(
+            max(0, n - length + 1)
+            for n in snapshot_harvest.stream_lengths().values()
+        )
+
+        # -- identity gate: timings mean nothing if the answers differ -------
+        identical = (
+            motif_rows(live) == motif_rows(oracle)
+            and motif_rows(snapped) == motif_rows(oracle)
+            and list(live_report.anomalies) == oracle_anomalies
+            and list(snapshot_report.anomalies) == oracle_anomalies
+        )
+        assert identical, "engine diverged from the frozen oracle"
+        db.close()
+
+    payload = {
+        "benchmark": "bench_analytics",
+        "mode": "quick" if quick else "full",
+        "python": platform.python_version(),
+        "workload": {
+            "n_streams": scale["n_streams"],
+            "vertices_per_stream": scale["vertices_per_stream"],
+            "n_vertices": n_total,
+            "length": length,
+            "n_windows": n_windows,
+            "n_motifs": len(oracle),
+            "n_anomalies": len(oracle_anomalies),
+        },
+        "timings": {
+            "brute_force_s": t_oracle,
+            "engine_live_s": t_live,
+            "engine_snapshot_s": t_snapshot,
+        },
+        "derived": {
+            "engine_speedup": t_oracle / t_live,
+            "snapshot_speedup": t_oracle / t_snapshot,
+            "windows_per_s_engine": n_windows / t_live,
+        },
+        "identical_results": identical,
+    }
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small workload, single repeat (CI smoke run)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=OUTPUT,
+        help=f"where to write the JSON payload (default: {OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run(args.quick)
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+
+    workload = payload["workload"]
+    timings = payload["timings"]
+    derived = payload["derived"]
+    print(f"workload: {workload['n_windows']} windows of length "
+          f"{workload['length']} over {workload['n_streams']} streams "
+          f"({workload['n_motifs']} motifs, "
+          f"{workload['n_anomalies']} anomalies)")
+    print(f"  brute force: {timings['brute_force_s']:8.2f} s")
+    print(f"  engine live: {timings['engine_live_s']:8.4f} s   "
+          f"({derived['engine_speedup']:.0f}x)")
+    print(f"  engine snap: {timings['engine_snapshot_s']:8.4f} s   "
+          f"({derived['snapshot_speedup']:.0f}x)")
+    print(f"identical results: {payload['identical_results']}")
+    print(f"wrote {args.output}")
+
+    if not args.quick:
+        # The acceptance floor: the index engine must beat brute force
+        # by an order of magnitude at this scale.
+        assert derived["engine_speedup"] >= 10.0, derived
+        assert math.isfinite(derived["engine_speedup"])
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,51 @@
+"""Offline fleet analytics over the snapshot store.
+
+The live tier answers one query at a time; this package opens the
+**batch** workload the ROADMAP names: fleet-wide motif discovery and
+anomaly mining over every stored stream, scheduled to run concurrently
+with live ingest against the same ``LoggedBackend`` directory.
+
+Three layers:
+
+* :mod:`~repro.analytics.harvest` — where candidate windows come from: a
+  live database + :class:`~repro.database.index.StateSignatureIndex`
+  (:class:`IndexHarvest`) or read-only memory-mapped snapshot scans
+  (:class:`SnapshotHarvest`, built on
+  :func:`~repro.database.backend.open_snapshot_scan`).
+* :mod:`~repro.analytics.motifs` / :mod:`~repro.analytics.anomalies` —
+  the algorithms: per-posting pairwise matching (Definition 2 only
+  compares same-signature windows, so signature groups are a complete
+  pair universe), canonical iterative motif extraction, and
+  no-match-under-δ anomaly scoring.  Both are proven byte-identical to
+  the frozen brute-force references in :mod:`repro.testing.oracle`.
+* :mod:`~repro.analytics.runner` — the scheduled batch runner:
+  re-scans the snapshot store on an interval (or on demand) under
+  ``analytics.scan`` / ``analytics.motif`` telemetry spans.
+"""
+
+from .anomalies import AnomalyReport, StreamAnomalyScore, fleet_anomalies, score_anomalies
+from .harvest import IndexHarvest, SnapshotHarvest
+from .motifs import (
+    Motif,
+    build_match_adjacency,
+    discover_motifs,
+    extract_motifs,
+    fleet_motifs,
+)
+from .runner import AnalyticsReport, AnalyticsRunner
+
+__all__ = [
+    "AnomalyReport",
+    "StreamAnomalyScore",
+    "fleet_anomalies",
+    "score_anomalies",
+    "IndexHarvest",
+    "SnapshotHarvest",
+    "Motif",
+    "build_match_adjacency",
+    "discover_motifs",
+    "extract_motifs",
+    "fleet_motifs",
+    "AnalyticsReport",
+    "AnalyticsRunner",
+]

@@ -1,0 +1,139 @@
+"""Anomaly mining: windows with no match under δ, per stream and fleet.
+
+The dual of motif discovery: a window that matches *nothing else* in
+the fleet (non-trivially, under the same Definition 2 pair distance and
+``exclusion_zone``) is an **anomaly** — a shape the store has never seen
+repeated.  Scores aggregate per stream (what fraction of a stream's
+windows are anomalous) and fleet-wide; the window-level semantics are
+frozen in :func:`repro.testing.oracle.reference_anomalies`.
+
+Edge cases are part of the contract:
+
+* a stream shorter than the window length has **zero windows** — it
+  contributes no anomalies and scores 0.0;
+* an all-constant stream's windows all match each other (distance 0),
+  so it scores 0.0 too;
+* tombstoned streams are not in the harvest universe at all (removed
+  streams leave ``iter_streams``; snapshot scans skip dead
+  incarnations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.similarity import SimilarityParams
+from .harvest import IndexHarvest
+from .motifs import WindowKey, build_match_adjacency
+
+__all__ = ["StreamAnomalyScore", "AnomalyReport", "score_anomalies", "fleet_anomalies"]
+
+
+@dataclass(frozen=True)
+class StreamAnomalyScore:
+    """One stream's anomaly tally at a window length."""
+
+    stream_id: str
+    n_windows: int
+    n_anomalies: int
+
+    @property
+    def score(self) -> float:
+        """Anomalous fraction of the stream's windows (0.0 when none)."""
+        return self.n_anomalies / self.n_windows if self.n_windows else 0.0
+
+
+@dataclass(frozen=True)
+class AnomalyReport:
+    """Fleet anomaly mining result at one window length."""
+
+    length: int
+    threshold: float
+    streams: tuple[StreamAnomalyScore, ...]
+    anomalies: tuple[WindowKey, ...]
+
+    @property
+    def n_windows(self) -> int:
+        return sum(s.n_windows for s in self.streams)
+
+    @property
+    def n_anomalies(self) -> int:
+        return len(self.anomalies)
+
+    @property
+    def fleet_score(self) -> float:
+        """Anomalous fraction of all windows in the fleet."""
+        n = self.n_windows
+        return self.n_anomalies / n if n else 0.0
+
+
+def score_anomalies(
+    harvest,
+    length: int,
+    threshold: float | None = None,
+    params: SimilarityParams | None = None,
+    exclusion_zone: int = 1,
+    adjacency: dict[WindowKey, list[WindowKey]] | None = None,
+    telemetry=None,
+) -> AnomalyReport:
+    """Score every window of the harvest; anomalies in sorted order.
+
+    Pass a prebuilt ``adjacency`` (from
+    :func:`~repro.analytics.motifs.build_match_adjacency` with the same
+    length/threshold/zone) to share the pairwise pass with motif
+    discovery — the runner does exactly that.
+    """
+    params = params or SimilarityParams()
+    if threshold is None:
+        threshold = params.distance_threshold
+    if adjacency is None:
+        adjacency = build_match_adjacency(
+            harvest, length, threshold, params, exclusion_zone, telemetry
+        )
+    matched = adjacency.keys()
+    streams: list[StreamAnomalyScore] = []
+    anomalies: list[WindowKey] = []
+    for stream_id, n_vertices in sorted(harvest.stream_lengths().items()):
+        n_windows = max(0, n_vertices - length + 1)
+        stream_anomalies = [
+            (stream_id, start)
+            for start in range(n_windows)
+            if (stream_id, start) not in matched
+        ]
+        anomalies.extend(stream_anomalies)
+        streams.append(
+            StreamAnomalyScore(
+                stream_id=stream_id,
+                n_windows=n_windows,
+                n_anomalies=len(stream_anomalies),
+            )
+        )
+    report = AnomalyReport(
+        length=length,
+        threshold=float(threshold),
+        streams=tuple(streams),
+        anomalies=tuple(anomalies),
+    )
+    if telemetry is not None:
+        telemetry.inc("analytics.anomalies_found", report.n_anomalies)
+    return report
+
+
+def fleet_anomalies(
+    database,
+    length: int,
+    index=None,
+    threshold: float | None = None,
+    params: SimilarityParams | None = None,
+    exclusion_zone: int = 1,
+    telemetry=None,
+) -> AnomalyReport:
+    """Anomaly mining over a live database (convenience wrapper)."""
+    return score_anomalies(
+        IndexHarvest(database, index),
+        length,
+        threshold=threshold,
+        params=params,
+        exclusion_zone=exclusion_zone,
+        telemetry=telemetry,
+    )

@@ -1,0 +1,218 @@
+"""The scheduled batch runner: periodic analytics over a live directory.
+
+One :class:`AnalyticsRunner` watches a ``LoggedBackend`` directory (or a
+sharded root of ``shard-*`` directories) and, on an interval or on
+demand, opens fresh read-only snapshot scans and runs motif discovery +
+anomaly scoring over them — **concurrently with the live writer**
+serving the same directory.  The concurrency contract is the snapshot
+store's own: committed generations are immutable, the manifest is
+published by atomic rename, and two-generation retention keeps the
+pinned generation alive through at least the next ``compact()``, so the
+scan never takes a lock and the live tier never waits (see the
+analytics-tier section of ARCHITECTURE.md).
+
+Observability: the scan (manifest read + column mmaps) runs under an
+``analytics.scan`` span, the pairwise matching under ``analytics.motif``
+(inside :func:`~repro.analytics.motifs.build_match_adjacency`), with
+``analytics.runs`` / ``analytics.skipped_runs`` / ``analytics.errors``
+counters and ``analytics.windows_scanned`` per run.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..core.similarity import SimilarityParams
+from ..database.backend import list_shards, open_snapshot_scan, shard_directory
+from .anomalies import AnomalyReport, score_anomalies
+from .harvest import SnapshotHarvest
+from .motifs import Motif, build_match_adjacency, extract_motifs
+
+__all__ = ["AnalyticsReport", "AnalyticsRunner"]
+
+
+@dataclass(frozen=True)
+class AnalyticsReport:
+    """One batch run's output over the pinned snapshot generation(s)."""
+
+    generated_at: float
+    snapshot_ids: tuple[int, ...]
+    length: int
+    threshold: float
+    n_streams: int
+    n_windows: int
+    motifs: tuple[Motif, ...]
+    anomalies: AnomalyReport
+
+
+class AnalyticsRunner:
+    """Periodic motif/anomaly mining over a logged directory.
+
+    Parameters
+    ----------
+    directory:
+        A logged database directory (``manifest.json``) or a sharded
+        root (``shard-*`` subdirectories, scanned and merged fleet-wide).
+    length:
+        Window length (vertices) to mine.
+    threshold, params, exclusion_zone, min_count, max_motifs:
+        Forwarded to the motif/anomaly engines.
+    interval:
+        Seconds between scheduled runs (:meth:`start`); ``run_once`` is
+        always available synchronously.
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry` (spans + counters above).
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        length: int,
+        threshold: float | None = None,
+        params: SimilarityParams | None = None,
+        exclusion_zone: int = 1,
+        min_count: int = 1,
+        max_motifs: int | None = None,
+        interval: float = 60.0,
+        telemetry=None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.length = int(length)
+        self.params = params or SimilarityParams()
+        self.threshold = (
+            float(threshold)
+            if threshold is not None
+            else self.params.distance_threshold
+        )
+        self.exclusion_zone = int(exclusion_zone)
+        self.min_count = int(min_count)
+        self.max_motifs = max_motifs
+        self.interval = float(interval)
+        self._t = telemetry
+        self._lock = threading.Lock()
+        self._latest: AnalyticsReport | None = None
+        self._last_error: Exception | None = None
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- scanning --------------------------------------------------------------
+
+    def _scan_targets(self) -> list[Path]:
+        shards = list_shards(self.directory)
+        if shards:
+            return [shard_directory(self.directory, s) for s in shards]
+        if (self.directory / "manifest.json").exists():
+            return [self.directory]
+        raise ValueError(
+            f"{self.directory} is neither a logged database "
+            "(no manifest.json) nor a sharded root (no shard-* directories)"
+        )
+
+    def _open_harvest(self) -> SnapshotHarvest:
+        scans = [open_snapshot_scan(target) for target in self._scan_targets()]
+        return SnapshotHarvest(scans)
+
+    def run_once(self) -> AnalyticsReport:
+        """One synchronous batch run over fresh snapshot scans."""
+        telemetry = self._t
+        if telemetry is None:
+            harvest = self._open_harvest()
+        else:
+            with telemetry.span("analytics.scan"):
+                harvest = self._open_harvest()
+        adjacency = build_match_adjacency(
+            harvest,
+            self.length,
+            self.threshold,
+            self.params,
+            self.exclusion_zone,
+            telemetry,
+        )
+        motifs = extract_motifs(
+            adjacency, self.length, self.min_count, self.max_motifs
+        )
+        anomalies = score_anomalies(
+            harvest,
+            self.length,
+            self.threshold,
+            self.params,
+            self.exclusion_zone,
+            adjacency=adjacency,
+            telemetry=telemetry,
+        )
+        lengths = harvest.stream_lengths()
+        report = AnalyticsReport(
+            generated_at=time.time(),
+            snapshot_ids=harvest.snapshot_ids,
+            length=self.length,
+            threshold=self.threshold,
+            n_streams=len(lengths),
+            n_windows=sum(
+                max(0, n - self.length + 1) for n in lengths.values()
+            ),
+            motifs=tuple(motifs),
+            anomalies=anomalies,
+        )
+        with self._lock:
+            self._latest = report
+            self._last_error = None
+        if telemetry is not None:
+            telemetry.inc("analytics.runs")
+            telemetry.inc("analytics.windows_scanned", report.n_windows)
+        return report
+
+    # -- scheduling ------------------------------------------------------------
+
+    @property
+    def latest(self) -> AnalyticsReport | None:
+        """The most recent successful report (thread-safe)."""
+        with self._lock:
+            return self._latest
+
+    @property
+    def last_error(self) -> Exception | None:
+        """The most recent scheduled-run failure, cleared on success."""
+        with self._lock:
+            return self._last_error
+
+    def start(self) -> None:
+        """Run :meth:`run_once` every ``interval`` seconds in a thread.
+
+        A run finding no committed snapshot yet (the writer has not
+        compacted) is counted as skipped, not an error; any other
+        exception is recorded in :attr:`last_error` and counted, and the
+        schedule keeps going.
+        """
+        if self._thread is not None and self._thread.is_alive():
+            raise RuntimeError("runner already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="analytics-runner", daemon=True
+        )
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self.run_once()
+            except ValueError:
+                # No manifest / no committed snapshot yet: try again
+                # next interval once the writer has compacted.
+                if self._t is not None:
+                    self._t.inc("analytics.skipped_runs")
+            except Exception as error:  # keep the schedule alive
+                with self._lock:
+                    self._last_error = error
+                if self._t is not None:
+                    self._t.inc("analytics.errors")
+            self._stop.wait(self.interval)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop the schedule and join the runner thread."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None

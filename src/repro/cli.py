@@ -9,6 +9,8 @@ Small operational commands over the library::
     python -m repro serve-replay cohort.json --live 6 --workers 2
     python -m repro cluster cohort.json -k 3
     python -m repro compact ./durable-db
+    python -m repro motifs ./durable-db --length 8
+    python -m repro anomalies ./durable-db --length 8 --json
     python -m repro metrics cohort.json --live 3 --json
 
 ``simulate`` builds a synthetic cohort database snapshot; ``inspect``
@@ -19,7 +21,10 @@ smoke test of the service layer — with ``--workers N`` the fleet runs
 through the sharded multi-process tier instead); ``cluster`` runs the
 offline Definition 3/4 + k-medoids analysis; ``compact`` rolls a
 durable database directory (or every ``shard-NNN`` under a sharded
-root) into a fresh columnar snapshot generation; ``metrics`` runs the
+root) into a fresh columnar snapshot generation; ``motifs`` and
+``anomalies`` run one batch of the offline analytics tier (fleet-wide
+motif discovery / no-match anomaly mining) over the read-only snapshot
+scans of such a directory; ``metrics`` runs the
 same multi-tenant replay fully instrumented and prints the final
 telemetry snapshot (text or ``--json``).
 """
@@ -100,6 +105,43 @@ def build_parser() -> argparse.ArgumentParser:
                        "root holding shard-NNN subdirectories")
     p_cmp.add_argument("--no-index", action="store_true",
                        help="skip snapshotting the signature index")
+
+    def _add_analytics_arguments(p) -> None:
+        p.add_argument("directory",
+                       help="a LoggedBackend directory, or a sharded "
+                       "root holding shard-NNN subdirectories")
+        p.add_argument("--length", type=int, default=8,
+                       help="window length in vertices (default: 8)")
+        p.add_argument("--threshold", type=float, default=None,
+                       help="match distance threshold delta (default: "
+                       "the similarity params' threshold)")
+        p.add_argument("--zone", type=int, default=1,
+                       help="trivial-match exclusion zone in start "
+                       "offsets (default: 1)")
+        p.add_argument("--json", action="store_true",
+                       help="emit the machine-readable report")
+
+    p_mot = sub.add_parser(
+        "motifs",
+        help="mine fleet-wide motifs from a durable database directory's "
+        "committed snapshots",
+    )
+    _add_analytics_arguments(p_mot)
+    p_mot.add_argument("--min-count", type=int, default=1,
+                       help="minimum non-trivial matches for a motif "
+                       "(default: 1)")
+    p_mot.add_argument("--max-motifs", type=int, default=10,
+                       help="stop after this many motifs (default: 10)")
+
+    p_ano = sub.add_parser(
+        "anomalies",
+        help="mine no-match-under-delta anomaly windows from a durable "
+        "database directory's committed snapshots",
+    )
+    _add_analytics_arguments(p_ano)
+    p_ano.add_argument("--top", type=int, default=10,
+                       help="print at most this many anomaly windows "
+                       "(default: 10)")
 
     p_clu = sub.add_parser(
         "cluster", help="offline stream/patient clustering of a snapshot"
@@ -369,11 +411,19 @@ def _cmd_compact(args) -> int:
         print(f"error: {root} is not a directory", file=sys.stderr)
         return 2
     shards = list_shards(root)
-    targets = (
-        [(f"shard {s}", shard_directory(root, s)) for s in shards]
-        if shards
-        else [(str(root), root)]
-    )
+    if shards:
+        targets = [(f"shard {s}", shard_directory(root, s)) for s in shards]
+    elif (root / "manifest.json").exists():
+        targets = [(str(root), root)]
+    else:
+        # Opening a LoggedBackend here would silently create an empty
+        # database in whatever directory was (mis)typed.
+        print(
+            f"error: {root} is neither a logged database (no "
+            "manifest.json) nor a sharded root (no shard-* directories)",
+            file=sys.stderr,
+        )
+        return 2
     for label, directory in targets:
         db = MotionDatabase(backend=LoggedBackend(directory))
         try:
@@ -390,6 +440,114 @@ def _cmd_compact(args) -> int:
             f"{stats['segments_rotated']} segments rotated / "
             f"{stats['segments_deleted']} deleted"
         )
+    return 0
+
+
+def _run_analytics(args, min_count: int = 1, max_motifs: int | None = None):
+    """One synchronous analytics batch, or ``None`` after a usage error."""
+    from pathlib import Path
+
+    from .analytics import AnalyticsRunner
+
+    root = Path(args.directory)
+    if not root.is_dir():
+        print(f"error: {root} is not a directory", file=sys.stderr)
+        return None
+    runner = AnalyticsRunner(
+        root,
+        length=args.length,
+        threshold=args.threshold,
+        exclusion_zone=args.zone,
+        min_count=min_count,
+        max_motifs=max_motifs,
+    )
+    try:
+        return runner.run_once()
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return None
+
+
+def _cmd_motifs(args) -> int:
+    import json
+
+    report = _run_analytics(
+        args, min_count=args.min_count, max_motifs=args.max_motifs
+    )
+    if report is None:
+        return 2
+    if args.json:
+        payload = {
+            "snapshot_ids": list(report.snapshot_ids),
+            "length": report.length,
+            "threshold": report.threshold,
+            "n_streams": report.n_streams,
+            "n_windows": report.n_windows,
+            "motifs": [
+                {
+                    "stream_id": m.stream_id,
+                    "start": m.start,
+                    "n_vertices": m.n_vertices,
+                    "count": m.count,
+                    "matches": [list(k) for k in m.matches],
+                }
+                for m in report.motifs
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(
+        f"{report.n_streams} streams / {report.n_windows} windows of "
+        f"length {report.length} (threshold {report.threshold:g})"
+    )
+    if not report.motifs:
+        print("no motifs found")
+    for rank, motif in enumerate(report.motifs, start=1):
+        print(
+            f"  #{rank} {motif.stream_id}[{motif.start}:"
+            f"{motif.start + motif.n_vertices}]: {motif.count} matches"
+        )
+    return 0
+
+
+def _cmd_anomalies(args) -> int:
+    import json
+
+    report = _run_analytics(args)
+    if report is None:
+        return 2
+    anomalies = report.anomalies
+    if args.json:
+        payload = {
+            "snapshot_ids": list(report.snapshot_ids),
+            "length": anomalies.length,
+            "threshold": anomalies.threshold,
+            "n_windows": anomalies.n_windows,
+            "n_anomalies": anomalies.n_anomalies,
+            "fleet_score": anomalies.fleet_score,
+            "streams": [
+                {
+                    "stream_id": s.stream_id,
+                    "n_windows": s.n_windows,
+                    "n_anomalies": s.n_anomalies,
+                    "score": s.score,
+                }
+                for s in anomalies.streams
+            ],
+            "anomalies": [list(k) for k in anomalies.anomalies],
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(
+        f"{anomalies.n_anomalies}/{anomalies.n_windows} windows of "
+        f"length {anomalies.length} are anomalous (fleet score "
+        f"{anomalies.fleet_score:.3f}, threshold {anomalies.threshold:g})"
+    )
+    for stream_id, start in anomalies.anomalies[: args.top]:
+        print(f"  {stream_id}[{start}:{start + anomalies.length}]")
+    hidden = anomalies.n_anomalies - args.top
+    if hidden > 0:
+        print(f"  ... and {hidden} more (see --json)")
     return 0
 
 
@@ -462,6 +620,8 @@ _COMMANDS = {
     "serve-replay": _cmd_serve_replay,
     "cluster": _cmd_cluster,
     "compact": _cmd_compact,
+    "motifs": _cmd_motifs,
+    "anomalies": _cmd_anomalies,
     "metrics": _cmd_metrics,
 }
 

@@ -356,6 +356,66 @@ class OnlineAnalysisSession:
             return self.db.stream(stream_id).series
         return self._foreign_series[stream_id]
 
+    # -- checkpointing -----------------------------------------------------------
+
+    def checkpoint(self) -> dict:
+        """The session's resumable state as a JSON-able payload.
+
+        Covers the segmenter (series + filter/debounce state), the
+        sample-guard clock and drop/stale tallies, and the current match
+        set; the query and prediction plan are *derived* state (the
+        query regenerates deterministically from the restored series,
+        the plan rebuilds lazily from the matches) so they are not
+        serialized.  Foreign series are referenced by id only — the
+        shard-level pool ships them once per checkpoint, not once per
+        session.
+        """
+        from ..events import encode_value
+
+        record = self.ingestor.record
+        return {
+            "patient_id": record.patient_id,
+            "session_id": record.session_id,
+            "stream_id": self.stream_id,
+            "segmenter": self.ingestor.segmenter.state_payload(),
+            "now": self._now,
+            "n_dropped": self.n_dropped,
+            "n_stale": self.n_stale,
+            "matches": encode_value(self._matches),
+            "foreign": sorted(self._foreign_series),
+        }
+
+    def restore(self, payload: dict, foreign_series=None) -> None:
+        """Adopt a :meth:`checkpoint` on a freshly opened session.
+
+        The restored vertices are re-journalled through the database's
+        durability hook (the recreated stream starts a fresh journal),
+        so a later crash replays the checkpointed prefix too.  Feeding
+        the post-checkpoint raw frames afterwards reproduces the
+        uninterrupted session bit for bit.
+        """
+        from ..events import decode_value
+
+        segmenter = self.ingestor.segmenter
+        restored = segmenter.restore_state(payload["segmenter"])
+        if restored:
+            self.db.commit_vertices(self.stream_id, restored)
+        self._now = payload["now"]
+        self.n_dropped = int(payload["n_dropped"])
+        self.n_stale = int(payload["n_stale"])
+        if foreign_series:
+            self._foreign_series.update(foreign_series)
+        self._matches = decode_value(payload["matches"])
+        if len(self.ingestor.series) >= self.config.warmup_vertices:
+            # The query refreshed at the last vertex commit and the
+            # series has not changed since, so regeneration is exact.
+            self._query = generate_query(
+                self.ingestor.series, self.config.query
+            )
+        self._plan = None
+        if self._t is not None:
+            self._g_matches.set(len(self._matches))
+
     def prediction_plan(self) -> PredictionPlan | None:
         """The packed plan over the current matches (``None`` in warm-up).
 

@@ -346,6 +346,136 @@ class OnlineSegmenter:
         self._count_vertex(final.state)
         return [final]
 
+    # -- checkpointing ---------------------------------------------------------
+
+    def state_payload(self) -> dict:
+        """The segmenter's full resumable state as a JSON-able payload.
+
+        Everything needed to continue segmenting from the next raw
+        sample: the committed series, the despike/smooth filter state,
+        the sliding-slope running sums (carried exactly — Python float
+        ``repr`` round-trips bit-exactly through JSON), the adaptive
+        range/velocity trackers and the open-segment/debounce state.
+        Feeding the same samples after :meth:`restore_state` commits the
+        same vertices, bit for bit, as the uninterrupted segmenter.
+        """
+        slope = self._slope
+        return {
+            "series": {
+                "times": self.series.times.tolist(),
+                "positions": self.series.positions.tolist(),
+                "states": [int(s) for s in self.series.states],
+            },
+            "last_time": self._last_time,
+            "smoothed": (
+                None if self._smoothed is None else self._smoothed.tolist()
+            ),
+            "raw_prev": (
+                None if self._raw_prev is None else self._raw_prev.tolist()
+            ),
+            "prev_s": self._prev_s,
+            "smoothed_s": self._smoothed_s,
+            "slope": {
+                "points": [[t, x] for t, x in slope._points],
+                "n": slope._n,
+                "sum_t": slope._sum_t,
+                "sum_x": slope._sum_x,
+                "sum_tt": slope._sum_tt,
+                "sum_tx": slope._sum_tx,
+            },
+            "range": {"low": self._range.low, "high": self._range.high},
+            "vscale": self._vscale.peak,
+            "current_state": (
+                None if self._current_state is None else int(self._current_state)
+            ),
+            "segment_start": (
+                None
+                if self._segment_start is None
+                else [self._segment_start[0], self._segment_start[1].tolist()]
+            ),
+            "pending_state": (
+                None if self._pending_state is None else int(self._pending_state)
+            ),
+            "pending_since": self._pending_since,
+            "pending_position": (
+                None
+                if self._pending_position is None
+                else self._pending_position.tolist()
+            ),
+        }
+
+    def restore_state(self, payload: dict) -> list[Vertex]:
+        """Adopt a :meth:`state_payload` checkpoint on a fresh segmenter.
+
+        Appends the checkpointed vertices to :attr:`series` (which must
+        be empty — the live stream was just recreated) and returns them
+        so the caller can re-journal the restored prefix for durability.
+        """
+        if len(self.series):
+            raise ValueError("restore_state requires an empty series")
+        restored: list[Vertex] = []
+        series = payload["series"]
+        for t, position, state in zip(
+            series["times"], series["positions"], series["states"]
+        ):
+            vertex = Vertex(
+                float(t), tuple(position), BreathingState(int(state))
+            )
+            self.series.append(vertex)
+            restored.append(vertex)
+        self._last_time = payload["last_time"]
+        self._smoothed = (
+            None
+            if payload["smoothed"] is None
+            else np.asarray(payload["smoothed"], dtype=float)
+        )
+        self._raw_prev = (
+            None
+            if payload["raw_prev"] is None
+            else np.asarray(payload["raw_prev"], dtype=float)
+        )
+        self._prev_s = payload["prev_s"]
+        self._smoothed_s = payload["smoothed_s"]
+        slope_state = payload["slope"]
+        slope = self._slope
+        slope._points.clear()
+        slope._points.extend(
+            (float(t), float(x)) for t, x in slope_state["points"]
+        )
+        slope._n = int(slope_state["n"])
+        slope._sum_t = slope_state["sum_t"]
+        slope._sum_x = slope_state["sum_x"]
+        slope._sum_tt = slope_state["sum_tt"]
+        slope._sum_tx = slope_state["sum_tx"]
+        self._range.low = payload["range"]["low"]
+        self._range.high = payload["range"]["high"]
+        self._vscale.peak = payload["vscale"]
+        self._current_state = (
+            None
+            if payload["current_state"] is None
+            else BreathingState(int(payload["current_state"]))
+        )
+        self._segment_start = (
+            None
+            if payload["segment_start"] is None
+            else (
+                float(payload["segment_start"][0]),
+                np.asarray(payload["segment_start"][1], dtype=float),
+            )
+        )
+        self._pending_state = (
+            None
+            if payload["pending_state"] is None
+            else BreathingState(int(payload["pending_state"]))
+        )
+        self._pending_since = payload["pending_since"]
+        self._pending_position = (
+            None
+            if payload["pending_position"] is None
+            else np.asarray(payload["pending_position"], dtype=float)
+        )
+        return restored
+
     # -- pipeline stages -------------------------------------------------------
 
     def _despike(self, position: np.ndarray, dt: float) -> np.ndarray:

@@ -59,6 +59,8 @@ __all__ = [
     "StorageBackend",
     "InMemoryBackend",
     "LoggedBackend",
+    "SnapshotScan",
+    "open_snapshot_scan",
     "BACKEND_NAMES",
     "create_backend",
     "atomic_write_text",
@@ -599,80 +601,11 @@ class LoggedBackend(InMemoryBackend):
     def _load_snapshot(
         self, snapshot_id: int, stream_bases: dict, stats: dict
     ) -> dict | None:
-        """Memory-map one snapshot generation; ``None`` when unusable.
-
-        Any unreadable file — a torn ``snapshot.json``, a missing or
-        corrupt column — invalidates the whole generation, so the caller
-        falls back to the previous one.  Streams no longer in the
-        manifest (removed after the snapshot was cut), and entries whose
-        journal base no longer matches the live stream's (removed, then
-        re-created under the same id), are skipped without touching
-        their files — the live incarnation replays from its own journal.
-        """
-        snap_dir = self._snapshot_dir(snapshot_id)
-        manifest_path = snap_dir / "snapshot.json"
-        try:
-            stats["files_read"].append(
-                str(manifest_path.relative_to(self.directory))
-            )
-            payload = json.loads(manifest_path.read_text())
-        except (OSError, json.JSONDecodeError):
+        """Memory-map one snapshot generation; ``None`` when unusable."""
+        loaded = _read_snapshot(self.directory, snapshot_id, stream_bases, stats)
+        if loaded is None:
             return None
-        if (
-            not isinstance(payload, dict)
-            or payload.get("format") != _SNAPSHOT_FORMAT
-            or payload.get("snapshot_id") != snapshot_id
-        ):
-            return None
-        streams: dict[str, dict] = {}
-        index_buffers: dict[int, dict] = {}
-        #: Stream ids whose snapshot entry belongs to a dead incarnation.
-        stale: set[str] = set()
-        try:
-            for entry in payload["streams"]:
-                stream_id = entry["stream_id"]
-                base = entry["covered"][0].split(".")[0]
-                if stream_bases.get(stream_id) != base:
-                    stale.add(stream_id)
-                    stats["tombstones_skipped"] += 1
-                    continue
-                prefix = entry["prefix"]
-                columns = {}
-                for column in ("times", "positions", "states"):
-                    path = snap_dir / f"{prefix}-{column}.npy"
-                    stats["files_read"].append(
-                        str(path.relative_to(self.directory))
-                    )
-                    columns[column] = np.load(path, mmap_mode="r")
-                streams[stream_id] = {
-                    "covered": set(entry["covered"]),
-                    **columns,
-                }
-            for entry in payload.get("index", []):
-                # Postings referencing removed or re-created streams are
-                # stale; drop the length (it rebuilds lazily) without
-                # reading its buffers.
-                if any(
-                    name in stale or name not in stream_bases
-                    for name in entry["stream_names"]
-                ):
-                    continue
-                prefix = entry["prefix"]
-                arrays = {}
-                for field, suffix in _INDEX_COLUMN_FILES:
-                    path = snap_dir / f"{prefix}-{suffix}.npy"
-                    stats["files_read"].append(
-                        str(path.relative_to(self.directory))
-                    )
-                    arrays[field] = np.load(path, mmap_mode="r")
-                index_buffers[int(entry["n_vertices"])] = {
-                    "stream_names": list(entry["stream_names"]),
-                    "next_start": dict(entry["next_start"]),
-                    **arrays,
-                }
-                stats["index_lengths_loaded"] += 1
-        except (OSError, ValueError, KeyError):
-            return None
+        streams, index_buffers = loaded
         self.loaded_index_buffers = index_buffers or None
         return {"streams": streams}
 
@@ -954,6 +887,213 @@ class LoggedBackend(InMemoryBackend):
         for writer in self._writers.values():
             writer.close()
         self._writers.clear()
+
+
+def _read_snapshot(
+    directory: Path, snapshot_id: int, stream_bases: dict, stats: dict
+) -> tuple[dict, dict] | None:
+    """Memory-map one snapshot generation; ``None`` when unusable.
+
+    Any unreadable file — a torn ``snapshot.json``, a missing or corrupt
+    column — invalidates the whole generation, so the caller falls back
+    to the previous one.  Streams no longer in the manifest (removed
+    after the snapshot was cut), and entries whose journal base no
+    longer matches the live stream's (removed, then re-created under the
+    same id), are skipped without touching their files — the live
+    incarnation replays from its own journal.
+
+    Shared by :meth:`LoggedBackend._load_snapshot` (reopen) and
+    :func:`open_snapshot_scan` (read-only analytics scans).  Returns
+    ``(streams, index_buffers)``.
+    """
+    snap_dir = directory / "snapshots" / f"snap-{snapshot_id:06d}"
+    manifest_path = snap_dir / "snapshot.json"
+    try:
+        stats["files_read"].append(str(manifest_path.relative_to(directory)))
+        payload = json.loads(manifest_path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if (
+        not isinstance(payload, dict)
+        or payload.get("format") != _SNAPSHOT_FORMAT
+        or payload.get("snapshot_id") != snapshot_id
+    ):
+        return None
+    streams: dict[str, dict] = {}
+    index_buffers: dict[int, dict] = {}
+    #: Stream ids whose snapshot entry belongs to a dead incarnation.
+    stale: set[str] = set()
+    try:
+        for entry in payload["streams"]:
+            stream_id = entry["stream_id"]
+            base = entry["covered"][0].split(".")[0]
+            if stream_bases.get(stream_id) != base:
+                stale.add(stream_id)
+                stats["tombstones_skipped"] += 1
+                continue
+            prefix = entry["prefix"]
+            columns = {}
+            for column in ("times", "positions", "states"):
+                path = snap_dir / f"{prefix}-{column}.npy"
+                stats["files_read"].append(str(path.relative_to(directory)))
+                columns[column] = np.load(path, mmap_mode="r")
+            streams[stream_id] = {
+                "covered": set(entry["covered"]),
+                **columns,
+            }
+        for entry in payload.get("index", []):
+            # Postings referencing removed or re-created streams are
+            # stale; drop the length (it rebuilds lazily) without
+            # reading its buffers.
+            if any(
+                name in stale or name not in stream_bases
+                for name in entry["stream_names"]
+            ):
+                continue
+            prefix = entry["prefix"]
+            arrays = {}
+            for field, suffix in _INDEX_COLUMN_FILES:
+                path = snap_dir / f"{prefix}-{suffix}.npy"
+                stats["files_read"].append(str(path.relative_to(directory)))
+                arrays[field] = np.load(path, mmap_mode="r")
+            index_buffers[int(entry["n_vertices"])] = {
+                "stream_names": list(entry["stream_names"]),
+                "next_start": dict(entry["next_start"]),
+                **arrays,
+            }
+            stats["index_lengths_loaded"] += 1
+    except (OSError, ValueError, KeyError):
+        return None
+    return streams, index_buffers
+
+
+class SnapshotScan:
+    """Read-only view of a logged directory's newest loadable snapshot.
+
+    Built by :func:`open_snapshot_scan`.  Unlike reopening a
+    :class:`LoggedBackend`, a scan **opens no journal writers and
+    replays no tail segments**: it memory-maps the snapshot's vertex
+    columns into lazy series and hands back the index's posting buffers
+    (``idx-*`` columns) untouched.  That makes it safe to hold while a
+    live writer process serves the same directory — snapshot generations
+    are immutable once committed, the manifest is read through one
+    atomic-rename-published file, and two-generation retention
+    guarantees the pinned generation survives at least the next
+    ``compact()`` (the batch-analytics concurrency contract; see
+    ARCHITECTURE.md).
+
+    The view is the fleet **as of the snapshot watermark**: streams
+    created after the snapshot, vertices journalled past it, and
+    tombstoned (removed or removed-then-recreated) streams are not
+    visible.
+    """
+
+    def __init__(
+        self,
+        directory: Path,
+        snapshot_id: int,
+        streams: dict[str, StreamRecord],
+        index_buffers: dict | None,
+        stats: dict,
+    ) -> None:
+        self.directory = directory
+        self.snapshot_id = snapshot_id
+        self._streams = streams
+        #: Memory-mapped index posting buffers in ``export_buffers``
+        #: layout, or ``None`` when the snapshot carried no index.
+        self.index_buffers = index_buffers
+        #: What the scan read (mirrors ``reopen_stats``).
+        self.scan_stats = stats
+
+    @property
+    def stream_ids(self) -> tuple[str, ...]:
+        return tuple(self._streams)
+
+    @property
+    def n_streams(self) -> int:
+        return len(self._streams)
+
+    def stream(self, stream_id: str) -> StreamRecord:
+        try:
+            return self._streams[stream_id]
+        except KeyError:
+            raise KeyError(f"unknown stream {stream_id!r}") from None
+
+    def __contains__(self, stream_id: str) -> bool:
+        return stream_id in self._streams
+
+    def iter_streams(self) -> Iterator[StreamRecord]:
+        """Stream records in manifest (insertion) order."""
+        return iter(self._streams.values())
+
+
+def open_snapshot_scan(directory: str | Path) -> SnapshotScan:
+    """Open a read-only scan over a logged directory's latest snapshot.
+
+    Raises ``ValueError`` with a clear message when the directory is not
+    a logged database, holds no committed snapshot yet (``compact()``
+    has never run), or no retained generation is loadable.
+    """
+    directory = Path(directory)
+    manifest_path = directory / "manifest.json"
+    if not manifest_path.exists():
+        raise ValueError(
+            f"{directory} is not a logged database (no manifest.json)"
+        )
+    payload = json.loads(manifest_path.read_text())
+    if payload.get("format") not in (_MANIFEST_FORMAT, _MANIFEST_FORMAT_V1):
+        raise ValueError("not a repro logged-database manifest")
+    chain = [int(i) for i in payload.get("snapshots", [])]
+    if not chain:
+        raise ValueError(
+            f"{directory} has no committed snapshot to scan "
+            "(run compact first)"
+        )
+    stream_bases = {
+        s["stream_id"]: (s.get("segments") or [s["file"]])[0].split(".")[0]
+        for s in payload["streams"]
+    }
+    stats = {
+        "snapshot_id": None,
+        "torn_snapshots": 0,
+        "tombstones_skipped": 0,
+        "index_lengths_loaded": 0,
+        "files_read": [],
+    }
+    for snap_id in reversed(chain):
+        loaded = _read_snapshot(directory, snap_id, stream_bases, stats)
+        if loaded is not None:
+            stats["snapshot_id"] = snap_id
+            break
+        stats["torn_snapshots"] += 1
+    else:
+        raise ValueError(
+            "no loadable snapshot generation "
+            f"(tried {list(reversed(chain))})"
+        )
+    columns, index_buffers = loaded
+    streams: dict[str, StreamRecord] = {}
+    for stream_payload in payload["streams"]:
+        stream_id = stream_payload["stream_id"]
+        entry = columns.get(stream_id)
+        if entry is None:
+            continue  # created after the snapshot, or a dead incarnation
+        streams[stream_id] = StreamRecord(
+            stream_id=stream_id,
+            patient_id=stream_payload["patient_id"],
+            session_id=stream_payload["session_id"],
+            series=PLRSeries.from_dense(
+                entry["times"], entry["positions"], entry["states"]
+            ),
+            metadata=stream_payload.get("metadata", {}),
+        )
+    return SnapshotScan(
+        directory=directory,
+        snapshot_id=stats["snapshot_id"],
+        streams=streams,
+        index_buffers=index_buffers or None,
+        stats=stats,
+    )
 
 
 #: Registry of constructible backend names (CI parametrises over these).

@@ -34,6 +34,7 @@ nothing for the check.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Iterator
 
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
@@ -48,6 +49,8 @@ __all__ = [
     "encode_signature",
     "decode_signature",
     "collapse_signature",
+    "buffer_posting_groups",
+    "series_posting_groups",
 ]
 
 #: Cardinality of the state alphabet (EX, EOE, IN, IRR).
@@ -709,6 +712,39 @@ class StateSignatureIndex:
             )
         return length_index
 
+    def posting_groups(
+        self, n_vertices: int
+    ) -> list[tuple[int | bytes, CandidateSet]]:
+        """Every posting at one window length, in sorted-key order.
+
+        This is the **bulk scan** access path: offline analytics (motif
+        discovery, anomaly mining) needs *all* same-signature groups of a
+        length rather than the one group matching a live query, and only
+        windows within one group are comparable under Definition 2 — so a
+        per-group pairwise pass over this iteration covers exactly the
+        finite-distance pairs without a single cross-group distance call.
+
+        The length index is caught up first (same transactional contract
+        as :meth:`candidates`), so the returned groups cover every window
+        of every stream currently in the database.  Ordering is
+        deterministic: packed ``int64`` keys ascending, then raw-byte
+        keys (lengths beyond :data:`MAX_RADIX_SEGMENTS`) ascending.
+        """
+        length_index = self._caught_up(n_vertices)
+        names = length_index.stream_names()
+        int_keys = sorted(
+            k for k in length_index.postings if not isinstance(k, bytes)
+        )
+        byte_keys = sorted(
+            k for k in length_index.postings if isinstance(k, bytes)
+        )
+        groups: list[tuple[int | bytes, CandidateSet]] = []
+        for key in (*int_keys, *byte_keys):
+            posting = length_index.postings[key]
+            if posting.n:
+                groups.append((key, posting.stacked(names)))
+        return groups
+
     # -- snapshot export / import ----------------------------------------------
 
     def export_buffers(self) -> dict[int, dict[str, object]]:
@@ -856,3 +892,122 @@ class StateSignatureIndex:
         """Number of windows indexed at a given window length."""
         length_index = self._by_length.get(n_vertices)
         return 0 if length_index is None else length_index.n_windows
+
+
+# -- standalone bulk posting scans ---------------------------------------------
+#
+# The two generators below serve the same (key, CandidateSet) groups as
+# StateSignatureIndex.posting_groups without a live index: one straight
+# from a snapshot's exported posting buffers (the mmap'd ``idx-*``
+# columns — zero signature work), one recomputed from raw series (the
+# fallback when a snapshot predates the requested window length).  Both
+# iterate in the same deterministic sorted-key order.
+
+
+def buffer_posting_groups(
+    state: dict[str, object],
+) -> Iterator[tuple[int, CandidateSet]]:
+    """Groups from one length's :meth:`~StateSignatureIndex.export_buffers`
+    payload (typically the memory-mapped ``idx-*`` snapshot columns).
+
+    The columns are consumed as zero-copy slices: candidate features may
+    be read-only views of the mmap, which is exactly what batch distance
+    kernels want.  Keys are yielded ascending (exports preserve posting
+    creation order, not key order, so this sorts).
+    """
+    names = np.asarray(list(state["stream_names"]), dtype=object)
+    keys = np.asarray(state["group_keys"], dtype=np.int64)
+    offsets = np.asarray(state["group_offsets"], dtype=np.int64)
+    codes = state["stream_codes"]
+    starts = state["starts"]
+    amplitudes = state["amplitudes"]
+    durations = state["durations"]
+    for g in np.argsort(keys, kind="stable"):
+        b, e = int(offsets[g]), int(offsets[g + 1])
+        group_codes = np.asarray(codes[b:e])
+        yield (
+            int(keys[g]),
+            CandidateSet(
+                stream_ids=names[group_codes],
+                starts=np.asarray(starts[b:e]),
+                amplitudes=amplitudes[b:e],
+                durations=durations[b:e],
+                codes=group_codes,
+                names=names,
+            ),
+        )
+
+
+def series_posting_groups(
+    streams: Iterable[tuple[str, "object"]], n_vertices: int
+) -> Iterator[tuple[int | bytes, CandidateSet]]:
+    """Groups recomputed directly from ``(stream_id, PLRSeries)`` pairs.
+
+    The from-scratch counterpart of :func:`buffer_posting_groups` for
+    window lengths a snapshot's index buffers don't cover (or for volatile
+    stores with no index at all).  Streams shorter than ``n_vertices``
+    contribute no windows; ordering and group contents match what a fresh
+    :class:`StateSignatureIndex` would serve for the same streams.
+    """
+    m = n_vertices
+    if m < 2:
+        raise ValueError("windows need at least 2 vertices")
+    n_segments = m - 1
+    stream_names: list[str] = []
+    by_key: dict[int | bytes, list[tuple[int, np.ndarray, np.ndarray, np.ndarray]]] = {}
+    for stream_id, series in streams:
+        last = len(series) - m
+        if last < 0:
+            continue
+        code = len(stream_names)
+        stream_names.append(stream_id)
+        region = slice(0, last + n_segments)
+        windows = sliding_window_view(series.states[region], n_segments)
+        amp = sliding_window_view(series.amplitudes[region], n_segments)
+        dur = sliding_window_view(series.durations[region], n_segments)
+        keys = _window_keys(windows)
+        if isinstance(keys, list):  # byte keys: group via stable sort
+            order = sorted(range(len(keys)), key=keys.__getitem__)
+        else:
+            order = np.argsort(keys, kind="stable")
+        previous: int | bytes | None = None
+        block: list[int] = []
+        for i in order:
+            key = keys[i]
+            if key != previous and block:
+                by_key.setdefault(previous, []).append(
+                    (code, np.asarray(block), amp, dur)
+                )
+                block = []
+            previous = key
+            block.append(int(i))
+        if block:
+            by_key.setdefault(previous, []).append(
+                (code, np.asarray(block), amp, dur)
+            )
+    names = np.asarray(stream_names, dtype=object)
+    int_keys = sorted(k for k in by_key if not isinstance(k, bytes))
+    byte_keys = sorted(k for k in by_key if isinstance(k, bytes))
+    for key in (*int_keys, *byte_keys):
+        parts = by_key[key]
+        group_codes = np.concatenate(
+            [np.full(len(rows), code, dtype=np.int32) for code, rows, _, _ in parts]
+        )
+        group_starts = np.concatenate(
+            [rows.astype(np.int64) for _, rows, _, _ in parts]
+        )
+        yield (
+            key,
+            CandidateSet(
+                stream_ids=names[group_codes],
+                starts=group_starts,
+                amplitudes=np.concatenate(
+                    [amp[rows] for _, rows, amp, _ in parts]
+                ),
+                durations=np.concatenate(
+                    [dur[rows] for _, rows, _, dur in parts]
+                ),
+                codes=group_codes,
+                names=names,
+            ),
+        )

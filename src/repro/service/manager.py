@@ -535,6 +535,68 @@ class SessionManager:
 
     # -- shard-worker hooks ------------------------------------------------------
 
+    def checkpoint_sessions(self) -> dict:
+        """Every live session's resumable state plus the foreign pool.
+
+        The sharded coordinator calls this right after a successful
+        :meth:`compact` so its per-shard raw-frame log can be truncated
+        at the compaction watermark: crash recovery restores this
+        checkpoint and re-feeds only the post-watermark frames instead
+        of replaying every frame since the session opened.
+        """
+        pool = {
+            sid: {
+                "times": series.times.tolist(),
+                "positions": series.positions.tolist(),
+                "states": [int(s) for s in series.states],
+            }
+            for sid, series in self._foreign_series.items()
+        }
+        return {
+            "pool": pool,
+            "sessions": [
+                session.checkpoint() for session in self._sessions.values()
+            ],
+        }
+
+    def restore_sessions(self, entries, pool=None) -> None:
+        """Reopen sessions from a checkpoint, in the given order.
+
+        Each entry either restores a checkpointed session (``{"restore":
+        <session.checkpoint() payload>}``) or opens a fresh one that was
+        started after the checkpoint (``{"open": {"patient_id", ...,
+        "session_id"}}``); order matters — it is the fleet's session-open
+        order, which drives tick dispatch and prediction batching.
+        """
+        from ..core.model import PLRSeries
+
+        if pool:
+            self._foreign_series.update(
+                {
+                    sid: PLRSeries.from_dense(
+                        np.asarray(payload["times"], dtype=float),
+                        np.asarray(payload["positions"], dtype=float),
+                        np.asarray(payload["states"], dtype=np.int8),
+                    )
+                    for sid, payload in pool.items()
+                }
+            )
+        for entry in entries:
+            if "open" in entry:
+                spec = entry["open"]
+                self.open_session(spec["patient_id"], spec["session_id"])
+                continue
+            checkpoint = entry["restore"]
+            session = self.open_session(
+                checkpoint["patient_id"], checkpoint["session_id"]
+            )
+            foreign = {
+                sid: self._foreign_series[sid]
+                for sid in checkpoint["foreign"]
+                if sid in self._foreign_series
+            }
+            session.restore(checkpoint, foreign or None)
+
     def query_view(self, stream_id: str):
         """The portable projection of one tenant's current query.
 

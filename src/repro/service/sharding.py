@@ -471,6 +471,15 @@ class ShardWorker:
     def _op_compact(self, request) -> dict:
         return {"stats": self.manager.compact()}
 
+    def _op_checkpoint_sessions(self, request) -> dict:
+        return {"checkpoint": self.manager.checkpoint_sessions()}
+
+    def _op_restore_sessions(self, request) -> dict:
+        self.manager.restore_sessions(
+            request["sessions"], request.get("pool")
+        )
+        return {}
+
     def _op_snapshot(self, request) -> dict:
         if self._t is None:
             return {"snapshot": None}
@@ -610,8 +619,17 @@ class ShardCoordinator:
             s: [] for s in range(n_workers)
         }
         #: Raw-frame log per shard: the replication stream for recovery.
+        #: Bounded by compaction — :meth:`compact` checkpoints every
+        #: shard's sessions and truncates the log at the watermark, so
+        #: the log only ever holds the frames since the last compaction.
         self._frame_log: dict[int, list[tuple[float, dict]]] = {
             s: [] for s in range(n_workers)
+        }
+        #: Per-shard session checkpoints taken at the last compaction
+        #: (``None`` before the first): recovery restores the checkpoint
+        #: and re-feeds only the post-watermark frame-log suffix.
+        self._checkpoints: dict[int, dict | None] = {
+            s: None for s in range(n_workers)
         }
         #: Refreshed queries whose cross-shard completion is outstanding.
         self._pending: dict[str, dict] = {}
@@ -671,7 +689,8 @@ class ShardCoordinator:
         for shard in sent:
             try:
                 reply = self._recv_reply(shard)
-            except WireEOF:
+            except (OSError, WireEOF):
+                # EOF for a clean death; ECONNRESET for a hard kill.
                 crashed = shard
                 continue
             replies[shard] = reply
@@ -715,6 +734,14 @@ class ShardCoordinator:
         patient_id, session_id, shard = self._tenants.pop(stream_id)
         self._shard_tenants[shard].remove(stream_id)
         self._pending.pop(stream_id, None)
+        checkpoint = self._checkpoints[shard]
+        if checkpoint is not None:
+            # A closed session must not resurrect at the next recovery.
+            checkpoint["sessions"] = [
+                entry
+                for entry in checkpoint["sessions"]
+                if entry["stream_id"] != stream_id
+            ]
         self._request(
             shard,
             {
@@ -977,13 +1004,49 @@ class ShardCoordinator:
     # -- maintenance & introspection ---------------------------------------------
 
     def compact(self) -> dict[int, dict | None]:
-        """Compact every shard's durable store (with its index)."""
+        """Compact every shard's durable store (with its index).
+
+        Also truncates the per-shard raw-frame logs: after each shard's
+        snapshot commits, its sessions are checkpointed
+        (:meth:`SessionManager.checkpoint_sessions`) and the frames the
+        checkpoint already covers are dropped from the log, so recovery
+        replays only the post-compaction suffix and coordinator memory
+        stays bounded by the tick traffic *between* compactions.
+
+        A worker dying mid-compaction is not fatal: committed snapshot
+        generations are immutable and the manifest swap is atomic, so
+        the shard directory is still consistent — the worker is
+        recovered in place and its compaction retried once.
+        """
+        watermarks = {
+            shard: len(self._frame_log[shard])
+            for shard in range(self.n_workers)
+        }
         replies, crashed = self._exchange(
             {shard: {"op": "compact"} for shard in range(self.n_workers)}
         )
+        stats = {shard: reply["stats"] for shard, reply in replies.items()}
         if crashed is not None:
-            raise WorkerCrashed(crashed)
-        return {shard: reply["stats"] for shard, reply in replies.items()}
+            self._recover(crashed)
+            stats[crashed] = self._request(crashed, {"op": "compact"})["stats"]
+        check_replies, crashed = self._exchange(
+            {
+                shard: {"op": "checkpoint_sessions"}
+                for shard in range(self.n_workers)
+            }
+        )
+        if crashed is not None:
+            self._recover(crashed)
+            check_replies[crashed] = self._request(
+                crashed, {"op": "checkpoint_sessions"}
+            )
+        for shard, reply in check_replies.items():
+            # Install the checkpoint and truncate atomically (from the
+            # caller's view): checkpoint + remaining log always replay
+            # to the current fleet state.
+            self._checkpoints[shard] = reply["checkpoint"]
+            del self._frame_log[shard][:watermarks[shard]]
+        return stats
 
     def matches_of(self, stream_id: str) -> list[Match]:
         """One tenant's current (globally merged) matches."""
@@ -1050,13 +1113,17 @@ class ShardCoordinator:
         """Respawn a crashed worker and replay its shard to currency.
 
         The fresh process journal-replays the shard directory (restoring
-        every historical stream bit-exactly), the stale partial live
-        streams are dropped, sessions re-open in their original order
-        and the coordinator re-feeds the shard's raw-frame log through
-        ordinary ticks.  Refreshes raised during replay land in the
-        pending set (latest per stream) and complete through the normal
-        scatter path afterwards, so the recovered shard's sessions hold
-        exactly the match sets and plans of an uninterrupted run.
+        every historical stream bit-exactly) and the stale partial live
+        streams are dropped.  With a compaction checkpoint on file the
+        shard's sessions restore their checkpointed state directly and
+        only the post-watermark frame-log suffix is re-fed; before the
+        first compaction, sessions re-open fresh in their original order
+        and the full log replays.  Either way segmentation is
+        deterministic, so the recovered shard's series, matches and
+        predictions are byte-identical to an uninterrupted run.
+        Refreshes raised during replay land in the pending set (latest
+        per stream) and complete through the normal scatter path
+        afterwards.
         """
         if self.telemetry is not None:
             self._c_crashes.inc()
@@ -1071,25 +1138,65 @@ class ShardCoordinator:
             proc.join(timeout=10)
         self._spawn(shard, with_fault=False)
         # The journal replayed whatever the crashed worker had durably
-        # committed for its live tenants; segmentation re-feed must
-        # start from genesis, so those partial streams go away first.
+        # committed for its live tenants; segmentation resumes from the
+        # checkpoint (or genesis), so those partial streams go away
+        # first.
         tenants = self._shard_tenants[shard]
         if tenants:
             self._request(
                 shard, {"op": "drop_streams", "stream_ids": list(tenants)}
             )
-        for sid in tenants:
-            patient_id, session_id, _ = self._tenants[sid]
-            self._request(
-                shard,
-                {
-                    "op": "open_session",
-                    "patient_id": patient_id,
-                    "session_id": session_id,
-                },
-            )
-        # Foreign-series shipping state died with the worker's sessions.
-        self._shipped[shard] = set()
+        checkpoint = self._checkpoints[shard]
+        if checkpoint is None:
+            for sid in tenants:
+                patient_id, session_id, _ = self._tenants[sid]
+                self._request(
+                    shard,
+                    {
+                        "op": "open_session",
+                        "patient_id": patient_id,
+                        "session_id": session_id,
+                    },
+                )
+            # Foreign-series shipping state died with the worker's
+            # sessions; everything re-ships on demand.
+            self._shipped[shard] = set()
+        else:
+            # Ordered restore: checkpointed tenants resume their state,
+            # tenants opened after the checkpoint start fresh — in the
+            # fleet's session-open order either way.
+            by_sid = {
+                entry["stream_id"]: entry
+                for entry in checkpoint["sessions"]
+            }
+            entries = []
+            for sid in tenants:
+                entry = by_sid.get(sid)
+                if entry is not None:
+                    entries.append({"restore": entry})
+                else:
+                    patient_id, session_id, _ = self._tenants[sid]
+                    entries.append(
+                        {
+                            "open": {
+                                "patient_id": patient_id,
+                                "session_id": session_id,
+                            }
+                        }
+                    )
+            if entries or checkpoint["pool"]:
+                self._request(
+                    shard,
+                    {
+                        "op": "restore_sessions",
+                        "sessions": entries,
+                        "pool": checkpoint["pool"],
+                    },
+                )
+            # The restored pool is exactly what the shard now holds;
+            # series shipped after the checkpoint are gone and must
+            # ship again on demand.
+            self._shipped[shard] = set(checkpoint["pool"])
         for t, shard_samples in self._frame_log[shard]:
             reply = self._request(
                 shard, {"op": "tick", "t": t, "samples": shard_samples}

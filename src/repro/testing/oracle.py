@@ -14,6 +14,11 @@ algorithms:
   through a plain transliteration of the streaming algorithm (sliding
   least-squares slope recomputed from scratch each sample rather than via
   running sums).
+* :func:`reference_motifs` / :func:`reference_anomalies` — offline fleet
+  analytics as the brute-force all-pairs window scan: every pair of
+  same-length windows scored with the provenance-free Definition 2
+  distance, motifs extracted iteratively by live match count, anomalies
+  as the windows with no non-trivial match at all.
 * :func:`reference_prediction` — Section 4.3 prediction serving as a
   per-match Python loop: known-future filter, linear-scan interpolation
   of each match's own future, weighted re-anchored average.  The
@@ -36,10 +41,12 @@ never by mirroring the optimised code.
 from __future__ import annotations
 
 import math
+from dataclasses import replace
 from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..analytics.motifs import Motif
 from ..core.fsm import FiniteStateAutomaton, respiratory_fsa
 from ..core.matching import Match
 from ..core.model import BreathingState, PLRSeries, Subsequence, Vertex
@@ -52,6 +59,7 @@ __all__ = [
     "EquivalenceError",
     "check_equivalence",
     "check_plr_invariants",
+    "reference_anomalies",
     "reference_distance",
     "reference_distance_normalized",
     "reference_distance_warped",
@@ -59,6 +67,7 @@ __all__ = [
     "reference_matches_for_mode",
     "reference_matches_normalized",
     "reference_matches_warped",
+    "reference_motifs",
     "reference_prediction",
     "reference_segment",
 ]
@@ -466,6 +475,137 @@ def reference_matches_for_mode(
         restrict_patients=restrict_patients,
         params=params,
     )
+
+
+# -- reference fleet analytics -------------------------------------------------
+#
+# The offline motif/anomaly semantics are *defined* by the naive
+# spelling below (the brute-force motif algorithm of SNIPPETS.md
+# Snippet 1, transliterated to PLR windows): score every pair of
+# fixed-length windows across the whole fleet with the Definition 2
+# distance — O(n^2) distance calls, no index — count each window's
+# non-trivial matches, and report motifs iteratively by descending live
+# match count.  The index-accelerated engine in ``repro.analytics`` must
+# reproduce the returned motif list and anomaly set identically.
+#
+# Offline pairs have no query perspective, so source weights are forced
+# off: the pair distance is symmetric and provenance-free.
+
+
+def _reference_window_adjacency(
+    database: MotionDatabase,
+    length: int,
+    threshold: float,
+    params: SimilarityParams,
+    exclusion_zone: int,
+) -> dict[tuple[str, int], list[tuple[str, int]]]:
+    """Every window's non-trivial matches, by exhaustive all-pairs scan."""
+    windows: list[tuple[str, int, Subsequence]] = []
+    for record in database.iter_streams():
+        series = record.series
+        for start in range(len(series) - length + 1):
+            windows.append(
+                (
+                    record.stream_id,
+                    start,
+                    series.subsequence(start, start + length),
+                )
+            )
+    matches: dict[tuple[str, int], list[tuple[str, int]]] = {
+        (stream_id, start): [] for stream_id, start, _ in windows
+    }
+    for i, (stream_a, start_a, sub_a) in enumerate(windows):
+        for stream_b, start_b, sub_b in windows[i + 1 :]:
+            if (
+                stream_a == stream_b
+                and abs(start_a - start_b) < exclusion_zone
+            ):
+                continue  # trivial match
+            distance = reference_distance(sub_a, sub_b, params)
+            if distance <= threshold:
+                matches[(stream_a, start_a)].append((stream_b, start_b))
+                matches[(stream_b, start_b)].append((stream_a, start_a))
+    return matches
+
+
+def reference_motifs(
+    database: MotionDatabase,
+    length: int,
+    threshold: float | None = None,
+    params: SimilarityParams | None = None,
+    exclusion_zone: int = 1,
+    min_count: int = 1,
+    max_motifs: int | None = None,
+) -> list[Motif]:
+    """Brute-force fleet motif discovery (frozen; no index, O(n^2) pairs).
+
+    Window ``b`` non-trivially matches window ``a`` iff their Definition
+    2 distance (source weights off) is at most ``threshold`` and the two
+    are not same-stream windows within ``exclusion_zone`` starts of each
+    other (the default zone of 1 only excludes the self-match).  Motifs
+    are extracted iteratively: the live window with the most live
+    matches is reported each round — smallest ``(stream_id, start)`` on
+    ties — then it and its match set leave the pool, so reported counts
+    never increase.  Extraction stops below ``min_count`` matches.
+    """
+    params = replace(
+        params or SimilarityParams(), use_source_weights=False
+    )
+    if threshold is None:
+        threshold = params.distance_threshold
+    matches = _reference_window_adjacency(
+        database, length, threshold, params, exclusion_zone
+    )
+    motifs: list[Motif] = []
+    alive = set(matches)
+    floor = max(min_count, 1)
+    while max_motifs is None or len(motifs) < max_motifs:
+        best_key: tuple[str, int] | None = None
+        best_set: tuple[tuple[str, int], ...] = ()
+        for key in sorted(alive):
+            live = tuple(sorted(m for m in matches[key] if m in alive))
+            if best_key is None or len(live) > len(best_set):
+                best_key, best_set = key, live
+        if best_key is None or len(best_set) < floor:
+            break
+        motifs.append(
+            Motif(
+                stream_id=best_key[0],
+                start=best_key[1],
+                n_vertices=length,
+                count=len(best_set),
+                matches=best_set,
+            )
+        )
+        alive.discard(best_key)
+        alive.difference_update(best_set)
+    return motifs
+
+
+def reference_anomalies(
+    database: MotionDatabase,
+    length: int,
+    threshold: float | None = None,
+    params: SimilarityParams | None = None,
+    exclusion_zone: int = 1,
+) -> list[tuple[str, int]]:
+    """Windows with **no** non-trivial match under ``threshold`` (frozen).
+
+    The dual of :func:`reference_motifs` over the same exhaustive
+    all-pairs scan; returns anomalous ``(stream_id, start)`` keys in
+    sorted order.  Streams shorter than ``length`` contribute no
+    windows, and removed streams are not in the database's universe at
+    all.
+    """
+    params = replace(
+        params or SimilarityParams(), use_source_weights=False
+    )
+    if threshold is None:
+        threshold = params.distance_threshold
+    matches = _reference_window_adjacency(
+        database, length, threshold, params, exclusion_zone
+    )
+    return sorted(key for key, found in matches.items() if not found)
 
 
 # -- reference segmenter -------------------------------------------------------

@@ -156,3 +156,78 @@ class TestCompact:
         assert main(["compact", str(tmp_path)]) == 0
         out = capsys.readouterr().out
         assert "shard 0:" in out and "shard 1:" in out
+
+    def test_compact_rejects_unrecognised_directory(self, tmp_path, capsys):
+        # Neither manifest.json nor shard-* present: refuse loudly
+        # instead of silently creating an empty backend there.
+        assert main(["compact", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "neither a logged database" in err
+        assert "shard-*" in err
+        assert not any(tmp_path.iterdir())
+
+    def test_compact_rejects_missing_directory(self, tmp_path, capsys):
+        assert main(["compact", str(tmp_path / "nope")]) == 2
+        assert "not a directory" in capsys.readouterr().err
+
+
+class TestAnalyticsCommands:
+    @pytest.fixture
+    def store(self, tmp_path):
+        """A compacted logged directory with two identical streams."""
+        from repro.database.backend import LoggedBackend
+        from repro.database.store import MotionDatabase
+
+        from conftest import make_series
+
+        directory = tmp_path / "store"
+        db = MotionDatabase(backend=LoggedBackend(directory))
+        db.add_patient("PA")
+        db.add_stream("PA", "S00", series=make_series(cycles=6))
+        db.add_stream("PA", "S01", series=make_series(cycles=6))
+        db.close()
+        assert main(["compact", str(directory)]) == 0
+        return directory
+
+    def test_motifs_text(self, store, capsys):
+        assert main(["motifs", str(store), "--length", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "windows of length 4" in out
+        assert "#1 PA/S0" in out and "matches" in out
+
+    def test_motifs_json(self, store, capsys):
+        import json
+
+        code = main(["motifs", str(store), "--length", "4", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["length"] == 4 and payload["n_streams"] == 2
+        assert payload["motifs"]
+        top = payload["motifs"][0]
+        assert top["count"] == len(top["matches"]) > 0
+
+    def test_anomalies_text(self, store, capsys):
+        assert main(["anomalies", str(store), "--length", "4"]) == 0
+        out = capsys.readouterr().out
+        # Twin streams: every window matches its counterpart.
+        assert "0/" in out and "are anomalous" in out
+
+    def test_anomalies_json(self, store, capsys):
+        import json
+
+        code = main(["anomalies", str(store), "--length", "4", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_anomalies"] == 0
+        assert payload["fleet_score"] == 0.0
+        assert len(payload["streams"]) == 2
+
+    @pytest.mark.parametrize("command", ["motifs", "anomalies"])
+    def test_rejects_unrecognised_directory(self, command, tmp_path, capsys):
+        assert main([command, str(tmp_path)]) == 2
+        assert "neither a logged database" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("command", ["motifs", "anomalies"])
+    def test_rejects_missing_directory(self, command, tmp_path, capsys):
+        assert main([command, str(tmp_path / "nope")]) == 2
+        assert "not a directory" in capsys.readouterr().err

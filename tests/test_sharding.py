@@ -14,6 +14,7 @@ Worker counts come from the ``REPRO_TEST_WORKERS`` environment variable
 
 import copy
 import os
+import signal
 
 import numpy as np
 import pytest
@@ -164,7 +165,18 @@ def serve_sharded(
     telemetry=None,
     worker_telemetry=False,
     faults=None,
+    compact_at=(),
+    kill=(),
+    capture=None,
 ):
+    """Drive a sharded fleet through the full tick/predict loop.
+
+    ``compact_at`` lists tick indices at which the coordinator compacts
+    the fleet (checkpointing sessions and truncating frame logs);
+    ``kill`` lists ``(shard, tick)`` pairs hard-killed with SIGKILL just
+    before that tick; ``capture``, when a dict, receives the final
+    per-shard frame-log lengths and worker-side stream digests.
+    """
     partition_database(db, root, n_workers)
     coordinator = ShardCoordinator(
         root,
@@ -182,6 +194,11 @@ def serve_sharded(
         times = next(iter(by_stream.values())).times
         predictions = {sid: [] for sid in by_stream}
         for i, t in enumerate(times):
+            if i in compact_at:
+                coordinator.compact()
+            for shard, at in kill:
+                if i == at:
+                    os.kill(coordinator._procs[shard].pid, signal.SIGKILL)
             coordinator.tick(
                 float(t),
                 {sid: raw.values[i] for sid, raw in by_stream.items()},
@@ -196,6 +213,15 @@ def serve_sharded(
         fleet = (
             coordinator.fleet_registry() if worker_telemetry else None
         )
+        if capture is not None:
+            capture["frame_log_lens"] = {
+                shard: len(coordinator._frame_log[shard])
+                for shard in range(n_workers)
+            }
+            digests = {}
+            for shard in range(n_workers):
+                digests.update(coordinator.digests(shard))
+            capture["digests"] = digests
     finally:
         coordinator.close()
     return predictions, matches, fleet, worker_snaps
@@ -280,6 +306,120 @@ class TestWorkerCrashRecovery:
         assert merged.counter("router.recoveries") == 1
         assert_identical_predictions(golden, crashed)
         assert m_golden == m_crashed
+
+
+def _n_live_ticks(raws):
+    return len(next(iter(raws.values())).times)
+
+
+class TestCompactionCheckpointRecovery:
+    """Frame-log retention: compact() checkpoints sessions and truncates.
+
+    The retention invariant under test: after ``compact()`` each shard's
+    frame log holds only frames fed *since* the compaction watermark
+    (the checkpoint replaces the prefix), and checkpoint + suffix replay
+    to byte-identical fleet state after a hard worker kill.
+    """
+
+    def test_compact_truncates_frame_logs_at_watermark(self, tmp_path):
+        db, raws = build_fleet()
+        builder = PipelineBuilder.from_session_config(OnlineSessionConfig())
+        n_ticks = _n_live_ticks(raws)
+        mid = n_ticks // 2
+        capture = {}
+        serve_sharded(
+            db, raws, builder, tmp_path,
+            compact_at=(mid,), capture=capture,
+        )
+        # Without truncation every log would hold all n_ticks frames.
+        assert capture["frame_log_lens"]
+        for shard, length in capture["frame_log_lens"].items():
+            assert length <= n_ticks - mid, (shard, length)
+
+    def test_kill_after_compact_recovers_byte_identically(self, tmp_path):
+        db, raws = build_fleet()
+        builder = PipelineBuilder.from_session_config(OnlineSessionConfig())
+        n_ticks = _n_live_ticks(raws)
+        mid = n_ticks // 2
+        golden_capture = {}
+        golden, m_golden, _, _ = serve_sharded(
+            db, raws, builder, tmp_path / "golden",
+            compact_at=(mid,), capture=golden_capture,
+        )
+
+        # SIGKILL (not a simulated fault): recovery must rebuild the
+        # shard from checkpoint + post-watermark frame-log suffix only.
+        crash_shard = ShardRouter(N_WORKERS).shard_of(next(iter(raws))[0])
+        telemetry = Telemetry()
+        crash_capture = {}
+        crashed, m_crashed, _, _ = serve_sharded(
+            db, raws, builder, tmp_path / "crashed",
+            telemetry=telemetry,
+            compact_at=(mid,),
+            kill=[(crash_shard, mid + 20)],
+            capture=crash_capture,
+        )
+        merged = telemetry.snapshot().merged
+        assert merged.counter("router.worker_crashes") == 1
+        assert merged.counter("router.recoveries") == 1
+        assert_identical_predictions(golden, crashed)
+        assert m_golden == m_crashed
+        assert golden_capture["digests"] == crash_capture["digests"]
+        for shard, length in crash_capture["frame_log_lens"].items():
+            assert length <= n_ticks - mid, (shard, length)
+
+    def test_second_kill_replays_from_same_checkpoint(self, tmp_path):
+        # The re-journaled checkpoint state must survive a *second*
+        # crash of the same shard without a new compact() in between.
+        db, raws = build_fleet()
+        builder = PipelineBuilder.from_session_config(OnlineSessionConfig())
+        mid = _n_live_ticks(raws) // 2
+        golden, m_golden, _, _ = serve_sharded(
+            db, raws, builder, tmp_path / "golden", compact_at=(mid,),
+        )
+        crash_shard = ShardRouter(N_WORKERS).shard_of(next(iter(raws))[0])
+        telemetry = Telemetry()
+        crashed, m_crashed, _, _ = serve_sharded(
+            db, raws, builder, tmp_path / "crashed",
+            telemetry=telemetry,
+            compact_at=(mid,),
+            kill=[(crash_shard, mid + 15), (crash_shard, mid + 45)],
+        )
+        merged = telemetry.snapshot().merged
+        assert merged.counter("router.worker_crashes") == 2
+        assert merged.counter("router.recoveries") == 2
+        assert_identical_predictions(golden, crashed)
+        assert m_golden == m_crashed
+
+
+class TestCompactionCrashRetry:
+    def test_worker_death_mid_compaction_is_retried_once(self, tmp_path):
+        """compact() recovers a worker that dies compacting and retries."""
+        db, raws = build_fleet()
+        builder = PipelineBuilder.from_session_config(OnlineSessionConfig())
+        n_ticks = _n_live_ticks(raws)
+        mid = n_ticks // 2
+        golden, m_golden, _, _ = serve_sharded(
+            db, raws, builder, tmp_path / "golden", compact_at=(mid,),
+        )
+
+        crash_shard = ShardRouter(N_WORKERS).shard_of(next(iter(raws))[0])
+        telemetry = Telemetry()
+        capture = {}
+        crashed, m_crashed, _, _ = serve_sharded(
+            db, raws, builder, tmp_path / "crashed",
+            telemetry=telemetry,
+            compact_at=(mid,),
+            faults={crash_shard: {"site": "compact.columns", "at": 0}},
+            capture=capture,
+        )
+        merged = telemetry.snapshot().merged
+        assert merged.counter("router.worker_crashes") == 1
+        assert merged.counter("router.recoveries") == 1
+        assert_identical_predictions(golden, crashed)
+        assert m_golden == m_crashed
+        for shard, length in capture["frame_log_lens"].items():
+            assert length <= n_ticks - mid, (shard, length)
 
 
 class TestFleetRegistry:
